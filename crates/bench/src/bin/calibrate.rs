@@ -1,0 +1,58 @@
+//! Scratch calibration binary: checks the default configuration against
+//! the paper's headline numbers before the full experiment harness runs.
+
+use guess::config::Config;
+use guess::engine::GuessSim;
+use guess::policy::SelectionPolicy;
+use gnutella::population::Population;
+use gnutella::FixedExtentCurve;
+use simkit::rng::RngStream;
+use workload::content::CatalogParams;
+
+fn main() {
+    // 1. Unsatisfiable floor at N=1000 (paper: ~6%).
+    let pop = Population::generate(1000, CatalogParams::default(), 1).unwrap();
+    let mut rng = RngStream::from_seed(1, "cal");
+    let curve = FixedExtentCurve::evaluate(&pop, 2000, &mut rng);
+    println!("floor (whole-network unsatisfiable): {:.3}", curve.unsatisfiable_fraction());
+    println!("fixed extent 540: unsat {:.3}", curve.unsatisfaction_at(540));
+    println!("fixed extent 1000: unsat {:.3}", curve.unsatisfaction_at(1000));
+
+    // 2. GUESS with default (Random) policies.
+    let cfg = Config::default();
+    let report = GuessSim::new(cfg.clone()).unwrap().run();
+    println!(
+        "GUESS Random: probes/query {:.1} (good {:.1} dead {:.1} refused {:.2}), unsat {:.3}, queries {}",
+        report.probes_per_query(),
+        report.good_per_query(),
+        report.dead_per_query(),
+        report.refused_per_query(),
+        report.unsatisfaction(),
+        report.queries
+    );
+    println!(
+        "  live frac {:.3} live abs {:.1}",
+        report.live_fraction.unwrap_or(-1.0),
+        report.live_absolute.unwrap_or(-1.0)
+    );
+
+    // 3. GUESS with QueryPong = MFS (paper: ~17 probes, 8% unsat).
+    let mut cfg2 = Config::default();
+    cfg2.protocol.query_pong = SelectionPolicy::Mfs;
+    let r2 = GuessSim::new(cfg2).unwrap().run();
+    println!(
+        "GUESS QueryPong=MFS: probes/query {:.1}, unsat {:.3}",
+        r2.probes_per_query(),
+        r2.unsatisfaction()
+    );
+
+    // 4. MFS/MFS/LFS combo (paper fig 10/11: ~4 probes at 0% bad).
+    let mut cfg3 = Config::default();
+    cfg3.protocol = cfg3.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+    let r3 = GuessSim::new(cfg3).unwrap().run();
+    println!(
+        "GUESS MFS/MFS/LFS: probes/query {:.1}, unsat {:.3}",
+        r3.probes_per_query(),
+        r3.unsatisfaction()
+    );
+}

@@ -1,0 +1,111 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro all [--quick] [--out <dir>]
+//! repro <experiment> [<experiment> ...] [--quick] [--out <dir>]
+//! repro --list
+//! ```
+//!
+//! Experiments: `table3`, `fig3` … `fig21`, `response`, plus the
+//! extension studies `selfish`, `adaptive`, `defense`, `fragmentation`.
+//! With `--out <dir>`, each report is additionally written to
+//! `<dir>/<name>.txt`.
+
+use std::time::Instant;
+
+use guess_bench::experiments;
+use guess_bench::scale::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for e in experiments::all() {
+            println!("{:<10} {}", e.name, e.description);
+        }
+        return;
+    }
+    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let out_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create output directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    // Strip flag values so `--out DIR`'s DIR is not taken for a name.
+    let mut names: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            names.push(a);
+        }
+    }
+
+    let selected: Vec<experiments::Experiment> = if names.iter().any(|n| n.as_str() == "all") {
+        experiments::all()
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match experiments::find(name) {
+                Some(e) => picked.push(e),
+                None => {
+                    eprintln!("unknown experiment '{name}' (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if picked.is_empty() {
+            print_usage();
+            std::process::exit(2);
+        }
+        picked
+    };
+
+    let overall = Instant::now();
+    for e in &selected {
+        let started = Instant::now();
+        println!("==============================================================");
+        println!("== {} — {}", e.name, e.description);
+        println!("==============================================================");
+        let report = (e.run)(scale);
+        println!("{report}");
+        println!("[{} completed in {:.1}s]\n", e.name, started.elapsed().as_secs_f64());
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{}.txt", e.name));
+            if let Err(err) = std::fs::write(&path, &report) {
+                eprintln!("failed to write {}: {err}", path.display());
+            }
+        }
+    }
+    println!(
+        "ran {} experiment(s) at {:?} scale in {:.1}s",
+        selected.len(),
+        scale,
+        overall.elapsed().as_secs_f64()
+    );
+}
+
+fn print_usage() {
+    println!(
+        "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
+         usage:\n  repro all [--quick]\n  repro <experiment>... [--quick]\n  repro --list\n\n\
+         --quick  shrunk grids/durations (shape check, ~1-2 min)\n\
+         default  full paper grids (several minutes)"
+    );
+}

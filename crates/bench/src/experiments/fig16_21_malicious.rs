@@ -1,0 +1,217 @@
+//! Figures 16–21: robustness of policies to cache poisoning.
+//!
+//! Setup (§6.4): N=1000 defaults; `PercentBadPeers` ∈ {0, 5, 10, 15, 20};
+//! four policy configurations applied uniformly to QueryProbe / QueryPong /
+//! CacheReplacement — Random, MR, MR\* (MR + `ResetNumResults`), MFS.
+//!
+//! * No collusion (`BadPongBehavior = Dead`, Figs 16–18): malicious pongs
+//!   carry fabricated dead addresses. MFS collapses (it trusts claimed
+//!   NumFiles, so attackers and their dead IPs stick in caches); Random,
+//!   MR and MR\* stay robust.
+//! * Collusion (`BadPongBehavior = Bad`, Figs 19–21): malicious pongs
+//!   carry other attackers' addresses. Now MR collapses too — attackers
+//!   re-enter caches faster than NumRes=0 evicts them; only Random and
+//!   MR\* survive, with MR\* cheaper than Random.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use guess::config::BadPongBehavior;
+use guess::engine::GuessSim;
+use guess::policy::SelectionPolicy;
+
+use crate::scale::{base_config, Scale};
+use crate::table::{fnum, Table};
+
+/// Bad-peer fractions swept (the paper's 0–20 %).
+pub const FRACTIONS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
+
+/// One sweep sample.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Display name of the policy configuration.
+    pub policy: String,
+    /// Fraction of bad peers.
+    pub bad: f64,
+    /// Mean probes per query.
+    pub probes: f64,
+    /// Unsatisfied fraction.
+    pub unsat: f64,
+    /// Mean "unpoisoned" (live good) entries in good peers' caches.
+    pub good_entries: f64,
+}
+
+static SWEEP: Mutex<Option<HashMap<(Scale, bool), Vec<Point>>>> = Mutex::new(None);
+
+/// The four policy configurations of the figures.
+#[must_use]
+pub fn policies() -> Vec<(&'static str, SelectionPolicy, bool)> {
+    // (name, uniform policy, reset_num_results)
+    vec![
+        ("Random", SelectionPolicy::Random, false),
+        ("MR", SelectionPolicy::Mr, false),
+        ("MR*", SelectionPolicy::Mr, true),
+        ("MFS", SelectionPolicy::Mfs, false),
+    ]
+}
+
+/// The (memoized) malicious-peer sweep; `collusion` selects
+/// `BadPongBehavior::Bad` vs `Dead`.
+#[must_use]
+pub fn sweep(scale: Scale, collusion: bool) -> Vec<Point> {
+    {
+        let mut guard = SWEEP.lock().expect("memo");
+        if let Some(v) = guard.get_or_insert_with(HashMap::new).get(&(scale, collusion)) {
+            return v.clone();
+        }
+    }
+    let fractions: Vec<f64> = match scale {
+        Scale::Full => FRACTIONS.to_vec(),
+        Scale::Quick => vec![0.0, 0.10, 0.20],
+    };
+    let mut points = Vec::new();
+    for (pi, (name, policy, reset)) in policies().into_iter().enumerate() {
+        for (fi, &bad) in fractions.iter().enumerate() {
+            let mut cfg = base_config(scale, 0xf16 + (pi * 16 + fi) as u64);
+            if scale == Scale::Quick {
+                cfg.system.network_size = 300;
+            }
+            cfg.system.bad_peer_fraction = bad;
+            cfg.system.bad_pong_behavior =
+                if collusion { BadPongBehavior::Bad } else { BadPongBehavior::Dead };
+            cfg.protocol = cfg.protocol.with_uniform_policy(policy);
+            cfg.protocol.reset_num_results = reset;
+            let report = GuessSim::new(cfg).expect("valid config").run();
+            points.push(Point {
+                policy: name.to_string(),
+                bad,
+                probes: report.probes_per_query(),
+                unsat: report.unsatisfaction(),
+                good_entries: report.good_entries.unwrap_or(f64::NAN),
+            });
+        }
+    }
+    SWEEP
+        .lock()
+        .expect("memo")
+        .get_or_insert_with(HashMap::new)
+        .insert((scale, collusion), points.clone());
+    points
+}
+
+fn render(points: &[Point], metric: fn(&Point) -> f64, col: &str, prec: usize) -> String {
+    let mut table = Table::new(vec!["policy", "% bad", col]);
+    for p in points {
+        table.row(vec![p.policy.clone(), fnum(p.bad * 100.0, 0), fnum(metric(p), prec)]);
+    }
+    table.render()
+}
+
+/// Figure 16: probes/query, no collusion.
+#[must_use]
+pub fn run_fig16(scale: Scale) -> String {
+    let pts = sweep(scale, false);
+    format!(
+        "Figure 16 — probes/query vs %bad (BadPong=Dead, no collusion)\n\
+         Expected shape: MFS cost blows up with %bad; Random/MR/MR* stay flat-ish.\n\n{}",
+        render(&pts, |p| p.probes, "probes/query", 1)
+    )
+}
+
+/// Figure 17: unsatisfaction, no collusion.
+#[must_use]
+pub fn run_fig17(scale: Scale) -> String {
+    let pts = sweep(scale, false);
+    format!(
+        "Figure 17 — unsatisfaction vs %bad (BadPong=Dead)\n\
+         Expected shape: MFS degrades toward total failure by 20% bad;\n\
+         MR keeps the best cost/robustness tradeoff; MR* and Random robust.\n\n{}",
+        render(&pts, |p| p.unsat, "unsatisfied", 3)
+    )
+}
+
+/// Figure 18: good cache entries, no collusion.
+#[must_use]
+pub fn run_fig18(scale: Scale) -> String {
+    let pts = sweep(scale, false);
+    format!(
+        "Figure 18 — unpoisoned link-cache entries vs %bad (BadPong=Dead)\n\
+         Expected shape: good entries collapse for MFS only.\n\n{}",
+        render(&pts, |p| p.good_entries, "good entries", 1)
+    )
+}
+
+/// Figure 19: probes/query, collusion.
+#[must_use]
+pub fn run_fig19(scale: Scale) -> String {
+    let pts = sweep(scale, true);
+    format!(
+        "Figure 19 — probes/query vs %bad (BadPong=Bad, collusion)\n\
+         Expected shape: both MFS and MR degrade; Random and MR* stay usable,\n\
+         with MR* cheaper than Random.\n\n{}",
+        render(&pts, |p| p.probes, "probes/query", 1)
+    )
+}
+
+/// Figure 20: unsatisfaction, collusion.
+#[must_use]
+pub fn run_fig20(scale: Scale) -> String {
+    let pts = sweep(scale, true);
+    format!(
+        "Figure 20 — unsatisfaction vs %bad (BadPong=Bad, collusion)\n\
+         Expected shape: MFS and MR head toward 100% unsatisfied at 20% bad;\n\
+         MR* and Random stay robust.\n\n{}",
+        render(&pts, |p| p.unsat, "unsatisfied", 3)
+    )
+}
+
+/// Figure 21: good cache entries, collusion.
+#[must_use]
+pub fn run_fig21(scale: Scale) -> String {
+    let pts = sweep(scale, true);
+    format!(
+        "Figure 21 — unpoisoned link-cache entries vs %bad (BadPong=Bad)\n\
+         Expected shape: caches poison heavily for both MR and MFS;\n\
+         Random and MR* retain good entries.\n\n{}",
+        render(&pts, |p| p.good_entries, "good entries", 1)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_policies_and_fractions() {
+        let pts = sweep(Scale::Quick, false);
+        assert_eq!(pts.len(), 4 * 3);
+        for (name, _, _) in policies() {
+            assert!(pts.iter().any(|p| p.policy == name));
+        }
+    }
+
+    #[test]
+    fn mfs_degrades_under_poisoning() {
+        let pts = sweep(Scale::Quick, false);
+        let mfs_clean = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.0).unwrap();
+        let mfs_poisoned = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.20).unwrap();
+        assert!(
+            mfs_poisoned.unsat > mfs_clean.unsat,
+            "MFS unsat should rise under poisoning: {} -> {}",
+            mfs_clean.unsat,
+            mfs_poisoned.unsat
+        );
+        assert!(
+            mfs_poisoned.good_entries < mfs_clean.good_entries,
+            "MFS caches should poison"
+        );
+    }
+
+    #[test]
+    fn reports_render() {
+        for f in [run_fig16, run_fig17, run_fig18, run_fig19, run_fig20, run_fig21] {
+            let out = f(Scale::Quick);
+            assert!(out.contains("MR*"));
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! One module per paper table/figure; each regenerates its rows/series.
+//!
+//! Every experiment exposes `run(scale) -> String`: a formatted report
+//! including, where the paper states numbers, a paper-reference column so
+//! that shape agreement can be eyeballed directly.
+
+pub mod extensions;
+pub mod fig13_load;
+pub mod fig14_15_capacity;
+pub mod fig16_21_malicious;
+pub mod fig3_4_5_cache_size;
+pub mod fig6_7_connectivity;
+pub mod fig8_tradeoff;
+pub mod fig9_12_policies;
+pub mod response_time;
+pub mod table3_live_entries;
+
+use crate::scale::Scale;
+
+/// A named, runnable experiment.
+#[derive(Clone, Copy)]
+pub struct Experiment {
+    /// CLI name (`repro <name>`).
+    pub name: &'static str,
+    /// What the experiment reproduces.
+    pub description: &'static str,
+    /// Runs the experiment and returns its formatted report.
+    pub run: fn(Scale) -> String,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment").field("name", &self.name).finish()
+    }
+}
+
+/// Every experiment, in paper order.
+#[must_use]
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            name: "table3",
+            description: "Table 3: live link-cache entries vs cache size",
+            run: table3_live_entries::run,
+        },
+        Experiment {
+            name: "fig3",
+            description: "Figure 3: probes/query vs cache size, across network sizes",
+            run: fig3_4_5_cache_size::run_fig3,
+        },
+        Experiment {
+            name: "fig4",
+            description: "Figure 4: unsatisfaction vs cache size (minimum at moderate sizes)",
+            run: fig3_4_5_cache_size::run_fig4,
+        },
+        Experiment {
+            name: "fig5",
+            description: "Figure 5: good vs dead probes per query, N=1000",
+            run: fig3_4_5_cache_size::run_fig5,
+        },
+        Experiment {
+            name: "fig6",
+            description: "Figure 6: largest connected component vs ping interval, per cache size",
+            run: fig6_7_connectivity::run_fig6,
+        },
+        Experiment {
+            name: "fig7",
+            description: "Figure 7: relative connectivity vs ping interval, per network size",
+            run: fig6_7_connectivity::run_fig7,
+        },
+        Experiment {
+            name: "fig8",
+            description: "Figure 8: cost/quality tradeoff — fixed extent vs iterative deepening vs GUESS",
+            run: fig8_tradeoff::run,
+        },
+        Experiment {
+            name: "fig9",
+            description: "Figure 9: probes/query per QueryProbe policy",
+            run: fig9_12_policies::run_fig9,
+        },
+        Experiment {
+            name: "fig10",
+            description: "Figure 10: probes/query per QueryPong policy",
+            run: fig9_12_policies::run_fig10,
+        },
+        Experiment {
+            name: "fig11",
+            description: "Figure 11: probes/query per CacheReplacement policy",
+            run: fig9_12_policies::run_fig11,
+        },
+        Experiment {
+            name: "fig12",
+            description: "Figure 12: unsatisfied queries per QueryPong policy",
+            run: fig9_12_policies::run_fig12,
+        },
+        Experiment {
+            name: "fig13",
+            description: "Figure 13: ranked load distribution per policy combination",
+            run: fig13_load::run,
+        },
+        Experiment {
+            name: "fig14",
+            description: "Figure 14: probe breakdown under capacity limits, per network size",
+            run: fig14_15_capacity::run_fig14,
+        },
+        Experiment {
+            name: "fig15",
+            description: "Figure 15: unsatisfaction vs MaxProbesPerSecond, per network size",
+            run: fig14_15_capacity::run_fig15,
+        },
+        Experiment {
+            name: "fig16",
+            description: "Figure 16: probes/query vs % bad peers (no collusion)",
+            run: fig16_21_malicious::run_fig16,
+        },
+        Experiment {
+            name: "fig17",
+            description: "Figure 17: unsatisfaction vs % bad peers (no collusion)",
+            run: fig16_21_malicious::run_fig17,
+        },
+        Experiment {
+            name: "fig18",
+            description: "Figure 18: good cache entries vs % bad peers (no collusion)",
+            run: fig16_21_malicious::run_fig18,
+        },
+        Experiment {
+            name: "fig19",
+            description: "Figure 19: probes/query vs % bad peers (collusion)",
+            run: fig16_21_malicious::run_fig19,
+        },
+        Experiment {
+            name: "fig20",
+            description: "Figure 20: unsatisfaction vs % bad peers (collusion)",
+            run: fig16_21_malicious::run_fig20,
+        },
+        Experiment {
+            name: "fig21",
+            description: "Figure 21: good cache entries vs % bad peers (collusion)",
+            run: fig16_21_malicious::run_fig21,
+        },
+        Experiment {
+            name: "response",
+            description: "§6.2 response time: k-parallel probe walks",
+            run: response_time::run,
+        },
+        Experiment {
+            name: "selfish",
+            description: "EXTENSION §3.3: selfish peers firing huge probe volleys",
+            run: extensions::run_selfish,
+        },
+        Experiment {
+            name: "adaptive",
+            description: "EXTENSION §6.1/§6.2: adaptive ping interval and walk widening",
+            run: extensions::run_adaptive,
+        },
+        Experiment {
+            name: "defense",
+            description: "EXTENSION [9]: pong-source reputation filter vs cache poisoning",
+            run: extensions::run_defense,
+        },
+        Experiment {
+            name: "fragmentation",
+            description: "EXTENSION §3.3: targeted fragmentation of power-law overlays",
+            run: extensions::run_fragmentation,
+        },
+        Experiment {
+            name: "payments",
+            description: "EXTENSION §3.3: probe payments vs selfish volleys",
+            run: extensions::run_payments,
+        },
+        Experiment {
+            name: "forwarding",
+            description: "EXTENSION §3.2/§3.3: GUESS vs churn-aware Gnutella (cost, state, amplification)",
+            run: extensions::run_forwarding,
+        },
+    ]
+}
+
+/// Looks an experiment up by CLI name.
+#[must_use]
+pub fn find(name: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_every_table_and_figure() {
+        let names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        for expected in [
+            "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+            "fig21", "response", "selfish", "adaptive", "defense", "fragmentation",
+        ] {
+            assert!(names.contains(&expected), "missing experiment {expected}");
+        }
+    }
+
+    #[test]
+    fn find_by_name() {
+        assert!(find("fig8").is_some());
+        assert!(find("nonexistent").is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|e| e.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+}

@@ -1,0 +1,63 @@
+//! Table 3: breakdown of live link-cache entries for varying cache sizes.
+//!
+//! Setup (§6.1): `NetworkSize = 1000`, `LifespanMultiplier = 0.2`, default
+//! (Random) policies. For each `CacheSize` the table reports the mean
+//! fraction of cache entries that point at live peers and the mean
+//! absolute number of live entries.
+
+use guess::engine::GuessSim;
+
+use crate::scale::{strained_config, Scale};
+use crate::table::{fnum, Table};
+
+/// Paper values: (cache size, fraction live, absolute live).
+pub const PAPER: [(usize, f64, f64); 6] = [
+    (10, 0.822, 8.0),
+    (20, 0.759, 14.8),
+    (50, 0.605, 28.5),
+    (100, 0.418, 36.2),
+    (200, 0.330, 41.9),
+    (500, 0.309, 41.9),
+];
+
+/// Runs the Table 3 reproduction.
+#[must_use]
+pub fn run(scale: Scale) -> String {
+    let mut table = Table::new(vec![
+        "CacheSize",
+        "frac live",
+        "abs live",
+        "paper frac",
+        "paper abs",
+    ]);
+    for &(cache, p_frac, p_abs) in &PAPER {
+        let cfg = strained_config(scale, 1000, cache, 0x7ab1e3 + cache as u64);
+        let report = GuessSim::new(cfg).expect("valid config").run();
+        table.row(vec![
+            cache.to_string(),
+            fnum(report.live_fraction.unwrap_or(f64::NAN), 3),
+            fnum(report.live_absolute.unwrap_or(f64::NAN), 1),
+            fnum(p_frac, 3),
+            fnum(p_abs, 1),
+        ]);
+    }
+    format!(
+        "Table 3 — live link-cache entries (N=1000, LifespanMultiplier=0.2)\n\
+         Expected shape: fraction live falls as the cache grows; absolute live rises then plateaus.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_the_shape() {
+        let out = run(Scale::Quick);
+        assert!(out.contains("CacheSize"));
+        // Six data rows, one per paper cache size.
+        let data_lines = out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        assert_eq!(data_lines, 6);
+    }
+}

@@ -1,0 +1,443 @@
+//! A churn-aware Gnutella overlay simulator.
+//!
+//! §3.2 of the paper compares GUESS and Gnutella *qualitatively* on state
+//! maintenance: Gnutella keeps a handful of open, mutual connections and
+//! repairs them actively on churn, while GUESS maintains a large soft
+//! cache with pings. §3.3 adds the security angle: flooding amplifies a
+//! single malicious query into network-wide load. This module provides
+//! the dynamic Gnutella side of those comparisons — an event-driven
+//! overlay where peers join, connect to a target number of neighbors,
+//! flood queries with a TTL, die silently, and where survivors repair
+//! their degree by re-connecting.
+//!
+//! The content/query/lifetime models are shared with the GUESS simulator
+//! so the two mechanisms face identical workloads.
+
+use std::collections::HashSet;
+
+use simkit::event::EventQueue;
+use simkit::rng::RngStream;
+use simkit::stats::{CounterSet, Summary};
+use simkit::time::{SimDuration, SimTime};
+use workload::content::{Catalog, CatalogParams, PeerLibrary};
+use workload::files::FileCountModel;
+use workload::lifetime::LifetimeModel;
+use workload::query::{QueryModel, QueryWorkload};
+
+/// Configuration of a dynamic Gnutella run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnutellaConfig {
+    /// Live peers at all times.
+    pub network_size: usize,
+    /// Connections each peer tries to keep open.
+    pub target_degree: usize,
+    /// Query TTL (flood radius).
+    pub ttl: usize,
+    /// Results needed to satisfy a query.
+    pub desired_results: usize,
+    /// Per-user query rate (queries/second), bursty as in the paper.
+    pub query_rate: f64,
+    /// Lifespan multiplier for the shared lifetime model.
+    pub lifespan_multiplier: f64,
+    /// Content universe parameters (shared with GUESS).
+    pub catalog: CatalogParams,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Warm-up excluded from query metrics.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for GnutellaConfig {
+    fn default() -> Self {
+        GnutellaConfig {
+            network_size: 1000,
+            target_degree: 4,
+            ttl: 7,
+            desired_results: 1,
+            query_rate: 9.26e-3,
+            lifespan_multiplier: 1.0,
+            catalog: CatalogParams::default(),
+            duration: SimDuration::from_secs(2400.0),
+            warmup: SimDuration::from_secs(600.0),
+            seed: 0x67u64,
+        }
+    }
+}
+
+/// Error constructing a [`GnutellaSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGnutellaConfig;
+
+impl std::fmt::Display for InvalidGnutellaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gnutella config requires n > degree > 0, ttl > 0, positive rates")
+    }
+}
+
+impl std::error::Error for InvalidGnutellaConfig {}
+
+/// Aggregated results of a dynamic Gnutella run.
+#[derive(Debug, Clone, Default)]
+pub struct GnutellaReport {
+    /// Queries executed after warm-up.
+    pub queries: u64,
+    /// Queries that found fewer than the desired results.
+    pub unsatisfied: u64,
+    /// Per-query messages transmitted (deliveries + duplicate arrivals).
+    pub messages: Summary,
+    /// Per-query count of distinct peers reached.
+    pub peers_reached: Summary,
+    /// Event counters (connections made, repairs, deaths, …).
+    pub counters: CounterSet,
+}
+
+impl GnutellaReport {
+    /// Fraction of queries that went unsatisfied.
+    #[must_use]
+    pub fn unsatisfaction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.unsatisfied as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean messages per query — the flooding cost that corresponds to
+    /// GUESS's probes/query.
+    #[must_use]
+    pub fn messages_per_query(&self) -> f64 {
+        self.messages.mean()
+    }
+
+    /// The amplification factor: network messages caused per query
+    /// message the originator itself sends (its own degree).
+    #[must_use]
+    pub fn amplification(&self) -> f64 {
+        let reached = self.peers_reached.mean();
+        if reached > 0.0 {
+            self.messages_per_query() / (self.messages_per_query() / reached).max(1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Burst { slot: usize, incarnation: u64 },
+    Death { slot: usize, incarnation: u64 },
+}
+
+struct Node {
+    incarnation: u64,
+    library: PeerLibrary,
+    neighbors: Vec<usize>, // slot indices
+}
+
+/// The dynamic Gnutella simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+///
+/// let report = GnutellaSim::new(GnutellaConfig::default())?.run();
+/// println!("messages/query: {:.0}", report.messages_per_query());
+/// # Ok::<(), gnutella::dynamic::InvalidGnutellaConfig>(())
+/// ```
+pub struct GnutellaSim {
+    cfg: GnutellaConfig,
+    queue: EventQueue<Event>,
+    nodes: Vec<Node>,
+    qmodel: QueryModel,
+    files: FileCountModel,
+    lifetimes: LifetimeModel,
+    workload: QueryWorkload,
+    rng: RngStream,
+    queries: u64,
+    unsatisfied: u64,
+    messages: Summary,
+    peers_reached: Summary,
+    counters: CounterSet,
+    warmup_end: SimTime,
+    end: SimTime,
+    next_incarnation: u64,
+}
+
+impl GnutellaSim {
+    /// Builds and seeds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidGnutellaConfig`] for inconsistent parameters.
+    pub fn new(cfg: GnutellaConfig) -> Result<Self, InvalidGnutellaConfig> {
+        if cfg.network_size < 2
+            || cfg.target_degree == 0
+            || cfg.target_degree >= cfg.network_size
+            || cfg.ttl == 0
+            || cfg.desired_results == 0
+            || !(cfg.query_rate.is_finite() && cfg.query_rate > 0.0)
+            || !(cfg.lifespan_multiplier.is_finite() && cfg.lifespan_multiplier > 0.0)
+            || cfg.warmup >= cfg.duration
+        {
+            return Err(InvalidGnutellaConfig);
+        }
+        let catalog = Catalog::new(cfg.catalog).map_err(|_| InvalidGnutellaConfig)?;
+        let qmodel = QueryModel::new(catalog);
+        let files = FileCountModel::gnutella_like();
+        let lifetimes = LifetimeModel::saroiu_like(cfg.lifespan_multiplier);
+        let workload = QueryWorkload::with_rate(cfg.query_rate).map_err(|_| InvalidGnutellaConfig)?;
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        let end = SimTime::ZERO + cfg.duration;
+        let mut sim = GnutellaSim {
+            rng: RngStream::from_seed(cfg.seed, "gnutella"),
+            cfg,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            qmodel,
+            files,
+            lifetimes,
+            workload,
+            queries: 0,
+            unsatisfied: 0,
+            messages: Summary::new(),
+            peers_reached: Summary::new(),
+            counters: CounterSet::new(),
+            warmup_end,
+            end,
+            next_incarnation: 0,
+        };
+        sim.populate();
+        Ok(sim)
+    }
+
+    fn fresh_library(&mut self) -> PeerLibrary {
+        let count = self.files.sample_file_count(&mut self.rng);
+        self.qmodel.catalog().build_library(count, &mut self.rng)
+    }
+
+    fn populate(&mut self) {
+        let n = self.cfg.network_size;
+        for _ in 0..n {
+            let library = self.fresh_library();
+            let incarnation = self.next_incarnation;
+            self.next_incarnation += 1;
+            self.nodes.push(Node { incarnation, library, neighbors: Vec::new() });
+        }
+        // Initial wiring: every peer opens target_degree connections.
+        for slot in 0..n {
+            self.top_up_connections(slot);
+        }
+        for slot in 0..n {
+            let incarnation = self.nodes[slot].incarnation;
+            let life = self.lifetimes.sample_lifetime(&mut self.rng);
+            self.queue.schedule(SimTime::ZERO + life, Event::Death { slot, incarnation });
+            let gap = self.workload.sample_burst_gap(&mut self.rng);
+            self.queue.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
+        }
+    }
+
+    /// Opens connections until `slot` reaches its target degree (each
+    /// handshake costs maintenance messages on both sides).
+    fn top_up_connections(&mut self, slot: usize) {
+        let n = self.nodes.len();
+        let mut guard = 0;
+        while self.nodes[slot].neighbors.len() < self.cfg.target_degree && guard < 20 * n {
+            guard += 1;
+            let other = self.rng.below(n);
+            if other == slot || self.nodes[slot].neighbors.contains(&other) {
+                continue;
+            }
+            self.nodes[slot].neighbors.push(other);
+            self.nodes[other].neighbors.push(slot);
+            self.counters.add("connect_messages", 2);
+        }
+    }
+
+    /// Runs to completion.
+    #[must_use]
+    pub fn run(mut self) -> GnutellaReport {
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.end {
+                break;
+            }
+            match event {
+                Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now),
+                Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now),
+            }
+        }
+        GnutellaReport {
+            queries: self.queries,
+            unsatisfied: self.unsatisfied,
+            messages: self.messages,
+            peers_reached: self.peers_reached,
+            counters: self.counters,
+        }
+    }
+
+    fn on_death(&mut self, slot: usize, incarnation: u64, now: SimTime) {
+        if self.nodes[slot].incarnation != incarnation {
+            return;
+        }
+        self.counters.incr("deaths");
+        // The departing peer's connections drop; every ex-neighbor
+        // notices (open TCP connections fail fast) and repairs.
+        let ex_neighbors = std::mem::take(&mut self.nodes[slot].neighbors);
+        for &nb in &ex_neighbors {
+            self.nodes[nb].neighbors.retain(|&x| x != slot);
+        }
+        // Rebirth in place, as in the GUESS simulator: constant population.
+        self.nodes[slot].incarnation = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.nodes[slot].library = self.fresh_library();
+        self.top_up_connections(slot);
+        for nb in ex_neighbors {
+            self.counters.incr("repairs");
+            self.top_up_connections(nb);
+        }
+        let new_inc = self.nodes[slot].incarnation;
+        let life = self.lifetimes.sample_lifetime(&mut self.rng);
+        self.queue.schedule(now + life, Event::Death { slot, incarnation: new_inc });
+        let gap = self.workload.sample_burst_gap(&mut self.rng);
+        self.queue.schedule(now + gap, Event::Burst { slot, incarnation: new_inc });
+    }
+
+    fn on_burst(&mut self, slot: usize, incarnation: u64, now: SimTime) {
+        if self.nodes[slot].incarnation != incarnation {
+            return;
+        }
+        let burst = self.workload.sample_burst_size(&mut self.rng);
+        for _ in 0..burst {
+            self.flood_query(slot, now);
+        }
+        let gap = self.workload.sample_burst_gap(&mut self.rng);
+        self.queue.schedule(now + gap, Event::Burst { slot, incarnation });
+    }
+
+    /// Floods one query from `src` with the configured TTL, counting every
+    /// transmission (including duplicates that are then suppressed).
+    fn flood_query(&mut self, src: usize, now: SimTime) {
+        let target = self.qmodel.sample_target(&mut self.rng);
+        let mut visited: HashSet<usize> = HashSet::new();
+        visited.insert(src);
+        let mut frontier = vec![src];
+        let mut messages = 0u64;
+        let mut results = 0usize;
+        for _hop in 0..self.cfg.ttl {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                // Forward to all neighbors; each transmission is a message
+                // whether or not the receiver has seen the query.
+                let neighbors = self.nodes[u].neighbors.clone();
+                for v in neighbors {
+                    messages += 1;
+                    if visited.insert(v) {
+                        if self.qmodel.answers(&self.nodes[v].library, target) {
+                            results += 1;
+                        }
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        if now >= self.warmup_end {
+            self.queries += 1;
+            if results < self.cfg.desired_results {
+                self.unsatisfied += 1;
+            }
+            self.messages.record(messages as f64);
+            self.peers_reached.record(visited.len() as f64 - 1.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GnutellaConfig {
+        GnutellaConfig {
+            network_size: 150,
+            duration: SimDuration::from_secs(400.0),
+            warmup: SimDuration::from_secs(100.0),
+            catalog: CatalogParams { items: 4000, ..CatalogParams::default() },
+            ..GnutellaConfig::default()
+        }
+    }
+
+    #[test]
+    fn validates_config() {
+        let mut bad = small();
+        bad.target_degree = 0;
+        assert!(GnutellaSim::new(bad).is_err());
+        let mut bad = small();
+        bad.ttl = 0;
+        assert!(GnutellaSim::new(bad).is_err());
+        let mut bad = small();
+        bad.warmup = bad.duration;
+        assert!(GnutellaSim::new(bad).is_err());
+        assert!(GnutellaSim::new(small()).is_ok());
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let report = GnutellaSim::new(small()).unwrap().run();
+        assert!(report.queries > 0);
+        assert!(report.messages_per_query() > 0.0);
+        assert!(report.unsatisfaction() <= 1.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = GnutellaSim::new(small()).unwrap().run();
+        let b = GnutellaSim::new(small()).unwrap().run();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.messages_per_query(), b.messages_per_query());
+    }
+
+    #[test]
+    fn flooding_covers_most_of_a_connected_overlay() {
+        let mut cfg = small();
+        cfg.ttl = 8;
+        let report = GnutellaSim::new(cfg.clone()).unwrap().run();
+        assert!(
+            report.peers_reached.mean() > cfg.network_size as f64 * 0.7,
+            "ttl-8 floods should reach most peers, got {:.0}",
+            report.peers_reached.mean()
+        );
+    }
+
+    #[test]
+    fn messages_exceed_peers_reached() {
+        let report = GnutellaSim::new(small()).unwrap().run();
+        assert!(report.messages_per_query() >= report.peers_reached.mean());
+    }
+
+    #[test]
+    fn churn_triggers_repairs() {
+        let mut cfg = small();
+        cfg.lifespan_multiplier = 0.1;
+        let report = GnutellaSim::new(cfg).unwrap().run();
+        assert!(report.counters.get("deaths") > 10);
+        assert!(report.counters.get("repairs") > 0);
+        assert!(report.counters.get("connect_messages") > 0);
+    }
+
+    #[test]
+    fn short_ttl_floods_cheaper_but_worse() {
+        let mut short = small();
+        short.ttl = 2;
+        let mut long = small();
+        long.ttl = 7;
+        let s = GnutellaSim::new(short).unwrap().run();
+        let l = GnutellaSim::new(long).unwrap().run();
+        assert!(s.messages_per_query() < l.messages_per_query());
+        assert!(s.unsatisfaction() >= l.unsatisfaction());
+    }
+}

@@ -1,0 +1,167 @@
+//! A static peer population sharing the GUESS study's content models.
+//!
+//! The Figure 8 comparison holds the *content* fixed and varies only the
+//! search mechanism, so the forwarding baselines evaluate against the same
+//! catalog / library / query models the GUESS simulator uses.
+
+use simkit::rng::RngStream;
+use workload::content::{Catalog, CatalogParams, PeerLibrary};
+use workload::files::FileCountModel;
+use workload::query::{QueryModel, QueryTarget};
+
+/// A fixed set of peers with content libraries, plus the query model.
+///
+/// # Examples
+///
+/// ```
+/// use gnutella::population::Population;
+/// use workload::content::CatalogParams;
+///
+/// let pop = Population::generate(100, CatalogParams::default(), 42).unwrap();
+/// assert_eq!(pop.len(), 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Population {
+    libraries: Vec<PeerLibrary>,
+    model: QueryModel,
+}
+
+/// Error constructing a [`Population`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPopulationError {
+    /// No peers requested.
+    Empty,
+    /// Catalog parameters were invalid.
+    BadCatalog,
+}
+
+impl std::fmt::Display for BuildPopulationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildPopulationError::Empty => write!(f, "population must be non-empty"),
+            BuildPopulationError::BadCatalog => write!(f, "invalid catalog parameters"),
+        }
+    }
+}
+
+impl std::error::Error for BuildPopulationError {}
+
+impl Population {
+    /// Generates `n` peers with Gnutella-like file counts and libraries
+    /// drawn from a fresh catalog.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildPopulationError`] if `n == 0` or the catalog
+    /// parameters are rejected.
+    pub fn generate(
+        n: usize,
+        catalog: CatalogParams,
+        seed: u64,
+    ) -> Result<Self, BuildPopulationError> {
+        if n == 0 {
+            return Err(BuildPopulationError::Empty);
+        }
+        let catalog = Catalog::new(catalog).map_err(|_| BuildPopulationError::BadCatalog)?;
+        let files = FileCountModel::gnutella_like();
+        let mut rng = RngStream::from_seed(seed, "population");
+        let libraries = (0..n)
+            .map(|_| {
+                let count = files.sample_file_count(&mut rng);
+                catalog.build_library(count, &mut rng)
+            })
+            .collect();
+        Ok(Population { libraries, model: QueryModel::new(catalog) })
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.libraries.len()
+    }
+
+    /// Returns true if there are no peers (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.libraries.is_empty()
+    }
+
+    /// The query model shared with the GUESS simulator.
+    #[must_use]
+    pub fn query_model(&self) -> &QueryModel {
+        &self.model
+    }
+
+    /// Library of peer `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn library(&self, i: usize) -> &PeerLibrary {
+        &self.libraries[i]
+    }
+
+    /// Whether peer `i` answers `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn answers(&self, i: usize, target: QueryTarget) -> bool {
+        self.model.answers(&self.libraries[i], target)
+    }
+
+    /// Draws a query target from the query-popularity distribution.
+    #[must_use]
+    pub fn sample_target(&self, rng: &mut RngStream) -> QueryTarget {
+        self.model.sample_target(rng)
+    }
+
+    /// Number of peers that could answer `target` — the content's true
+    /// replication in this population.
+    #[must_use]
+    pub fn holders(&self, target: QueryTarget) -> usize {
+        (0..self.len()).filter(|&i| self.answers(i, target)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_population() {
+        assert_eq!(
+            Population::generate(0, CatalogParams::default(), 1).unwrap_err(),
+            BuildPopulationError::Empty
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Population::generate(50, CatalogParams::default(), 9).unwrap();
+        let b = Population::generate(50, CatalogParams::default(), 9).unwrap();
+        for i in 0..50 {
+            assert_eq!(a.library(i), b.library(i));
+        }
+    }
+
+    #[test]
+    fn some_peers_share_nothing() {
+        let pop = Population::generate(400, CatalogParams::default(), 2).unwrap();
+        let free = (0..400).filter(|&i| pop.library(i).is_empty()).count();
+        assert!(free > 40, "expect ~25% free riders, got {free}/400");
+        assert!(free < 200);
+    }
+
+    #[test]
+    fn popular_targets_have_more_holders() {
+        let pop = Population::generate(500, CatalogParams::default(), 3).unwrap();
+        use workload::content::ItemId;
+        use workload::query::QueryTarget;
+        let head = pop.holders(QueryTarget { item: ItemId(0) });
+        let tail = pop.holders(QueryTarget { item: ItemId(30_000) });
+        assert!(head > tail, "head item holders {head} vs tail {tail}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the forwarding baselines.
+
+use proptest::prelude::*;
+
+use gnutella::fixed::FixedExtentCurve;
+use gnutella::flood::flood;
+use gnutella::iterative::{iterative_deepening, DeepeningPolicy};
+use gnutella::population::Population;
+use gnutella::topology::Topology;
+use simkit::rng::RngStream;
+use workload::content::CatalogParams;
+
+fn small_catalog() -> CatalogParams {
+    CatalogParams { items: 1500, ..CatalogParams::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated topologies have no self loops and symmetric adjacency.
+    #[test]
+    fn topologies_are_simple_and_symmetric(seed in any::<u64>(), n in 10usize..150, k in 1usize..6) {
+        prop_assume!(k < n);
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let t = Topology::random_regular(n, k, &mut rng);
+        for u in 0..n {
+            for &v in t.neighbors(u) {
+                prop_assert_ne!(v as usize, u, "self loop");
+                prop_assert!(t.neighbors(v as usize).contains(&(u as u32)), "asymmetric edge");
+            }
+        }
+    }
+
+    /// BFS reach grows monotonically with TTL and never exceeds n.
+    #[test]
+    fn bfs_reach_monotone(seed in any::<u64>(), n in 10usize..200, src in 0usize..200) {
+        prop_assume!(src < n);
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let t = Topology::random_regular(n, 3, &mut rng);
+        let mut last = 0;
+        for ttl in 0..10 {
+            let reach = t.bfs_within(src, ttl).len();
+            prop_assert!(reach >= last);
+            prop_assert!(reach <= n);
+            last = reach;
+        }
+    }
+
+    /// Flood results are bounded by the target's replication, and message
+    /// count is at least the delivery count.
+    #[test]
+    fn flood_invariants(seed in any::<u64>(), n in 20usize..150, ttl in 0usize..8) {
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let topo = Topology::random_regular(n, 3, &mut rng);
+        let pop = Population::generate(n, small_catalog(), seed).unwrap();
+        let target = pop.sample_target(&mut rng);
+        let out = flood(&topo, &pop, 0, ttl, target);
+        prop_assert!(out.peers_reached < n);
+        prop_assert!(out.results <= pop.holders(target));
+        prop_assert!(out.messages >= out.peers_reached);
+    }
+
+    /// The fixed-extent unsatisfaction curve is non-increasing and ends at
+    /// the unsatisfiable floor.
+    #[test]
+    fn fixed_extent_curve_monotone(seed in any::<u64>(), n in 20usize..150) {
+        let pop = Population::generate(n, small_catalog(), seed).unwrap();
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let curve = FixedExtentCurve::evaluate(&pop, 150, &mut rng);
+        let mut last = 1.0f64;
+        for e in 0..=n {
+            let u = curve.unsatisfaction_at(e);
+            prop_assert!(u <= last + 1e-12);
+            last = u;
+        }
+        prop_assert!((curve.unsatisfaction_at(n) - curve.unsatisfiable_fraction()).abs() < 1e-12);
+    }
+
+    /// Iterative deepening never reports success without enough results,
+    /// and its cost is the sum of ring sizes up to the stopping iteration.
+    #[test]
+    fn deepening_accounting(seed in any::<u64>(), n in 20usize..120) {
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let topo = Topology::random_regular(n, 3, &mut rng);
+        let pop = Population::generate(n, small_catalog(), seed).unwrap();
+        let policy = DeepeningPolicy::new(vec![1, 2, 4]).unwrap();
+        let target = pop.sample_target(&mut rng);
+        let out = iterative_deepening(&topo, &pop, &policy, 0, target, 1);
+        prop_assert_eq!(out.satisfied, out.results >= 1);
+        let mut expected_cost = 0;
+        for (i, &ttl) in policy.ttls().iter().enumerate() {
+            if i >= out.iterations { break; }
+            expected_cost += topo.bfs_within(0, ttl).len() - 1;
+        }
+        prop_assert_eq!(out.probe_cost, expected_cost);
+    }
+}

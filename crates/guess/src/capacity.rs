@@ -1,0 +1,143 @@
+//! Per-peer probe-rate limiting (`MaxProbesPerSecond`).
+//!
+//! A peer is *overloaded* when more probes arrive within a one-second
+//! window than its configured limit; excess probes are **refused** (§6.3).
+//! The meter counts probes per integer-second bucket of simulation time,
+//! which matches the paper's "probes it must process per second" phrasing
+//! and is O(1) per probe.
+
+use simkit::time::SimTime;
+
+/// Outcome of offering a probe to a capacity meter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// The probe is within capacity and will be processed.
+    Accepted,
+    /// The peer is overloaded this second; the probe is refused.
+    Refused,
+}
+
+/// A per-second probe counter with a fixed admission limit.
+///
+/// # Examples
+///
+/// ```
+/// use guess::capacity::{Admission, CapacityMeter};
+/// use simkit::time::SimTime;
+///
+/// let mut m = CapacityMeter::with_limit(Some(2));
+/// let t = SimTime::from_secs(10.2);
+/// assert_eq!(m.admit(t), Admission::Accepted);
+/// assert_eq!(m.admit(t), Admission::Accepted);
+/// assert_eq!(m.admit(t), Admission::Refused);
+/// // The next second opens a fresh window.
+/// assert_eq!(m.admit(SimTime::from_secs(11.0)), Admission::Accepted);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityMeter {
+    limit: Option<u32>,
+    bucket: u64,
+    count: u32,
+}
+
+impl CapacityMeter {
+    /// Creates a meter admitting at most `limit` probes per second;
+    /// `None` means unlimited.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is `Some(0)` — a peer that can process nothing is
+    /// indistinguishable from a dead peer and should be modeled as one.
+    #[must_use]
+    pub fn with_limit(limit: Option<u32>) -> Self {
+        if let Some(l) = limit {
+            assert!(l > 0, "MaxProbesPerSecond must be positive; use a dead peer for zero");
+        }
+        CapacityMeter { limit, bucket: 0, count: 0 }
+    }
+
+    /// The configured per-second limit.
+    #[must_use]
+    pub fn limit(&self) -> Option<u32> {
+        self.limit
+    }
+
+    /// Offers a probe arriving at `now`; counts it and reports admission.
+    pub fn admit(&mut self, now: SimTime) -> Admission {
+        let Some(limit) = self.limit else {
+            return Admission::Accepted;
+        };
+        let bucket = now.second_bucket();
+        if bucket != self.bucket {
+            self.bucket = bucket;
+            self.count = 0;
+        }
+        if self.count >= limit {
+            Admission::Refused
+        } else {
+            self.count += 1;
+            Admission::Accepted
+        }
+    }
+
+    /// Probes admitted in the current one-second window.
+    #[must_use]
+    pub fn current_window_count(&self) -> u32 {
+        self.count
+    }
+}
+
+impl Default for CapacityMeter {
+    /// An unlimited meter.
+    fn default() -> Self {
+        CapacityMeter::with_limit(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn unlimited_never_refuses() {
+        let mut m = CapacityMeter::with_limit(None);
+        for i in 0..10_000 {
+            assert_eq!(m.admit(t(f64::from(i) * 1e-4)), Admission::Accepted);
+        }
+    }
+
+    #[test]
+    fn refuses_beyond_limit_within_second() {
+        let mut m = CapacityMeter::with_limit(Some(3));
+        assert_eq!(m.admit(t(5.1)), Admission::Accepted);
+        assert_eq!(m.admit(t(5.5)), Admission::Accepted);
+        assert_eq!(m.admit(t(5.9)), Admission::Accepted);
+        assert_eq!(m.admit(t(5.95)), Admission::Refused);
+        assert_eq!(m.current_window_count(), 3);
+    }
+
+    #[test]
+    fn window_resets_each_second() {
+        let mut m = CapacityMeter::with_limit(Some(1));
+        assert_eq!(m.admit(t(1.0)), Admission::Accepted);
+        assert_eq!(m.admit(t(1.5)), Admission::Refused);
+        assert_eq!(m.admit(t(2.0)), Admission::Accepted);
+        assert_eq!(m.admit(t(7.0)), Admission::Accepted, "skipping seconds still resets");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_limit_rejected() {
+        let _ = CapacityMeter::with_limit(Some(0));
+    }
+
+    #[test]
+    fn limit_accessor() {
+        assert_eq!(CapacityMeter::with_limit(Some(5)).limit(), Some(5));
+        assert_eq!(CapacityMeter::default().limit(), None);
+    }
+}

@@ -1,0 +1,535 @@
+//! Simulation configuration: the paper's system parameters (Table 1),
+//! protocol parameters (Table 2), and run controls.
+
+use simkit::time::SimDuration;
+use workload::content::CatalogParams;
+
+use crate::policy::{ReplacementPolicy, SelectionPolicy};
+
+/// What a malicious peer puts in its pongs (§6.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BadPongBehavior {
+    /// Fabricated dead IP addresses (non-colluding attackers).
+    #[default]
+    Dead,
+    /// Addresses of other live malicious peers (colluding attackers).
+    Bad,
+    /// Addresses of ordinary good peers (a "benign" control).
+    Good,
+}
+
+impl std::fmt::Display for BadPongBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BadPongBehavior::Dead => "Dead",
+            BadPongBehavior::Bad => "Bad",
+            BadPongBehavior::Good => "Good",
+        };
+        f.write_str(s)
+    }
+}
+
+/// System parameters — the environment GUESS runs in (paper Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemParams {
+    /// Number of live peers at all times (`NetworkSize`).
+    pub network_size: usize,
+    /// Results required to satisfy a query (`NumDesiredResults`).
+    pub num_desired_results: u32,
+    /// Scales every drawn peer lifetime (`LifespanMultiplier`).
+    pub lifespan_multiplier: f64,
+    /// Expected queries per user per second (`QueryRate`).
+    pub query_rate: f64,
+    /// Per-peer probe admission limit (`MaxProbesPerSecond`); `None`
+    /// disables capacity limits entirely.
+    pub max_probes_per_second: Option<u32>,
+    /// Fraction of the population that is malicious (`PercentBadPeers`,
+    /// as a fraction in `[0,1]`, not a percentage).
+    pub bad_peer_fraction: f64,
+    /// What malicious peers return in pongs (`BadPongBehavior`).
+    pub bad_pong_behavior: BadPongBehavior,
+    /// Fraction of honest peers that are *selfish* (§3.3): they ignore
+    /// the serial-probe rule and fire large probe volleys to minimize
+    /// their own response time, whatever the cost to others.
+    pub selfish_fraction: f64,
+    /// Probes a selfish peer sends per round instead of obeying the
+    /// configured `parallel_probes`.
+    pub selfish_parallelism: usize,
+}
+
+impl Default for SystemParams {
+    /// The defaults of Table 1.
+    fn default() -> Self {
+        SystemParams {
+            network_size: 1000,
+            num_desired_results: 1,
+            lifespan_multiplier: 1.0,
+            query_rate: 9.26e-3,
+            max_probes_per_second: Some(100),
+            bad_peer_fraction: 0.0,
+            bad_pong_behavior: BadPongBehavior::Dead,
+            selfish_fraction: 0.0,
+            selfish_parallelism: 50,
+        }
+    }
+}
+
+/// Parameters of the adaptive ping-interval controller (an extension the
+/// paper's §6.1 sketches: "a peer should adjust its PingInterval to
+/// maintain a certain threshold of live entries in its cache").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptivePing {
+    /// Fastest allowed pinging.
+    pub min_interval: SimDuration,
+    /// Slowest allowed pinging.
+    pub max_interval: SimDuration,
+    /// Multiplier applied when a ping finds a dead neighbor (< 1).
+    pub on_dead: f64,
+    /// Multiplier applied when a ping finds a live neighbor (> 1).
+    pub on_alive: f64,
+}
+
+impl Default for AdaptivePing {
+    fn default() -> Self {
+        AdaptivePing {
+            min_interval: SimDuration::from_secs(5.0),
+            max_interval: SimDuration::from_secs(300.0),
+            on_dead: 0.5,
+            on_alive: 1.15,
+        }
+    }
+}
+
+/// Parameters of adaptive query parallelism (the paper's §6.2 future
+/// work: "adaptively increase k if successive sets of parallel probes
+/// are unsuccessful").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveParallelism {
+    /// Consecutive resultless probes before the walk width doubles.
+    pub escalate_after: u32,
+    /// Upper bound on the walk width.
+    pub max_k: usize,
+}
+
+impl Default for AdaptiveParallelism {
+    fn default() -> Self {
+        AdaptiveParallelism { escalate_after: 10, max_k: 32 }
+    }
+}
+
+/// Protocol parameters — how GUESS itself is configured (paper Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolParams {
+    /// Order in which peers are probed for a query (`QueryProbe`).
+    pub query_probe: SelectionPolicy,
+    /// Entries preferred when answering a query's pong (`QueryPong`).
+    pub query_pong: SelectionPolicy,
+    /// Order in which neighbors are pinged (`PingProbe`).
+    pub ping_probe: SelectionPolicy,
+    /// Entries preferred when answering a ping's pong (`PingPong`).
+    pub ping_pong: SelectionPolicy,
+    /// Eviction policy for the link cache (`CacheReplacement`).
+    pub cache_replacement: ReplacementPolicy,
+    /// Elapsed time between a peer's maintenance pings (`PingInterval`).
+    pub ping_interval: SimDuration,
+    /// Link-cache capacity (`CacheSize`).
+    pub cache_size: usize,
+    /// MR\*: reset the `NumRes` field of entries learned from third
+    /// parties (`ResetNumResults`).
+    pub reset_num_results: bool,
+    /// Back off from refusing peers instead of evicting them (`DoBackoff`).
+    pub do_backoff: bool,
+    /// IP addresses per pong (`PongSize`).
+    pub pong_size: usize,
+    /// Probability a probed peer adds the prober to its own cache
+    /// (`IntroProb`).
+    pub intro_prob: f64,
+    /// Probes sent concurrently per query — `1` is the spec's strictly
+    /// serial mode; `k > 1` models the parallel walks of §6.2.
+    pub parallel_probes: usize,
+    /// Gap between successive probe (rounds) of one query; the GUESS
+    /// specification uses 0.2 s.
+    pub probe_interval: SimDuration,
+    /// Per-peer adaptive ping-interval controller; `None` pings at the
+    /// fixed `ping_interval` (the paper's protocol).
+    pub adaptive_ping: Option<AdaptivePing>,
+    /// Adaptive walk widening during a query; `None` keeps the fixed
+    /// `parallel_probes` (the paper's protocol).
+    pub adaptive_parallelism: Option<AdaptiveParallelism>,
+    /// Pong-source reputation filter: distrust (and eventually blacklist)
+    /// peers whose shared cache entries keep turning out dead — the
+    /// poisoning defense direction of Daswani & Garcia-Molina \[9\].
+    pub distrust_pongs: bool,
+    /// Probe payments (§3.3's incentive against selfish volleys, modeled
+    /// after PPay \[23\]); `None` disables the economy.
+    pub probe_payments: Option<crate::payments::PaymentParams>,
+}
+
+impl Default for ProtocolParams {
+    /// The defaults of Table 2 (all policies Random).
+    fn default() -> Self {
+        ProtocolParams {
+            query_probe: SelectionPolicy::Random,
+            query_pong: SelectionPolicy::Random,
+            ping_probe: SelectionPolicy::Random,
+            ping_pong: SelectionPolicy::Random,
+            cache_replacement: ReplacementPolicy::Random,
+            ping_interval: SimDuration::from_secs(30.0),
+            cache_size: 100,
+            reset_num_results: false,
+            do_backoff: false,
+            pong_size: 5,
+            intro_prob: 0.1,
+            parallel_probes: 1,
+            probe_interval: SimDuration::from_secs(0.2),
+            adaptive_ping: None,
+            adaptive_parallelism: None,
+            distrust_pongs: false,
+            probe_payments: None,
+        }
+    }
+}
+
+impl ProtocolParams {
+    /// Applies `policy` to QueryProbe, QueryPong and CacheReplacement at
+    /// once (the combination the robustness experiments sweep, §6.4: e.g.
+    /// "MR/MR/LR"); PingProbe/PingPong stay Random.
+    #[must_use]
+    pub fn with_uniform_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.query_probe = policy;
+        self.query_pong = policy;
+        self.cache_replacement = policy.mirror_replacement();
+        self
+    }
+}
+
+/// Run controls: duration, warm-up, sampling cadence, seeding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunParams {
+    /// Total simulated time.
+    pub duration: SimDuration,
+    /// Initial span excluded from query metrics (cache warm-up).
+    pub warmup: SimDuration,
+    /// Cadence of cache-health / connectivity snapshots.
+    pub sample_interval: SimDuration,
+    /// Entries pre-seeded into each initial peer's cache
+    /// (`CacheSeedSize`, ≈ NetworkSize/100 in the paper).
+    pub cache_seed_size: usize,
+    /// Master seed; everything stochastic derives from it.
+    pub seed: u64,
+    /// Generate and execute queries. The connectivity experiments (§6.1,
+    /// Figs 6–7) turn queries off to isolate ping-driven maintenance.
+    pub simulate_queries: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            duration: SimDuration::from_secs(2400.0),
+            warmup: SimDuration::from_secs(600.0),
+            sample_interval: SimDuration::from_secs(60.0),
+            cache_seed_size: 10,
+            seed: 0x6a55,
+            simulate_queries: true,
+        }
+    }
+}
+
+/// The full configuration of one simulation run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Config {
+    /// Environment parameters (Table 1).
+    pub system: SystemParams,
+    /// Protocol parameters (Table 2).
+    pub protocol: ProtocolParams,
+    /// Run controls.
+    pub run: RunParams,
+    /// Content universe parameters.
+    pub catalog: CatalogParams,
+}
+
+/// Error validating a [`Config`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `network_size` was zero.
+    EmptyNetwork,
+    /// `cache_size` was zero.
+    ZeroCacheSize,
+    /// `pong_size` was zero (pongs are the only gossip channel).
+    ZeroPongSize,
+    /// `intro_prob` outside `[0,1]`.
+    BadIntroProb,
+    /// `bad_peer_fraction` outside `[0,1)`.
+    BadBadPeerFraction,
+    /// `num_desired_results` was zero.
+    ZeroDesiredResults,
+    /// `lifespan_multiplier` not finite/positive.
+    BadLifespanMultiplier,
+    /// `query_rate` not finite/positive.
+    BadQueryRate,
+    /// `parallel_probes` was zero.
+    ZeroParallelProbes,
+    /// Warm-up not shorter than duration.
+    WarmupTooLong,
+    /// `cache_seed_size` exceeded `network_size - 1`.
+    SeedTooLarge,
+    /// `selfish_fraction` outside `[0,1)` or zero `selfish_parallelism`.
+    BadSelfishParams,
+    /// Adaptive ping bounds inverted or factors on the wrong side of 1.
+    BadAdaptivePing,
+    /// Adaptive parallelism with a zero window or `max_k` of zero.
+    BadAdaptiveParallelism,
+    /// Payment parameters non-finite, negative, or initial > max.
+    BadPaymentParams,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ConfigError::EmptyNetwork => "network size must be positive",
+            ConfigError::ZeroCacheSize => "cache size must be positive",
+            ConfigError::ZeroPongSize => "pong size must be positive",
+            ConfigError::BadIntroProb => "introduction probability must be within [0, 1]",
+            ConfigError::BadBadPeerFraction => "bad-peer fraction must be within [0, 1)",
+            ConfigError::ZeroDesiredResults => "desired results must be positive",
+            ConfigError::BadLifespanMultiplier => "lifespan multiplier must be finite and positive",
+            ConfigError::BadQueryRate => "query rate must be finite and positive",
+            ConfigError::ZeroParallelProbes => "parallel probe count must be positive",
+            ConfigError::WarmupTooLong => "warm-up must be shorter than the run duration",
+            ConfigError::SeedTooLarge => "cache seed size must be below the network size",
+            ConfigError::BadSelfishParams => {
+                "selfish fraction must be within [0, 1) with positive parallelism"
+            }
+            ConfigError::BadAdaptivePing => {
+                "adaptive ping needs min <= max, on_dead in (0,1], on_alive >= 1"
+            }
+            ConfigError::BadAdaptiveParallelism => {
+                "adaptive parallelism needs a positive window and max_k"
+            }
+            ConfigError::BadPaymentParams => {
+                "payment parameters must be finite, non-negative, with initial <= max"
+            }
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Validates every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.system.network_size == 0 {
+            return Err(ConfigError::EmptyNetwork);
+        }
+        if self.protocol.cache_size == 0 {
+            return Err(ConfigError::ZeroCacheSize);
+        }
+        if self.protocol.pong_size == 0 {
+            return Err(ConfigError::ZeroPongSize);
+        }
+        if !(0.0..=1.0).contains(&self.protocol.intro_prob) {
+            return Err(ConfigError::BadIntroProb);
+        }
+        if !(0.0..1.0).contains(&self.system.bad_peer_fraction) {
+            return Err(ConfigError::BadBadPeerFraction);
+        }
+        if self.system.num_desired_results == 0 {
+            return Err(ConfigError::ZeroDesiredResults);
+        }
+        if !self.system.lifespan_multiplier.is_finite() || self.system.lifespan_multiplier <= 0.0 {
+            return Err(ConfigError::BadLifespanMultiplier);
+        }
+        if !self.system.query_rate.is_finite() || self.system.query_rate <= 0.0 {
+            return Err(ConfigError::BadQueryRate);
+        }
+        if self.protocol.parallel_probes == 0 {
+            return Err(ConfigError::ZeroParallelProbes);
+        }
+        if self.run.warmup >= self.run.duration {
+            return Err(ConfigError::WarmupTooLong);
+        }
+        if self.run.cache_seed_size >= self.system.network_size {
+            return Err(ConfigError::SeedTooLarge);
+        }
+        if !(0.0..1.0).contains(&self.system.selfish_fraction)
+            || self.system.selfish_parallelism == 0
+        {
+            return Err(ConfigError::BadSelfishParams);
+        }
+        if let Some(ap) = self.protocol.adaptive_ping {
+            let factors_ok = ap.on_dead > 0.0 && ap.on_dead <= 1.0 && ap.on_alive >= 1.0;
+            if ap.min_interval > ap.max_interval || !factors_ok {
+                return Err(ConfigError::BadAdaptivePing);
+            }
+        }
+        if let Some(ak) = self.protocol.adaptive_parallelism {
+            if ak.escalate_after == 0 || ak.max_k == 0 {
+                return Err(ConfigError::BadAdaptiveParallelism);
+            }
+        }
+        if let Some(pp) = self.protocol.probe_payments {
+            let vals = [pp.initial_balance, pp.allowance_per_sec, pp.max_balance, pp.earn_per_answer];
+            if vals.iter().any(|v| !v.is_finite() || *v < 0.0) || pp.initial_balance > pp.max_balance {
+                return Err(ConfigError::BadPaymentParams);
+            }
+        }
+        Ok(())
+    }
+
+    /// A config scaled down for fast tests: a small network, short run,
+    /// and a proportionally smaller catalog.
+    #[must_use]
+    pub fn small_test(seed: u64) -> Config {
+        Config {
+            system: SystemParams { network_size: 120, ..SystemParams::default() },
+            protocol: ProtocolParams { cache_size: 30, ..ProtocolParams::default() },
+            run: RunParams {
+                duration: SimDuration::from_secs(400.0),
+                warmup: SimDuration::from_secs(100.0),
+                sample_interval: SimDuration::from_secs(40.0),
+                cache_seed_size: 3,
+                seed,
+                simulate_queries: true,
+            },
+            catalog: CatalogParams { items: 4000, ..CatalogParams::default() },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper_tables() {
+        let c = Config::default();
+        assert_eq!(c.system.network_size, 1000);
+        assert_eq!(c.system.num_desired_results, 1);
+        assert_eq!(c.system.lifespan_multiplier, 1.0);
+        assert!((c.system.query_rate - 9.26e-3).abs() < 1e-12);
+        assert_eq!(c.system.max_probes_per_second, Some(100));
+        assert_eq!(c.system.bad_peer_fraction, 0.0);
+        assert_eq!(c.system.bad_pong_behavior, BadPongBehavior::Dead);
+        assert_eq!(c.protocol.query_probe, SelectionPolicy::Random);
+        assert_eq!(c.protocol.cache_replacement, ReplacementPolicy::Random);
+        assert_eq!(c.protocol.ping_interval, SimDuration::from_secs(30.0));
+        assert_eq!(c.protocol.cache_size, 100);
+        assert!(!c.protocol.reset_num_results);
+        assert!(!c.protocol.do_backoff);
+        assert_eq!(c.protocol.pong_size, 5);
+        assert!((c.protocol.intro_prob - 0.1).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_policy_sets_the_trio() {
+        let p = ProtocolParams::default().with_uniform_policy(SelectionPolicy::Mfs);
+        assert_eq!(p.query_probe, SelectionPolicy::Mfs);
+        assert_eq!(p.query_pong, SelectionPolicy::Mfs);
+        assert_eq!(p.cache_replacement, ReplacementPolicy::Lfs);
+        assert_eq!(p.ping_probe, SelectionPolicy::Random, "ping policies untouched");
+    }
+
+    #[test]
+    fn validation_catches_each_field() {
+        let mut c = Config::default();
+        c.system.network_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::EmptyNetwork));
+
+        let mut c = Config::default();
+        c.protocol.cache_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroCacheSize));
+
+        let mut c = Config::default();
+        c.protocol.pong_size = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroPongSize));
+
+        let mut c = Config::default();
+        c.protocol.intro_prob = 1.5;
+        assert_eq!(c.validate(), Err(ConfigError::BadIntroProb));
+
+        let mut c = Config::default();
+        c.system.bad_peer_fraction = 1.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadBadPeerFraction));
+
+        let mut c = Config::default();
+        c.system.num_desired_results = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroDesiredResults));
+
+        let mut c = Config::default();
+        c.system.lifespan_multiplier = 0.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadLifespanMultiplier));
+
+        let mut c = Config::default();
+        c.system.query_rate = -1.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadQueryRate));
+
+        let mut c = Config::default();
+        c.protocol.parallel_probes = 0;
+        assert_eq!(c.validate(), Err(ConfigError::ZeroParallelProbes));
+
+        let mut c = Config::default();
+        c.run.warmup = c.run.duration;
+        assert_eq!(c.validate(), Err(ConfigError::WarmupTooLong));
+
+        let mut c = Config::default();
+        c.run.cache_seed_size = c.system.network_size;
+        assert_eq!(c.validate(), Err(ConfigError::SeedTooLarge));
+
+        let mut c = Config::default();
+        c.system.selfish_fraction = 1.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadSelfishParams));
+
+        let mut c = Config::default();
+        c.system.selfish_parallelism = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadSelfishParams));
+
+        let mut c = Config::default();
+        c.protocol.adaptive_ping = Some(AdaptivePing {
+            min_interval: SimDuration::from_secs(100.0),
+            max_interval: SimDuration::from_secs(10.0),
+            ..AdaptivePing::default()
+        });
+        assert_eq!(c.validate(), Err(ConfigError::BadAdaptivePing));
+
+        let mut c = Config::default();
+        c.protocol.adaptive_ping = Some(AdaptivePing { on_alive: 0.5, ..AdaptivePing::default() });
+        assert_eq!(c.validate(), Err(ConfigError::BadAdaptivePing));
+
+        let mut c = Config::default();
+        c.protocol.adaptive_parallelism =
+            Some(AdaptiveParallelism { escalate_after: 0, ..AdaptiveParallelism::default() });
+        assert_eq!(c.validate(), Err(ConfigError::BadAdaptiveParallelism));
+    }
+
+    #[test]
+    fn extension_defaults_are_off() {
+        let c = Config::default();
+        assert_eq!(c.system.selfish_fraction, 0.0);
+        assert!(c.protocol.adaptive_ping.is_none());
+        assert!(c.protocol.adaptive_parallelism.is_none());
+        assert!(!c.protocol.distrust_pongs);
+        let mut with_ext = c;
+        with_ext.protocol.adaptive_ping = Some(AdaptivePing::default());
+        with_ext.protocol.adaptive_parallelism = Some(AdaptiveParallelism::default());
+        with_ext.system.selfish_fraction = 0.1;
+        assert!(with_ext.validate().is_ok());
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        assert!(Config::small_test(1).validate().is_ok());
+    }
+
+    #[test]
+    fn bad_pong_behavior_displays() {
+        assert_eq!(BadPongBehavior::Dead.to_string(), "Dead");
+        assert_eq!(BadPongBehavior::Bad.to_string(), "Bad");
+        assert_eq!(BadPongBehavior::Good.to_string(), "Good");
+    }
+}

@@ -1,0 +1,1101 @@
+//! The GUESS network simulator: churn, maintenance, query execution.
+//!
+//! One [`GuessSim`] owns the whole simulated network and drives it with a
+//! discrete-event loop. Three event families exist per peer — query bursts,
+//! maintenance pings, and death — plus a periodic metrics snapshot.
+//!
+//! ## Fidelity notes (see DESIGN.md §5)
+//!
+//! * A query executes *atomically* at its start time, but its probes carry
+//!   timestamps spaced `probe_interval / parallel_probes` apart, so
+//!   per-second capacity meters observe the true arrival rate.
+//! * Maintenance pings bypass the capacity meter: the paper's
+//!   `MaxProbesPerSecond` governs query probes.
+//! * A refused probe looks like a timeout to the prober: the entry is
+//!   evicted ("believing it is dead", §6.3) unless `DoBackoff` is set, in
+//!   which case the entry is retained but skipped for the rest of the
+//!   query.
+
+use std::collections::{HashMap, HashSet};
+
+use simkit::event::EventQueue;
+use simkit::rng::RngStream;
+use simkit::time::SimTime;
+use workload::content::Catalog;
+use workload::files::FileCountModel;
+use workload::lifetime::LifetimeModel;
+use workload::query::{QueryModel, QueryWorkload};
+
+use crate::addr::{AddrAllocator, PeerAddr, SlotId};
+use crate::capacity::Admission;
+use crate::config::{BadPongBehavior, Config, ConfigError};
+use crate::entry::CacheEntry;
+use crate::graph::UnionFind;
+use crate::message::Pong;
+use crate::metrics::{MetricsCollector, QueryOutcome, RunReport};
+use crate::peer::{Behavior, PeerState};
+use crate::policy::{select_top_k, ProbeQueue};
+
+/// Number of distinct fabricated dead addresses each malicious peer cycles
+/// through in its poisoned pongs.
+const FABRICATED_POOL_SIZE: usize = 40;
+
+/// Inflated `NumRes` claim carried by poisoned pong entries, so that
+/// results-trusting policies rank them first.
+const POISON_NUM_RES: u32 = 50;
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Burst { slot: SlotId, addr: PeerAddr },
+    Ping { slot: SlotId, addr: PeerAddr },
+    Death { slot: SlotId, addr: PeerAddr },
+    Sample,
+}
+
+/// A complete GUESS network simulation.
+///
+/// # Examples
+///
+/// ```no_run
+/// use guess::config::Config;
+/// use guess::engine::GuessSim;
+///
+/// let report = GuessSim::new(Config::default())?.run();
+/// println!("probes/query = {:.1}", report.probes_per_query());
+/// println!("unsatisfied  = {:.1}%", report.unsatisfaction() * 100.0);
+/// # Ok::<(), guess::config::ConfigError>(())
+/// ```
+#[derive(Debug)]
+pub struct GuessSim {
+    cfg: Config,
+    queue: EventQueue<Event>,
+    peers: Vec<PeerState>,
+    slots: Vec<PeerAddr>,
+    alloc: AddrAllocator,
+    live_bad: Vec<PeerAddr>,
+    live_bad_pos: HashMap<PeerAddr, usize>,
+    fabricated: HashMap<PeerAddr, Vec<PeerAddr>>,
+    lifetimes: LifetimeModel,
+    files: FileCountModel,
+    qmodel: QueryModel,
+    workload: QueryWorkload,
+    rng_churn: RngStream,
+    rng_query: RngStream,
+    rng_policy: RngStream,
+    rng_intro: RngStream,
+    metrics: MetricsCollector,
+    end: SimTime,
+    warmup_end: SimTime,
+}
+
+impl GuessSim {
+    /// Builds a simulator for `cfg` and seeds the initial population.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if `cfg` is inconsistent.
+    pub fn new(cfg: Config) -> Result<Self, ConfigError> {
+        cfg.validate()?;
+        let seed = cfg.run.seed;
+        let lifetimes = LifetimeModel::saroiu_like(cfg.system.lifespan_multiplier);
+        let files = FileCountModel::gnutella_like();
+        let catalog = Catalog::new(cfg.catalog).map_err(|_| ConfigError::EmptyNetwork)?;
+        let qmodel = QueryModel::new(catalog);
+        let workload =
+            QueryWorkload::with_rate(cfg.system.query_rate).map_err(|_| ConfigError::BadQueryRate)?;
+        let end = SimTime::ZERO + cfg.run.duration;
+        let warmup_end = SimTime::ZERO + cfg.run.warmup;
+
+        let mut sim = GuessSim {
+            cfg,
+            queue: EventQueue::new(),
+            peers: Vec::new(),
+            slots: Vec::new(),
+            alloc: AddrAllocator::new(),
+            live_bad: Vec::new(),
+            live_bad_pos: HashMap::new(),
+            fabricated: HashMap::new(),
+            lifetimes,
+            files,
+            qmodel,
+            workload,
+            rng_churn: RngStream::from_seed(seed, "churn"),
+            rng_query: RngStream::from_seed(seed, "query"),
+            rng_policy: RngStream::from_seed(seed, "policy"),
+            rng_intro: RngStream::from_seed(seed, "intro"),
+            metrics: MetricsCollector::new(),
+            end,
+            warmup_end,
+        };
+        sim.populate();
+        Ok(sim)
+    }
+
+    /// The configuration this simulator runs.
+    #[must_use]
+    pub fn config(&self) -> &Config {
+        &self.cfg
+    }
+
+    /// The peer table (all instances ever born, plus fabricated stubs).
+    #[must_use]
+    pub fn peers(&self) -> &[PeerState] {
+        &self.peers
+    }
+
+    /// Addresses of the currently live peers, one per slot.
+    #[must_use]
+    pub fn live_addrs(&self) -> &[PeerAddr] {
+        &self.slots
+    }
+
+    /// Creates the initial population and schedules its events.
+    fn populate(&mut self) {
+        let n = self.cfg.system.network_size;
+        for s in 0..n {
+            let slot = SlotId(s as u32);
+            let addr = self.birth_peer(slot, SimTime::ZERO);
+            self.slots.push(addr);
+        }
+        // Seed link caches with pointers to random other initial peers.
+        let seed_size = self.cfg.run.cache_seed_size.min(n - 1);
+        for s in 0..n {
+            let me = self.slots[s];
+            let mut picks = Vec::with_capacity(seed_size);
+            let raw = self.rng_churn.sample_indices(n - 1, seed_size);
+            for r in raw {
+                let other = if r >= s { r + 1 } else { r };
+                picks.push(self.slots[other]);
+            }
+            for other in picks {
+                let advertised = self.peers[other.index()].advertised_files();
+                let entry = CacheEntry::new(other, SimTime::ZERO, advertised);
+                let policy = self.cfg.protocol.cache_replacement;
+                let _ = self.peers[me.index()].link_cache_mut().offer(
+                    entry,
+                    policy,
+                    &mut self.rng_policy,
+                );
+            }
+        }
+        // Per-peer event schedules.
+        for s in 0..n {
+            let slot = SlotId(s as u32);
+            let addr = self.slots[s];
+            self.schedule_peer_events(slot, addr, SimTime::ZERO, true);
+        }
+        self.queue.schedule(SimTime::ZERO + self.cfg.run.sample_interval, Event::Sample);
+    }
+
+    /// Creates one peer instance (without installing it in a slot).
+    fn birth_peer(&mut self, slot: SlotId, now: SimTime) -> PeerAddr {
+        let addr = self.alloc.allocate();
+        debug_assert_eq!(addr.index(), self.peers.len());
+        let bad = self.rng_churn.chance(self.cfg.system.bad_peer_fraction);
+        let (behavior, advertised, library) = if bad {
+            // Malicious peers advertise the largest plausible library to
+            // game metadata-trusting policies, but hold nothing.
+            (Behavior::Malicious, self.files.max_files(), workload::content::PeerLibrary::empty())
+        } else {
+            let count = self.files.sample_file_count(&mut self.rng_churn);
+            let library = self.qmodel.catalog().build_library(count, &mut self.rng_churn);
+            (Behavior::Good, count, library)
+        };
+        let mut peer = PeerState::new(
+            addr,
+            slot,
+            behavior,
+            now,
+            advertised,
+            library,
+            self.cfg.protocol.cache_size,
+            self.cfg.system.max_probes_per_second,
+        );
+        peer.set_ping_interval(self.cfg.protocol.ping_interval);
+        if let Some(pp) = self.cfg.protocol.probe_payments {
+            peer.open_account(crate::payments::ProbeAccount::new(pp, now));
+        }
+        if behavior == Behavior::Good && self.rng_churn.chance(self.cfg.system.selfish_fraction) {
+            peer.set_selfish(true);
+            self.metrics.counters_mut().incr("selfish_births");
+        }
+        self.peers.push(peer);
+        if bad {
+            self.live_bad_pos.insert(addr, self.live_bad.len());
+            self.live_bad.push(addr);
+        }
+        self.metrics.counters_mut().incr("births");
+        addr
+    }
+
+    /// Schedules death / ping / burst events for a (newly born) peer.
+    fn schedule_peer_events(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime, initial: bool) {
+        let life = self.lifetimes.sample_lifetime(&mut self.rng_churn);
+        self.queue.schedule(now + life, Event::Death { slot, addr });
+        // Stagger the first ping uniformly within one interval so the
+        // network's pings do not arrive in lockstep.
+        let ping_phase = if initial {
+            self.cfg.protocol.ping_interval * self.rng_churn.f64()
+        } else {
+            self.cfg.protocol.ping_interval
+        };
+        self.queue.schedule(now + ping_phase, Event::Ping { slot, addr });
+        if self.cfg.run.simulate_queries && self.peers[addr.index()].behavior() == Behavior::Good {
+            let gap = self.workload.sample_burst_gap(&mut self.rng_query);
+            self.queue.schedule(now + gap, Event::Burst { slot, addr });
+        }
+    }
+
+    /// Runs the simulation to completion and returns the aggregated report.
+    #[must_use]
+    pub fn run(mut self) -> RunReport {
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.end {
+                break;
+            }
+            match event {
+                Event::Death { slot, addr } => self.on_death(slot, addr, now),
+                Event::Ping { slot, addr } => self.on_ping(slot, addr, now),
+                Event::Burst { slot, addr } => self.on_burst(slot, addr, now),
+                Event::Sample => self.on_sample(now),
+            }
+        }
+        // Loads of peers still alive at the end of the run.
+        for &addr in &self.slots {
+            let p = &self.peers[addr.index()];
+            if p.is_alive() {
+                self.metrics.record_load(p.probes_received());
+            }
+        }
+        self.metrics.finish()
+    }
+
+    /// True if the event's subject still occupies its slot.
+    fn is_current(&self, slot: SlotId, addr: PeerAddr) -> bool {
+        self.slots[slot.index()] == addr
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    fn on_death(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+        if !self.is_current(slot, addr) {
+            return;
+        }
+        self.metrics.counters_mut().incr("deaths");
+        let load = {
+            let p = &mut self.peers[addr.index()];
+            p.kill();
+            p.probes_received()
+        };
+        self.metrics.record_load(load);
+        if let Some(pos) = self.live_bad_pos.remove(&addr) {
+            self.live_bad.swap_remove(pos);
+            if pos < self.live_bad.len() {
+                let moved = self.live_bad[pos];
+                self.live_bad_pos.insert(moved, pos);
+            }
+            self.fabricated.remove(&addr);
+        }
+
+        // Constant population: a replacement is born immediately and seeds
+        // its cache with the random-friend policy — copy a live friend's
+        // link cache.
+        let newborn = self.birth_peer(slot, now);
+        self.slots[slot.index()] = newborn;
+        if let Some(friend) = self.random_live_peer(Some(newborn)) {
+            let entries: Vec<CacheEntry> =
+                self.peers[friend.index()].link_cache().entries().to_vec();
+            let policy = self.cfg.protocol.cache_replacement;
+            for e in entries {
+                if e.addr() != newborn {
+                    let _ = self.peers[newborn.index()].link_cache_mut().offer(
+                        e,
+                        policy,
+                        &mut self.rng_policy,
+                    );
+                }
+            }
+        }
+        self.schedule_peer_events(slot, newborn, now, false);
+    }
+
+    /// A uniformly random live peer, excluding `not` if given.
+    fn random_live_peer(&mut self, not: Option<PeerAddr>) -> Option<PeerAddr> {
+        let n = self.slots.len();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..32 {
+            let cand = self.slots[self.rng_churn.below(n)];
+            if Some(cand) != not {
+                return Some(cand);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance pings
+    // ------------------------------------------------------------------
+
+    fn on_ping(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+        if !self.is_current(slot, addr) {
+            return;
+        }
+        if self.peers[addr.index()].behavior() == Behavior::Malicious {
+            self.malicious_ping(addr, now);
+        } else {
+            let outcome = self.good_ping(addr, now);
+            self.adapt_ping_interval(addr, outcome);
+        }
+        let interval = self.peers[addr.index()].ping_interval();
+        self.queue.schedule(now + interval, Event::Ping { slot, addr });
+    }
+
+    /// An honest peer pings one cached neighbor chosen by `PingProbe`.
+    /// Returns whether the neighbor was found alive.
+    fn good_ping(&mut self, pinger: PeerAddr, now: SimTime) -> Option<bool> {
+        let picked = {
+            let cache = self.peers[pinger.index()].link_cache();
+            select_top_k(self.cfg.protocol.ping_probe, cache.entries(), 1, &mut self.rng_policy)
+        };
+        let entry = picked.first().copied()?; // empty cache: nothing to maintain
+        let dst = entry.addr();
+        self.metrics.counters_mut().incr("pings_sent");
+        if !self.peers[dst.index()].is_alive() {
+            self.peers[pinger.index()].link_cache_mut().remove(dst);
+            if self.cfg.protocol.distrust_pongs {
+                self.note_dead_entry(pinger, dst);
+            }
+            self.metrics.counters_mut().incr("pings_dead");
+            return Some(false);
+        }
+        // The neighbor answers: refresh our TS for it and absorb its pong.
+        self.peers[pinger.index()].link_cache_mut().touch(dst, now);
+        if self.cfg.protocol.distrust_pongs {
+            self.peers[pinger.index()].reputation_mut().note_alive(dst);
+        }
+        self.apply_introduction(dst, pinger, now);
+        self.peers[dst.index()].link_cache_mut().touch(pinger, now);
+        let pong = self.build_pong(dst, self.cfg.protocol.ping_pong, now);
+        self.absorb_pong(pinger, dst, &pong);
+        self.metrics.counters_mut().incr("pings_answered");
+        Some(true)
+    }
+
+    /// §6.1's runtime guidance: shrink the ping interval when probes keep
+    /// hitting dead addresses, stretch it when the cache looks healthy.
+    fn adapt_ping_interval(&mut self, addr: PeerAddr, outcome: Option<bool>) {
+        let Some(params) = self.cfg.protocol.adaptive_ping else {
+            return;
+        };
+        let Some(alive) = outcome else {
+            return;
+        };
+        let peer = &mut self.peers[addr.index()];
+        let factor = if alive { params.on_alive } else { params.on_dead };
+        let next = (peer.ping_interval().as_secs() * factor)
+            .clamp(params.min_interval.as_secs(), params.max_interval.as_secs());
+        peer.set_ping_interval(simkit::time::SimDuration::from_secs(next));
+    }
+
+    /// Charges the reputation of whoever shared the now-dead `subject`
+    /// with `owner`; a source crossing the blacklist threshold is also
+    /// evicted from `owner`'s link cache on the spot.
+    fn note_dead_entry(&mut self, owner: PeerAddr, subject: PeerAddr) {
+        let before = self.peers[owner.index()].reputation().blacklisted_count();
+        let source = self.peers[owner.index()].reputation_mut().note_dead(subject);
+        if self.peers[owner.index()].reputation().blacklisted_count() > before {
+            self.metrics.counters_mut().incr("sources_blacklisted");
+            if let Some(source) = source {
+                self.peers[owner.index()].link_cache_mut().remove(source);
+            }
+        }
+    }
+
+    /// A malicious peer pings a random live victim purely to trigger the
+    /// introduction rule and worm its way into caches.
+    fn malicious_ping(&mut self, pinger: PeerAddr, now: SimTime) {
+        let Some(dst) = self.random_live_peer(Some(pinger)) else {
+            return;
+        };
+        if self.peers[dst.index()].behavior() == Behavior::Good {
+            self.apply_introduction(dst, pinger, now);
+        }
+    }
+
+    /// The probed/pinged peer `dst` adds the initiator to its own cache
+    /// with probability `IntroProb` (§2.2).
+    fn apply_introduction(&mut self, dst: PeerAddr, initiator: PeerAddr, now: SimTime) {
+        if !self.rng_intro.chance(self.cfg.protocol.intro_prob) {
+            return;
+        }
+        if self.peers[dst.index()].behavior() == Behavior::Malicious {
+            return; // attackers do not maintain honest caches
+        }
+        let advertised = self.peers[initiator.index()].advertised_files();
+        let entry = CacheEntry::new(initiator, now, advertised);
+        let policy = self.cfg.protocol.cache_replacement;
+        let _ = self.peers[dst.index()].link_cache_mut().offer(entry, policy, &mut self.rng_policy);
+        self.metrics.counters_mut().incr("introductions");
+    }
+
+    /// Builds the pong `responder` attaches to a reply, honest or poisoned.
+    fn build_pong(&mut self, responder: PeerAddr, policy: crate::policy::SelectionPolicy, now: SimTime) -> Pong {
+        if self.peers[responder.index()].behavior() == Behavior::Malicious {
+            return self.build_poison_pong(responder, now);
+        }
+        let entries = {
+            let cache = self.peers[responder.index()].link_cache();
+            select_top_k(policy, cache.entries(), self.cfg.protocol.pong_size, &mut self.rng_policy)
+        };
+        Pong { entries }
+    }
+
+    /// A malicious pong: dead fabricated addresses, colluder addresses, or
+    /// (for the control case) real good peers — always with inflated
+    /// metadata.
+    fn build_poison_pong(&mut self, attacker: PeerAddr, now: SimTime) -> Pong {
+        let k = self.cfg.protocol.pong_size;
+        let inflated_files = self.files.max_files();
+        let mut entries = Vec::with_capacity(k);
+        match self.cfg.system.bad_pong_behavior {
+            BadPongBehavior::Dead => {
+                self.ensure_fabricated_pool(attacker, now);
+                let pool = &self.fabricated[&attacker];
+                for i in self.rng_churn.sample_indices(pool.len(), k) {
+                    entries.push(CacheEntry::from_pong(pool[i], now, inflated_files, POISON_NUM_RES));
+                }
+            }
+            BadPongBehavior::Bad => {
+                if !self.live_bad.is_empty() {
+                    let m = self.live_bad.len();
+                    for i in self.rng_churn.sample_indices(m, k) {
+                        entries.push(CacheEntry::from_pong(
+                            self.live_bad[i],
+                            now,
+                            inflated_files,
+                            POISON_NUM_RES,
+                        ));
+                    }
+                }
+            }
+            BadPongBehavior::Good => {
+                for _ in 0..k {
+                    if let Some(p) = self.random_live_peer(Some(attacker)) {
+                        entries.push(CacheEntry::from_pong(p, now, inflated_files, POISON_NUM_RES));
+                    }
+                }
+            }
+        }
+        Pong { entries }
+    }
+
+    fn ensure_fabricated_pool(&mut self, attacker: PeerAddr, now: SimTime) {
+        if self.fabricated.contains_key(&attacker) {
+            return;
+        }
+        let mut pool = Vec::with_capacity(FABRICATED_POOL_SIZE);
+        for _ in 0..FABRICATED_POOL_SIZE {
+            let fake = self.alloc.allocate();
+            debug_assert_eq!(fake.index(), self.peers.len());
+            self.peers.push(PeerState::dead_stub(fake, now));
+            pool.push(fake);
+        }
+        self.fabricated.insert(attacker, pool);
+    }
+
+    /// The receiver of a pong merges its entries into the link cache,
+    /// honouring `ResetNumResults` (MR\*) and the pong-source reputation
+    /// filter (entries from blacklisted sources are dropped unseen).
+    fn absorb_pong(&mut self, receiver: PeerAddr, source: PeerAddr, pong: &Pong) {
+        if self.cfg.protocol.distrust_pongs
+            && self.peers[receiver.index()].reputation().is_blacklisted(source)
+        {
+            self.metrics.counters_mut().incr("pongs_filtered");
+            return;
+        }
+        let policy = self.cfg.protocol.cache_replacement;
+        for e in &pong.entries {
+            if e.addr() == receiver {
+                continue;
+            }
+            let mut entry = *e;
+            if self.cfg.protocol.reset_num_results {
+                entry.reset_num_res();
+            }
+            if self.cfg.protocol.distrust_pongs {
+                if self.peers[receiver.index()].reputation().is_blacklisted(entry.addr()) {
+                    continue; // never re-admit a known liar
+                }
+                self.peers[receiver.index()].reputation_mut().note_shared(source, entry.addr());
+            }
+            let _ = self.peers[receiver.index()].link_cache_mut().offer(
+                entry,
+                policy,
+                &mut self.rng_policy,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn on_burst(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+        if !self.is_current(slot, addr) {
+            return;
+        }
+        let burst = self.workload.sample_burst_size(&mut self.rng_query);
+        for _ in 0..burst {
+            self.execute_query(addr, now);
+        }
+        let gap = self.workload.sample_burst_gap(&mut self.rng_query);
+        self.queue.schedule(now + gap, Event::Burst { slot, addr });
+    }
+
+    /// Executes one query end-to-end: iterative (or k-parallel) probing of
+    /// link-cache and query-cache candidates until `NumDesiredResults`
+    /// results arrive or the candidate pool runs dry.
+    fn execute_query(&mut self, prober: PeerAddr, now: SimTime) {
+        let want = self.qmodel.sample_target(&mut self.rng_query);
+        let desired = self.cfg.system.num_desired_results;
+        let probe_gap = self.cfg.protocol.probe_interval;
+        let distrust = self.cfg.protocol.distrust_pongs;
+
+        // Selfish peers blast wide volleys regardless of the protocol's
+        // configured walk width (§3.3); honest peers start at the
+        // configured k and may widen it adaptively (§6.2 future work).
+        let selfish = self.peers[prober.index()].is_selfish();
+        let mut k = if selfish {
+            self.cfg.system.selfish_parallelism
+        } else {
+            self.cfg.protocol.parallel_probes
+        };
+        let mut resultless_streak = 0u32;
+
+        // The probe pool: link-cache entries first, then everything the
+        // query cache accumulates from pongs. `seen` holds every address
+        // ever added, enforcing at-most-one probe per address per query.
+        let mut pool = ProbeQueue::new(self.cfg.protocol.query_probe);
+        let mut seen: HashSet<PeerAddr> = HashSet::new();
+        seen.insert(prober);
+        for e in self.peers[prober.index()].link_cache().entries().to_vec() {
+            if seen.insert(e.addr()) {
+                pool.push(e, &mut self.rng_policy);
+            }
+        }
+
+        let mut results = 0u32;
+        let mut good = 0u32;
+        let mut dead = 0u32;
+        let mut refused = 0u32;
+        // Wall-clock rounds elapsed: each probe occupies 1/k of a round.
+        let mut rounds = 0.0f64;
+
+        while results < desired {
+            let Some(entry) = pool.pop() else {
+                break;
+            };
+            let dst = entry.addr();
+            // Serial probes go out one timeout apart; k-parallel walks
+            // share each time slot.
+            let t_probe = now + probe_gap * rounds;
+            // Probe payments: a peer that cannot afford the probe must
+            // stop searching until its allowance refills (§3.3).
+            if self.cfg.protocol.probe_payments.is_some() {
+                let broke = self.peers[prober.index()]
+                    .account_mut()
+                    .expect("accounts exist when payments are on")
+                    .pay_probe(t_probe)
+                    .is_err();
+                if broke {
+                    self.metrics.counters_mut().incr("probe_budget_exhausted");
+                    break;
+                }
+            }
+            rounds += 1.0 / k as f64;
+
+            if !self.peers[dst.index()].is_alive() {
+                dead += 1;
+                self.peers[prober.index()].link_cache_mut().remove(dst);
+                if distrust {
+                    self.note_dead_entry(prober, dst);
+                }
+                continue;
+            }
+
+            self.peers[dst.index()].note_probe_received();
+
+            let dst_behavior = self.peers[dst.index()].behavior();
+            if dst_behavior == Behavior::Good {
+                if self.peers[dst.index()].capacity_mut().admit(t_probe) == Admission::Refused {
+                    refused += 1;
+                    if !self.cfg.protocol.do_backoff {
+                        // A dropped probe times out; the prober assumes
+                        // death and evicts — the inherent throttle.
+                        self.peers[prober.index()].link_cache_mut().remove(dst);
+                    }
+                    continue;
+                }
+            }
+
+            good += 1;
+            if distrust {
+                self.peers[prober.index()].reputation_mut().note_alive(dst);
+            }
+            if self.cfg.protocol.probe_payments.is_some() {
+                if let Some(acct) = self.peers[dst.index()].account_mut() {
+                    acct.earn_answer(t_probe);
+                }
+            }
+            let res = if dst_behavior == Behavior::Good
+                && self.qmodel.answers(self.peers[dst.index()].library(), want)
+            {
+                1u32
+            } else {
+                0u32
+            };
+            results += res;
+
+            // Adaptive walk widening: double k after a run of resultless
+            // probes (only honest, non-selfish queriers bother).
+            if let Some(ak) = self.cfg.protocol.adaptive_parallelism {
+                if !selfish {
+                    if res == 0 {
+                        resultless_streak += 1;
+                        if resultless_streak >= ak.escalate_after {
+                            k = (k * 2).min(ak.max_k);
+                            resultless_streak = 0;
+                        }
+                    } else {
+                        resultless_streak = 0;
+                    }
+                }
+            }
+
+            // Both sides record the interaction (§2.1): the prober resets
+            // NumRes for the target; the target refreshes TS for the
+            // prober if cached, and may add the prober (introduction).
+            if !self.peers[prober.index()].link_cache_mut().record_results(dst, now, res) {
+                // Probed from the query cache: the entry is not in the
+                // link cache; nothing to update.
+            }
+            self.peers[dst.index()].link_cache_mut().touch(prober, now);
+            self.apply_introduction(dst, prober, now);
+
+            // The reply's pong feeds both the query cache (the probe pool)
+            // and, subject to replacement policy, the link cache. Pongs
+            // from blacklisted sources are dropped wholesale.
+            if distrust && self.peers[prober.index()].reputation().is_blacklisted(dst) {
+                self.metrics.counters_mut().incr("pongs_filtered");
+                continue;
+            }
+            let pong = self.build_pong(dst, self.cfg.protocol.query_pong, now);
+            for e in &pong.entries {
+                if e.addr() == prober {
+                    continue;
+                }
+                let mut entry = *e;
+                if self.cfg.protocol.reset_num_results {
+                    entry.reset_num_res();
+                }
+                if distrust {
+                    if self.peers[prober.index()].reputation().is_blacklisted(entry.addr()) {
+                        continue; // never re-admit a known liar
+                    }
+                    self.peers[prober.index()].reputation_mut().note_shared(dst, entry.addr());
+                }
+                if seen.insert(entry.addr()) {
+                    pool.push(entry, &mut self.rng_policy);
+                }
+                let policy = self.cfg.protocol.cache_replacement;
+                let _ = self.peers[prober.index()].link_cache_mut().offer(
+                    entry,
+                    policy,
+                    &mut self.rng_policy,
+                );
+            }
+        }
+
+        if now >= self.warmup_end {
+            self.metrics.record_query(QueryOutcome {
+                good_probes: good,
+                dead_probes: dead,
+                refused_probes: refused,
+                satisfied: results >= desired,
+                response_secs: rounds.ceil() * probe_gap.as_secs(),
+            });
+            if selfish {
+                self.metrics.counters_mut().incr("selfish_queries");
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots
+    // ------------------------------------------------------------------
+
+    fn on_sample(&mut self, now: SimTime) {
+        if now >= self.warmup_end {
+            self.sample_cache_health();
+            self.sample_connectivity();
+        }
+        self.queue.schedule(now + self.cfg.run.sample_interval, Event::Sample);
+    }
+
+    fn sample_cache_health(&mut self) {
+        let mut frac_sum = 0.0;
+        let mut frac_n = 0usize;
+        let mut live_sum = 0.0;
+        let mut good_sum = 0.0;
+        let mut peers_n = 0usize;
+        for &addr in &self.slots {
+            let p = &self.peers[addr.index()];
+            if !p.is_good() {
+                continue;
+            }
+            peers_n += 1;
+            let total = p.link_cache().len();
+            let mut live = 0usize;
+            let mut good_entries = 0usize;
+            for e in p.link_cache().iter() {
+                let t = &self.peers[e.addr().index()];
+                if t.is_alive() {
+                    live += 1;
+                    if t.behavior() == Behavior::Good {
+                        good_entries += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                frac_sum += live as f64 / total as f64;
+                frac_n += 1;
+            }
+            live_sum += live as f64;
+            good_sum += good_entries as f64;
+        }
+        if peers_n > 0 {
+            let frac = if frac_n > 0 { frac_sum / frac_n as f64 } else { 0.0 };
+            self.metrics.record_cache_health(
+                frac,
+                live_sum / peers_n as f64,
+                good_sum / peers_n as f64,
+            );
+        }
+    }
+
+    fn sample_connectivity(&mut self) {
+        let n = self.slots.len();
+        let mut dense: HashMap<PeerAddr, usize> = HashMap::with_capacity(n);
+        for (i, &addr) in self.slots.iter().enumerate() {
+            dense.insert(addr, i);
+        }
+        let mut uf = UnionFind::new(n);
+        for (i, &addr) in self.slots.iter().enumerate() {
+            let p = &self.peers[addr.index()];
+            if !p.is_alive() {
+                continue;
+            }
+            for e in p.link_cache().iter() {
+                if let Some(&j) = dense.get(&e.addr()) {
+                    if self.peers[e.addr().index()].is_alive() {
+                        uf.union(i, j);
+                    }
+                }
+            }
+        }
+        self.metrics.record_lcc(uf.largest_component());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::policy::SelectionPolicy;
+    use simkit::time::SimDuration;
+
+    fn tiny(seed: u64) -> Config {
+        let mut cfg = Config::small_test(seed);
+        cfg.run.duration = SimDuration::from_secs(200.0);
+        cfg.run.warmup = SimDuration::from_secs(50.0);
+        cfg
+    }
+
+    #[test]
+    fn runs_to_completion_and_reports() {
+        let report = GuessSim::new(tiny(1)).unwrap().run();
+        assert!(report.queries > 0, "some queries must execute");
+        assert!(report.probes_per_query() > 0.0);
+        assert!(report.unsatisfaction() <= 1.0);
+        assert!(!report.loads.is_empty());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_report() {
+        let a = GuessSim::new(tiny(7)).unwrap().run();
+        let b = GuessSim::new(tiny(7)).unwrap().run();
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.unsatisfied, b.unsatisfied);
+        assert_eq!(a.probes_per_query(), b.probes_per_query());
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.counters.get("births"), b.counters.get("births"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = GuessSim::new(tiny(1)).unwrap().run();
+        let b = GuessSim::new(tiny(2)).unwrap().run();
+        // Astronomically unlikely to coincide exactly.
+        assert!(a.probes_per_query() != b.probes_per_query() || a.queries != b.queries);
+    }
+
+    #[test]
+    fn churn_replaces_peers_keeping_population_constant() {
+        let mut cfg = tiny(3);
+        cfg.system.lifespan_multiplier = 0.05; // aggressive churn
+        let sim = GuessSim::new(cfg.clone()).unwrap();
+        let n = cfg.system.network_size;
+        let report = sim.run();
+        assert!(report.counters.get("deaths") > 0, "peers must die under churn");
+        assert_eq!(
+            report.counters.get("births"),
+            report.counters.get("deaths") + n as u64,
+            "every death births a replacement"
+        );
+    }
+
+    #[test]
+    fn queries_can_be_disabled() {
+        let mut cfg = tiny(4);
+        cfg.run.simulate_queries = false;
+        let report = GuessSim::new(cfg).unwrap().run();
+        assert_eq!(report.queries, 0);
+        assert!(report.counters.get("pings_sent") > 0, "maintenance continues");
+        assert!(report.largest_component.is_some());
+    }
+
+    #[test]
+    fn connectivity_sampled_and_mostly_connected_with_short_ping_interval() {
+        let mut cfg = tiny(5);
+        cfg.run.simulate_queries = false;
+        cfg.protocol.ping_interval = SimDuration::from_secs(5.0);
+        let report = GuessSim::new(cfg.clone()).unwrap().run();
+        let lcc = report.largest_component.expect("sampled");
+        assert!(
+            lcc > cfg.system.network_size as f64 * 0.8,
+            "well-maintained overlay should be mostly connected, got {lcc}"
+        );
+    }
+
+    #[test]
+    fn mfs_beats_random_on_probe_cost() {
+        let mut base = tiny(6);
+        base.run.duration = SimDuration::from_secs(400.0);
+        base.run.warmup = SimDuration::from_secs(100.0);
+        let random = GuessSim::new(base.clone()).unwrap().run();
+        let mut mfs_cfg = base;
+        mfs_cfg.protocol = mfs_cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+        let mfs = GuessSim::new(mfs_cfg).unwrap().run();
+        assert!(
+            mfs.probes_per_query() < random.probes_per_query(),
+            "MFS ({:.1}) should beat Random ({:.1})",
+            mfs.probes_per_query(),
+            random.probes_per_query()
+        );
+    }
+
+    #[test]
+    fn bad_peers_receive_no_result_credit() {
+        let mut cfg = tiny(8);
+        cfg.system.bad_peer_fraction = 0.3;
+        let report = GuessSim::new(cfg).unwrap().run();
+        // With 30% attackers the run must still complete and report sanely.
+        assert!(report.queries > 0);
+        assert!(report.good_entries.is_some());
+    }
+
+    #[test]
+    fn capacity_limit_produces_refusals_under_pressure() {
+        let mut cfg = tiny(9);
+        cfg.system.max_probes_per_second = Some(1);
+        cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+        let report = GuessSim::new(cfg).unwrap().run();
+        assert!(
+            report.refused_per_query() > 0.0,
+            "a 1-probe/s cap under MFS hotspotting must refuse something"
+        );
+    }
+
+    #[test]
+    fn unlimited_capacity_never_refuses() {
+        let mut cfg = tiny(10);
+        cfg.system.max_probes_per_second = None;
+        let report = GuessSim::new(cfg).unwrap().run();
+        assert_eq!(report.refused_per_query(), 0.0);
+    }
+
+    #[test]
+    fn live_fraction_is_a_fraction() {
+        let report = GuessSim::new(tiny(11)).unwrap().run();
+        let f = report.live_fraction.expect("sampled");
+        assert!((0.0..=1.0).contains(&f), "live fraction {f}");
+        assert!(report.live_absolute.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn selfish_peers_blast_wide_volleys() {
+        let mut cfg = tiny(21);
+        cfg.system.selfish_fraction = 0.3;
+        cfg.system.selfish_parallelism = 40;
+        let report = GuessSim::new(cfg).unwrap().run();
+        assert!(report.counters.get("selfish_births") > 0);
+        assert!(report.counters.get("selfish_queries") > 0);
+        // Selfish volleys finish almost immediately; mean response falls
+        // below the all-serial baseline.
+        let serial = GuessSim::new(tiny(21)).unwrap().run();
+        assert!(report.mean_response_secs() < serial.mean_response_secs());
+    }
+
+    #[test]
+    fn selfish_volleys_inflate_load_under_capacity_limits() {
+        let mut honest = tiny(22);
+        honest.system.max_probes_per_second = Some(5);
+        let mut selfish = honest.clone();
+        selfish.system.selfish_fraction = 0.5;
+        selfish.system.selfish_parallelism = 60;
+        let h = GuessSim::new(honest).unwrap().run();
+        let s = GuessSim::new(selfish).unwrap().run();
+        assert!(
+            s.refused_per_query() >= h.refused_per_query(),
+            "selfish volleys should push receivers into refusal at least as hard \
+             ({:.2} vs {:.2})",
+            s.refused_per_query(),
+            h.refused_per_query()
+        );
+    }
+
+    #[test]
+    fn adaptive_ping_speeds_up_under_churn() {
+        use crate::config::AdaptivePing;
+        let mut fixed = tiny(23);
+        fixed.run.simulate_queries = false;
+        fixed.system.lifespan_multiplier = 0.1; // brutal churn
+        fixed.protocol.ping_interval = SimDuration::from_secs(120.0);
+        let mut adaptive = fixed.clone();
+        adaptive.protocol.adaptive_ping = Some(AdaptivePing::default());
+        let f = GuessSim::new(fixed).unwrap().run();
+        let a = GuessSim::new(adaptive).unwrap().run();
+        assert!(
+            a.counters.get("pings_sent") > f.counters.get("pings_sent"),
+            "dead probes should drive the adaptive interval down: {} vs {}",
+            a.counters.get("pings_sent"),
+            f.counters.get("pings_sent")
+        );
+        // In expectation faster pinging keeps caches fresher; allow noise
+        // at this tiny scale.
+        assert!(a.live_fraction.unwrap() >= f.live_fraction.unwrap() - 0.05);
+    }
+
+    #[test]
+    fn adaptive_parallelism_trims_the_response_tail() {
+        use crate::config::AdaptiveParallelism;
+        let mut fixed = tiny(24);
+        fixed.run.duration = SimDuration::from_secs(300.0);
+        let mut adaptive = fixed.clone();
+        adaptive.protocol.adaptive_parallelism = Some(AdaptiveParallelism::default());
+        let f = GuessSim::new(fixed).unwrap().run();
+        let a = GuessSim::new(adaptive).unwrap().run();
+        assert!(
+            a.response_p95.unwrap() < f.response_p95.unwrap(),
+            "widening walks must shrink the p95 response: {:.1}s vs {:.1}s",
+            a.response_p95.unwrap(),
+            f.response_p95.unwrap()
+        );
+    }
+
+    #[test]
+    fn probe_payments_throttle_heavy_probers() {
+        use crate::payments::PaymentParams;
+        let mut free = tiny(26);
+        free.system.selfish_fraction = 0.4;
+        free.system.selfish_parallelism = 80;
+        let mut paid = free.clone();
+        paid.protocol.probe_payments = Some(PaymentParams {
+            initial_balance: 20.0,
+            allowance_per_sec: 0.3,
+            max_balance: 60.0,
+            earn_per_answer: 0.5,
+        });
+        let free_run = GuessSim::new(free).unwrap().run();
+        let paid_run = GuessSim::new(paid).unwrap().run();
+        assert!(
+            paid_run.counters.get("probe_budget_exhausted") > 0,
+            "volley senders must run out of credit"
+        );
+        assert!(
+            paid_run.probes_per_query() < free_run.probes_per_query(),
+            "payments must curb total probing: {:.1} vs {:.1}",
+            paid_run.probes_per_query(),
+            free_run.probes_per_query()
+        );
+    }
+
+    #[test]
+    fn generous_payments_do_not_hurt_honest_traffic() {
+        use crate::payments::PaymentParams;
+        let base = tiny(27);
+        let mut paid = base.clone();
+        paid.protocol.probe_payments = Some(PaymentParams::default());
+        let b = GuessSim::new(base).unwrap().run();
+        let p = GuessSim::new(paid).unwrap().run();
+        // Default allowances comfortably fund the honest query rate.
+        assert!(
+            p.unsatisfaction() < b.unsatisfaction() + 0.1,
+            "honest peers should barely notice the economy: {:.3} vs {:.3}",
+            p.unsatisfaction(),
+            b.unsatisfaction()
+        );
+    }
+
+    #[test]
+    fn pong_distrust_blacklists_poisoners() {
+        let mut cfg = tiny(25);
+        cfg.system.bad_peer_fraction = 0.25;
+        cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+        cfg.protocol.distrust_pongs = true;
+        let defended = GuessSim::new(cfg.clone()).unwrap().run();
+        assert!(
+            defended.counters.get("sources_blacklisted") > 0,
+            "attackers sharing dead IPs must get blacklisted"
+        );
+        let mut undefended_cfg = cfg;
+        undefended_cfg.protocol.distrust_pongs = false;
+        let undefended = GuessSim::new(undefended_cfg).unwrap().run();
+        assert!(
+            defended.good_entries.unwrap() >= undefended.good_entries.unwrap(),
+            "the filter should keep caches at least as clean: {:.1} vs {:.1}",
+            defended.good_entries.unwrap(),
+            undefended.good_entries.unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_probes_cut_response_time() {
+        let mut serial = tiny(12);
+        serial.run.duration = SimDuration::from_secs(300.0);
+        let mut parallel = serial.clone();
+        parallel.protocol.parallel_probes = 5;
+        let rs = GuessSim::new(serial).unwrap().run();
+        let rp = GuessSim::new(parallel).unwrap().run();
+        assert!(
+            rp.mean_response_secs() < rs.mean_response_secs(),
+            "k=5 ({:.2}s) must answer faster than serial ({:.2}s)",
+            rp.mean_response_secs(),
+            rs.mean_response_secs()
+        );
+    }
+}

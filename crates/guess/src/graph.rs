@@ -1,0 +1,201 @@
+//! Connectivity of the "conceptual overlay".
+//!
+//! Link-cache pointers form a directed graph over peers (Figure 2 of the
+//! paper). For the fragmentation experiments (§6.1, Figures 6–7) we
+//! measure the size of the largest connected component of the *undirected*
+//! view restricted to live peers, via a union-find.
+
+/// Disjoint-set forest with union by size and path halving.
+///
+/// # Examples
+///
+/// ```
+/// use guess::graph::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// uf.union(0, 1);
+/// uf.union(2, 3);
+/// assert!(uf.connected(0, 1));
+/// assert!(!uf.connected(1, 2));
+/// assert_eq!(uf.largest_component(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Returns true if the structure is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Finds the representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= len()`.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merges the sets containing `a` and `b`; returns true if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Returns true if `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the largest set; zero when empty.
+    #[must_use]
+    pub fn largest_component(&self) -> usize {
+        // `size` is only authoritative at roots, but root sizes dominate
+        // their children's stale values, so the max is correct.
+        self.size.iter().copied().max().unwrap_or(0) as usize
+    }
+}
+
+/// Computes the largest connected component of an undirected graph given
+/// as `n` nodes and an edge iterator. Edges touching out-of-range nodes
+/// are ignored.
+pub fn largest_component<I>(n: usize, edges: I) -> usize
+where
+    I: IntoIterator<Item = (usize, usize)>,
+{
+    if n == 0 {
+        return 0;
+    }
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        if a < n && b < n {
+            uf.union(a, b);
+        }
+    }
+    uf.largest_component()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_have_unit_components() {
+        let uf = UnionFind::new(5);
+        assert_eq!(uf.largest_component(), 1);
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn empty_union_find() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.largest_component(), 0);
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0), "already merged");
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.largest_component(), 3);
+    }
+
+    #[test]
+    fn chain_connects_everything() {
+        let n = 1000;
+        let mut uf = UnionFind::new(n);
+        for i in 0..n - 1 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.largest_component(), n);
+        assert!(uf.connected(0, n - 1));
+    }
+
+    #[test]
+    fn largest_component_function_matches_manual() {
+        let edges = vec![(0, 1), (1, 2), (4, 5)];
+        assert_eq!(largest_component(6, edges), 3);
+    }
+
+    #[test]
+    fn out_of_range_edges_ignored() {
+        assert_eq!(largest_component(3, vec![(0, 1), (2, 99)]), 2);
+        assert_eq!(largest_component(0, vec![(0, 1)]), 0);
+    }
+
+    #[test]
+    fn union_find_agrees_with_bfs() {
+        // Random graph; compare component sizes against a BFS computation.
+        use simkit::rng::RngStream;
+        let mut rng = RngStream::from_seed(11, "graph");
+        let n = 200;
+        let edges: Vec<(usize, usize)> =
+            (0..150).map(|_| (rng.below(n), rng.below(n))).collect();
+
+        let uf_answer = largest_component(n, edges.iter().copied());
+
+        // BFS ground truth.
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &edges {
+            adj[a].push(b);
+            adj[b].push(a);
+        }
+        let mut seen = vec![false; n];
+        let mut best = 0;
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start];
+            seen[start] = true;
+            let mut size = 0;
+            while let Some(v) = stack.pop() {
+                size += 1;
+                for &w in &adj[v] {
+                    if !seen[w] {
+                        seen[w] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            best = best.max(size);
+        }
+        assert_eq!(uf_answer, best);
+    }
+}

@@ -1,0 +1,354 @@
+//! The link cache — a GUESS peer's bounded set of neighbor pointers.
+//!
+//! The link cache holds at most `CacheSize` entries, one per distinct peer
+//! address, and is the only state a peer actively maintains (§2.2). New
+//! entries arrive from pongs and introductions; full caches admit a new
+//! entry only by evicting a victim chosen by the `CacheReplacement` policy
+//! — the incoming entry itself competes as a candidate, so an entry "worse"
+//! than everything already cached is simply not admitted.
+
+use std::collections::HashMap;
+
+use simkit::rng::RngStream;
+use simkit::time::SimTime;
+
+use crate::addr::PeerAddr;
+use crate::entry::CacheEntry;
+use crate::policy::{retention_key, ReplacementPolicy};
+
+/// What happened when an entry was offered to the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The entry was added to free space.
+    Inserted,
+    /// The entry was added after evicting the returned address.
+    Replaced(PeerAddr),
+    /// The entry lost the eviction contest and was not admitted.
+    Rejected,
+    /// An entry for the same address already exists; nothing changed.
+    AlreadyPresent,
+}
+
+/// A bounded, deduplicated cache of [`CacheEntry`]s with policy-driven
+/// eviction.
+///
+/// # Examples
+///
+/// ```
+/// use guess::addr::AddrAllocator;
+/// use guess::entry::CacheEntry;
+/// use guess::link_cache::LinkCache;
+/// use guess::policy::ReplacementPolicy;
+/// use simkit::rng::RngStream;
+/// use simkit::time::SimTime;
+///
+/// let mut alloc = AddrAllocator::new();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let mut cache = LinkCache::new(2);
+/// let a = CacheEntry::new(alloc.allocate(), SimTime::ZERO, 10);
+/// cache.offer(a, ReplacementPolicy::Lfs, &mut rng);
+/// assert!(cache.contains(a.addr()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinkCache {
+    capacity: usize,
+    entries: Vec<CacheEntry>,
+    index: HashMap<PeerAddr, usize>,
+}
+
+impl LinkCache {
+    /// Creates an empty cache with the given capacity (`CacheSize`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a GUESS peer with no neighbor slots
+    /// cannot participate at all.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "link cache capacity must be positive");
+        LinkCache { capacity, entries: Vec::with_capacity(capacity), index: HashMap::new() }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns true if the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns true if the cache is at capacity.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Membership test by address.
+    #[must_use]
+    pub fn contains(&self, addr: PeerAddr) -> bool {
+        self.index.contains_key(&addr)
+    }
+
+    /// Borrows the entry for `addr`, if cached.
+    #[must_use]
+    pub fn get(&self, addr: PeerAddr) -> Option<&CacheEntry> {
+        self.index.get(&addr).map(|&i| &self.entries[i])
+    }
+
+    /// All entries, in no particular order.
+    #[must_use]
+    pub fn entries(&self) -> &[CacheEntry] {
+        &self.entries
+    }
+
+    /// Iterates over the cached entries.
+    pub fn iter(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.entries.iter()
+    }
+
+    /// Refreshes the `TS` of the entry for `addr`, if cached. Returns true
+    /// if an entry was touched.
+    pub fn touch(&mut self, addr: PeerAddr, now: SimTime) -> bool {
+        if let Some(&i) = self.index.get(&addr) {
+            self.entries[i].touch(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a query-probe outcome against the entry for `addr` (refresh
+    /// `TS`, overwrite `NumRes`). Returns true if an entry was updated.
+    pub fn record_results(&mut self, addr: PeerAddr, now: SimTime, results: u32) -> bool {
+        if let Some(&i) = self.index.get(&addr) {
+            self.entries[i].record_results(now, results);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes the entry for `addr` (a dead or refused neighbor). Returns
+    /// the removed entry, if any.
+    pub fn remove(&mut self, addr: PeerAddr) -> Option<CacheEntry> {
+        let i = self.index.remove(&addr)?;
+        let removed = self.entries.swap_remove(i);
+        if i < self.entries.len() {
+            let moved = self.entries[i].addr();
+            self.index.insert(moved, i);
+        }
+        Some(removed)
+    }
+
+    /// Offers a new entry under the given `CacheReplacement` policy.
+    ///
+    /// If an entry for the address already exists, nothing changes (pong
+    /// entries never overwrite cached metadata, §2.2). If there is free
+    /// space the entry is inserted. Otherwise the policy picks an eviction
+    /// victim among the cached entries *and the incoming entry*; the loser
+    /// is dropped.
+    pub fn offer(
+        &mut self,
+        entry: CacheEntry,
+        policy: ReplacementPolicy,
+        rng: &mut RngStream,
+    ) -> InsertOutcome {
+        if self.contains(entry.addr()) {
+            return InsertOutcome::AlreadyPresent;
+        }
+        if !self.is_full() {
+            self.insert_unchecked(entry);
+            return InsertOutcome::Inserted;
+        }
+        if policy == ReplacementPolicy::Random {
+            // O(1) fast path, distributionally identical to the generic
+            // contest below: the victim is uniform among the n incumbents
+            // plus the newcomer.
+            let r = rng.below(self.entries.len() + 1);
+            if r == self.entries.len() {
+                return InsertOutcome::Rejected;
+            }
+            let victim_addr = self.entries[r].addr();
+            self.remove(victim_addr);
+            self.insert_unchecked(entry);
+            return InsertOutcome::Replaced(victim_addr);
+        }
+        // Eviction contest: does the newcomer beat the weakest incumbent?
+        let new_key = retention_key(policy, &entry, rng);
+        let weakest = self
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (retention_key(policy, e, rng), i))
+            .min()
+            .expect("cache is full, therefore non-empty");
+        if new_key <= weakest.0 {
+            return InsertOutcome::Rejected;
+        }
+        let victim_addr = self.entries[weakest.1].addr();
+        self.remove(victim_addr);
+        self.insert_unchecked(entry);
+        InsertOutcome::Replaced(victim_addr)
+    }
+
+    fn insert_unchecked(&mut self, entry: CacheEntry) {
+        debug_assert!(!self.contains(entry.addr()));
+        debug_assert!(self.entries.len() < self.capacity);
+        self.index.insert(entry.addr(), self.entries.len());
+        self.entries.push(entry);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrAllocator;
+
+    fn rng() -> RngStream {
+        RngStream::from_seed(5, "cache-test")
+    }
+
+    fn entry(alloc: &mut AddrAllocator, files: u32, ts: f64) -> CacheEntry {
+        CacheEntry::new(alloc.allocate(), SimTime::from_secs(ts), files)
+    }
+
+    #[test]
+    fn inserts_until_full() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(3);
+        for i in 0..3 {
+            let outcome = c.offer(entry(&mut alloc, i, 0.0), ReplacementPolicy::Random, &mut r);
+            assert_eq!(outcome, InsertOutcome::Inserted);
+        }
+        assert!(c.is_full());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn duplicate_offer_is_ignored() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(3);
+        let e = entry(&mut alloc, 10, 0.0);
+        c.offer(e, ReplacementPolicy::Random, &mut r);
+        let dup = CacheEntry::from_pong(e.addr(), SimTime::from_secs(9.0), 9999, 50);
+        assert_eq!(c.offer(dup, ReplacementPolicy::Random, &mut r), InsertOutcome::AlreadyPresent);
+        assert_eq!(c.get(e.addr()).unwrap().num_files(), 10, "metadata not overwritten");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lfs_eviction_keeps_big_sharers() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(2);
+        let small = entry(&mut alloc, 5, 0.0);
+        let big = entry(&mut alloc, 500, 0.0);
+        c.offer(small, ReplacementPolicy::Lfs, &mut r);
+        c.offer(big, ReplacementPolicy::Lfs, &mut r);
+        let bigger = entry(&mut alloc, 1000, 0.0);
+        let outcome = c.offer(bigger, ReplacementPolicy::Lfs, &mut r);
+        assert_eq!(outcome, InsertOutcome::Replaced(small.addr()));
+        assert!(c.contains(big.addr()));
+        assert!(c.contains(bigger.addr()));
+    }
+
+    #[test]
+    fn lfs_rejects_newcomer_worse_than_all() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(2);
+        c.offer(entry(&mut alloc, 100, 0.0), ReplacementPolicy::Lfs, &mut r);
+        c.offer(entry(&mut alloc, 200, 0.0), ReplacementPolicy::Lfs, &mut r);
+        let tiny = entry(&mut alloc, 1, 0.0);
+        assert_eq!(c.offer(tiny, ReplacementPolicy::Lfs, &mut r), InsertOutcome::Rejected);
+        assert!(!c.contains(tiny.addr()));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_drops_stalest() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(2);
+        let stale = entry(&mut alloc, 1, 1.0);
+        let fresh = entry(&mut alloc, 1, 100.0);
+        c.offer(stale, ReplacementPolicy::Lru, &mut r);
+        c.offer(fresh, ReplacementPolicy::Lru, &mut r);
+        let newer = CacheEntry::new(alloc.allocate(), SimTime::from_secs(50.0), 1);
+        assert_eq!(c.offer(newer, ReplacementPolicy::Lru, &mut r), InsertOutcome::Replaced(stale.addr()));
+    }
+
+    #[test]
+    fn remove_fixes_index_mapping() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(5);
+        let es: Vec<CacheEntry> = (0..5).map(|i| entry(&mut alloc, i, 0.0)).collect();
+        for e in &es {
+            c.offer(*e, ReplacementPolicy::Random, &mut r);
+        }
+        assert!(c.remove(es[1].addr()).is_some());
+        assert!(c.remove(es[1].addr()).is_none(), "second remove is None");
+        // Every remaining entry is still reachable by address.
+        for e in [&es[0], &es[2], &es[3], &es[4]] {
+            assert_eq!(c.get(e.addr()).unwrap().addr(), e.addr());
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn touch_and_record_results_update_entries() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(2);
+        let e = entry(&mut alloc, 10, 0.0);
+        c.offer(e, ReplacementPolicy::Random, &mut r);
+        assert!(c.touch(e.addr(), SimTime::from_secs(7.0)));
+        assert_eq!(c.get(e.addr()).unwrap().ts(), SimTime::from_secs(7.0));
+        assert!(c.record_results(e.addr(), SimTime::from_secs(8.0), 2));
+        assert_eq!(c.get(e.addr()).unwrap().num_res(), 2);
+        let ghost = alloc.allocate();
+        assert!(!c.touch(ghost, SimTime::from_secs(9.0)));
+        assert!(!c.record_results(ghost, SimTime::from_secs(9.0), 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = LinkCache::new(0);
+    }
+
+    #[test]
+    fn random_replacement_eventually_admits() {
+        // With Random replacement the newcomer wins the uniform contest
+        // with probability n/(n+1); over many offers some must land.
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut c = LinkCache::new(4);
+        for _ in 0..4 {
+            c.offer(entry(&mut alloc, 0, 0.0), ReplacementPolicy::Random, &mut r);
+        }
+        let mut admitted = 0;
+        for _ in 0..100 {
+            match c.offer(entry(&mut alloc, 0, 0.0), ReplacementPolicy::Random, &mut r) {
+                InsertOutcome::Replaced(_) => admitted += 1,
+                InsertOutcome::Rejected => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(admitted > 50, "random replacement admitted only {admitted}/100");
+        assert_eq!(c.len(), 4, "capacity invariant holds");
+    }
+}

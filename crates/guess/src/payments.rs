@@ -1,0 +1,193 @@
+//! Probe payments — the paper's counter-measure to selfish probing.
+//!
+//! §3.3: *"One straightforward proposal is to have peers 'pay' for each
+//! probe. Peers will then be motivated to probe as few peers as possible
+//! to answer their queries. Such a solution does require a payment
+//! mechanism, such as \[PPay\]."*
+//!
+//! This module models the economics without the cryptography: every peer
+//! holds a credit balance; sending a probe costs one credit; answering a
+//! probe earns one. Balances replenish slowly (a small allowance per
+//! second) so honest query rates are unaffected, but a selfish peer
+//! blasting 100-probe volleys drains its balance and is forced down to
+//! the allowance rate — the incentive the paper wants.
+
+use simkit::time::SimTime;
+
+/// Parameters of the probe-payment economy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaymentParams {
+    /// Credits a newborn peer starts with.
+    pub initial_balance: f64,
+    /// Credits accrued per second of uptime (the base allowance).
+    pub allowance_per_sec: f64,
+    /// Hard cap on hoarded credits.
+    pub max_balance: f64,
+    /// Credits earned by answering one probe.
+    pub earn_per_answer: f64,
+}
+
+impl Default for PaymentParams {
+    fn default() -> Self {
+        PaymentParams {
+            initial_balance: 200.0,
+            allowance_per_sec: 1.0,
+            max_balance: 600.0,
+            earn_per_answer: 0.5,
+        }
+    }
+}
+
+/// Why a probe could not be paid for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsufficientCredit;
+
+impl std::fmt::Display for InsufficientCredit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "probe budget exhausted")
+    }
+}
+
+impl std::error::Error for InsufficientCredit {}
+
+/// A peer's probe-credit account.
+///
+/// # Examples
+///
+/// ```
+/// use guess::payments::{PaymentParams, ProbeAccount};
+/// use simkit::time::SimTime;
+///
+/// let mut acct = ProbeAccount::new(PaymentParams {
+///     initial_balance: 2.0,
+///     allowance_per_sec: 0.0,
+///     ..PaymentParams::default()
+/// }, SimTime::ZERO);
+/// assert!(acct.pay_probe(SimTime::ZERO).is_ok());
+/// assert!(acct.pay_probe(SimTime::ZERO).is_ok());
+/// assert!(acct.pay_probe(SimTime::ZERO).is_err()); // broke
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeAccount {
+    params: PaymentParams,
+    balance: f64,
+    last_accrual: SimTime,
+}
+
+impl ProbeAccount {
+    /// Opens an account at `now` with the configured starting balance.
+    #[must_use]
+    pub fn new(params: PaymentParams, now: SimTime) -> Self {
+        ProbeAccount { params, balance: params.initial_balance, last_accrual: now }
+    }
+
+    fn accrue(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_accrual).as_secs();
+        self.balance = (self.balance + dt * self.params.allowance_per_sec)
+            .min(self.params.max_balance);
+        self.last_accrual = self.last_accrual.max(now);
+    }
+
+    /// Current balance after accruing allowance up to `now`.
+    pub fn balance(&mut self, now: SimTime) -> f64 {
+        self.accrue(now);
+        self.balance
+    }
+
+    /// Pays for one outgoing probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InsufficientCredit`] when the balance (after accrual) is
+    /// below one credit; the probe must not be sent.
+    pub fn pay_probe(&mut self, now: SimTime) -> Result<(), InsufficientCredit> {
+        self.accrue(now);
+        if self.balance < 1.0 {
+            return Err(InsufficientCredit);
+        }
+        self.balance -= 1.0;
+        Ok(())
+    }
+
+    /// Credits the account for answering someone else's probe.
+    pub fn earn_answer(&mut self, now: SimTime) {
+        self.accrue(now);
+        self.balance = (self.balance + self.params.earn_per_answer).min(self.params.max_balance);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn starts_with_initial_balance() {
+        let mut a = ProbeAccount::new(PaymentParams::default(), t(0.0));
+        assert_eq!(a.balance(t(0.0)), 200.0);
+    }
+
+    #[test]
+    fn probes_cost_one_credit() {
+        let params = PaymentParams { initial_balance: 3.0, allowance_per_sec: 0.0, ..PaymentParams::default() };
+        let mut a = ProbeAccount::new(params, t(0.0));
+        assert!(a.pay_probe(t(0.0)).is_ok());
+        assert!(a.pay_probe(t(0.0)).is_ok());
+        assert!(a.pay_probe(t(0.0)).is_ok());
+        assert_eq!(a.pay_probe(t(0.0)), Err(InsufficientCredit));
+    }
+
+    #[test]
+    fn allowance_refills_over_time() {
+        let params = PaymentParams {
+            initial_balance: 0.0,
+            allowance_per_sec: 2.0,
+            ..PaymentParams::default()
+        };
+        let mut a = ProbeAccount::new(params, t(0.0));
+        assert!(a.pay_probe(t(0.0)).is_err());
+        assert!(a.pay_probe(t(1.0)).is_ok(), "2 credits accrued after 1s");
+        assert!(a.pay_probe(t(1.0)).is_ok());
+        assert!(a.pay_probe(t(1.0)).is_err());
+    }
+
+    #[test]
+    fn balance_is_capped() {
+        let params = PaymentParams {
+            initial_balance: 10.0,
+            allowance_per_sec: 100.0,
+            max_balance: 50.0,
+            ..PaymentParams::default()
+        };
+        let mut a = ProbeAccount::new(params, t(0.0));
+        assert_eq!(a.balance(t(1000.0)), 50.0);
+    }
+
+    #[test]
+    fn answering_earns_credit() {
+        let params = PaymentParams {
+            initial_balance: 0.0,
+            allowance_per_sec: 0.0,
+            earn_per_answer: 0.5,
+            ..PaymentParams::default()
+        };
+        let mut a = ProbeAccount::new(params, t(0.0));
+        a.earn_answer(t(0.0));
+        a.earn_answer(t(0.0));
+        assert!(a.pay_probe(t(0.0)).is_ok(), "two answers fund one probe");
+        assert!(a.pay_probe(t(0.0)).is_err());
+    }
+
+    #[test]
+    fn time_never_runs_backwards_in_accrual() {
+        let mut a = ProbeAccount::new(PaymentParams::default(), t(100.0));
+        // An accrual query with an earlier timestamp must not panic or
+        // mint credit.
+        let before = a.balance(t(100.0));
+        let after = a.balance(t(50.0));
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,325 @@
+//! Per-peer simulation state.
+
+use simkit::time::{SimDuration, SimTime};
+use workload::content::PeerLibrary;
+
+use crate::addr::{PeerAddr, SlotId};
+use crate::capacity::CapacityMeter;
+use crate::link_cache::LinkCache;
+use crate::payments::ProbeAccount;
+use crate::reputation::{ReputationParams, ReputationTracker};
+
+/// Whether a peer follows the protocol or attacks it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Behavior {
+    /// An honest peer: answers queries from its library, shares real cache
+    /// entries in pongs.
+    Good,
+    /// A malicious peer (§6.4): returns no results and poisons pongs with
+    /// dead or colluding addresses, advertising inflated metadata.
+    Malicious,
+}
+
+/// The complete state of one peer instance.
+///
+/// A `PeerState` is created at birth and never removed: after death it
+/// remains in the peer table (flagged dead) so stale cache entries held by
+/// others still resolve to *something* — namely, a peer that will never
+/// answer a probe.
+#[derive(Debug, Clone)]
+pub struct PeerState {
+    addr: PeerAddr,
+    slot: SlotId,
+    behavior: Behavior,
+    alive: bool,
+    born: SimTime,
+    /// Advertised shared-file count. Honest peers advertise the truth;
+    /// malicious peers inflate it to game metadata-trusting policies.
+    advertised_files: u32,
+    library: PeerLibrary,
+    link_cache: LinkCache,
+    capacity: CapacityMeter,
+    probes_received: u64,
+    selfish: bool,
+    ping_interval: SimDuration,
+    reputation: ReputationTracker,
+    account: Option<ProbeAccount>,
+}
+
+impl PeerState {
+    /// Creates a live peer.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        addr: PeerAddr,
+        slot: SlotId,
+        behavior: Behavior,
+        born: SimTime,
+        advertised_files: u32,
+        library: PeerLibrary,
+        cache_capacity: usize,
+        probe_limit: Option<u32>,
+    ) -> Self {
+        PeerState {
+            addr,
+            slot,
+            behavior,
+            alive: true,
+            born,
+            advertised_files,
+            library,
+            link_cache: LinkCache::new(cache_capacity),
+            capacity: CapacityMeter::with_limit(probe_limit),
+            probes_received: 0,
+            selfish: false,
+            ping_interval: SimDuration::from_secs(30.0),
+            reputation: ReputationTracker::new(ReputationParams::default()),
+            account: None,
+        }
+    }
+
+    /// Creates a dead placeholder for a fabricated address (the dead IPs
+    /// malicious peers hand out in poisoned pongs).
+    #[must_use]
+    pub fn dead_stub(addr: PeerAddr, born: SimTime) -> Self {
+        PeerState {
+            addr,
+            slot: SlotId(u32::MAX),
+            behavior: Behavior::Malicious,
+            alive: false,
+            born,
+            advertised_files: 0,
+            library: PeerLibrary::empty(),
+            link_cache: LinkCache::new(1),
+            capacity: CapacityMeter::with_limit(None),
+            probes_received: 0,
+            selfish: false,
+            ping_interval: SimDuration::from_secs(30.0),
+            reputation: ReputationTracker::new(ReputationParams::default()),
+            account: None,
+        }
+    }
+
+    /// This peer's address.
+    #[must_use]
+    pub fn addr(&self) -> PeerAddr {
+        self.addr
+    }
+
+    /// The network slot this peer occupies (or occupied).
+    #[must_use]
+    pub fn slot(&self) -> SlotId {
+        self.slot
+    }
+
+    /// Honest or malicious.
+    #[must_use]
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// True until the peer leaves the network.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// True for live peers that follow the protocol.
+    #[must_use]
+    pub fn is_good(&self) -> bool {
+        self.alive && self.behavior == Behavior::Good
+    }
+
+    /// Birth instant.
+    #[must_use]
+    pub fn born(&self) -> SimTime {
+        self.born
+    }
+
+    /// The file count this peer advertises in introductions and pongs.
+    #[must_use]
+    pub fn advertised_files(&self) -> u32 {
+        self.advertised_files
+    }
+
+    /// The peer's actual content library.
+    #[must_use]
+    pub fn library(&self) -> &PeerLibrary {
+        &self.library
+    }
+
+    /// The peer's link cache.
+    #[must_use]
+    pub fn link_cache(&self) -> &LinkCache {
+        &self.link_cache
+    }
+
+    /// Mutable access to the link cache.
+    pub fn link_cache_mut(&mut self) -> &mut LinkCache {
+        &mut self.link_cache
+    }
+
+    /// Mutable access to the capacity meter.
+    pub fn capacity_mut(&mut self) -> &mut CapacityMeter {
+        &mut self.capacity
+    }
+
+    /// Total probes that have arrived at this peer while alive (including
+    /// refused ones — a refusal still costs the receiver work).
+    #[must_use]
+    pub fn probes_received(&self) -> u64 {
+        self.probes_received
+    }
+
+    /// Records an arriving probe for load accounting.
+    pub fn note_probe_received(&mut self) {
+        self.probes_received += 1;
+    }
+
+    /// Marks the peer as departed. GUESS peers leave silently (§3.2): no
+    /// notification is sent; others discover the death via failed probes.
+    pub fn kill(&mut self) {
+        self.alive = false;
+    }
+
+    /// Whether this (honest) peer games the system with huge probe
+    /// volleys (§3.3).
+    #[must_use]
+    pub fn is_selfish(&self) -> bool {
+        self.selfish
+    }
+
+    /// Flags the peer as selfish.
+    pub fn set_selfish(&mut self, selfish: bool) {
+        self.selfish = selfish;
+    }
+
+    /// The peer's current maintenance ping interval (adaptive pinging
+    /// adjusts it at runtime).
+    #[must_use]
+    pub fn ping_interval(&self) -> SimDuration {
+        self.ping_interval
+    }
+
+    /// Sets the maintenance ping interval.
+    pub fn set_ping_interval(&mut self, interval: SimDuration) {
+        self.ping_interval = interval;
+    }
+
+    /// The peer's pong-source reputation memory.
+    #[must_use]
+    pub fn reputation(&self) -> &ReputationTracker {
+        &self.reputation
+    }
+
+    /// Mutable access to the reputation memory.
+    pub fn reputation_mut(&mut self) -> &mut ReputationTracker {
+        &mut self.reputation
+    }
+
+    /// Opens (or replaces) the peer's probe-credit account.
+    pub fn open_account(&mut self, account: ProbeAccount) {
+        self.account = Some(account);
+    }
+
+    /// Mutable access to the probe-credit account, if the payment economy
+    /// is enabled.
+    pub fn account_mut(&mut self) -> Option<&mut ProbeAccount> {
+        self.account.as_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrAllocator;
+
+    fn peer() -> PeerState {
+        let mut alloc = AddrAllocator::new();
+        PeerState::new(
+            alloc.allocate(),
+            SlotId(0),
+            Behavior::Good,
+            SimTime::ZERO,
+            42,
+            PeerLibrary::empty(),
+            10,
+            Some(100),
+        )
+    }
+
+    #[test]
+    fn newborn_is_alive_and_good() {
+        let p = peer();
+        assert!(p.is_alive());
+        assert!(p.is_good());
+        assert_eq!(p.advertised_files(), 42);
+        assert_eq!(p.probes_received(), 0);
+        assert_eq!(p.link_cache().capacity(), 10);
+    }
+
+    #[test]
+    fn kill_marks_dead_and_not_good() {
+        let mut p = peer();
+        p.kill();
+        assert!(!p.is_alive());
+        assert!(!p.is_good());
+    }
+
+    #[test]
+    fn dead_stub_is_dead_from_birth() {
+        let mut alloc = AddrAllocator::new();
+        let s = PeerState::dead_stub(alloc.allocate(), SimTime::from_secs(5.0));
+        assert!(!s.is_alive());
+        assert!(!s.is_good());
+        assert_eq!(s.born(), SimTime::from_secs(5.0));
+        assert!(s.library().is_empty());
+    }
+
+    #[test]
+    fn probe_load_accumulates() {
+        let mut p = peer();
+        p.note_probe_received();
+        p.note_probe_received();
+        assert_eq!(p.probes_received(), 2);
+    }
+
+    #[test]
+    fn selfish_flag_and_ping_interval_round_trip() {
+        let mut p = peer();
+        assert!(!p.is_selfish());
+        p.set_selfish(true);
+        assert!(p.is_selfish());
+        p.set_ping_interval(SimDuration::from_secs(12.0));
+        assert_eq!(p.ping_interval(), SimDuration::from_secs(12.0));
+    }
+
+    #[test]
+    fn reputation_is_per_peer() {
+        let mut p = peer();
+        let mut alloc = AddrAllocator::new();
+        let src = alloc.allocate();
+        let subj = alloc.allocate();
+        p.reputation_mut().note_shared(src, subj);
+        p.reputation_mut().note_dead(subj);
+        assert_eq!(p.reputation().blacklisted_count(), 0, "one strike is not enough");
+    }
+
+    #[test]
+    fn malicious_live_peer_is_not_good() {
+        let mut alloc = AddrAllocator::new();
+        let p = PeerState::new(
+            alloc.allocate(),
+            SlotId(1),
+            Behavior::Malicious,
+            SimTime::ZERO,
+            5000,
+            PeerLibrary::empty(),
+            10,
+            None,
+        );
+        assert!(p.is_alive());
+        assert!(!p.is_good());
+        assert_eq!(p.behavior(), Behavior::Malicious);
+    }
+}

@@ -1,0 +1,479 @@
+//! Policies — the paper's central subject.
+//!
+//! GUESS performance hinges on five policy points (§4): the order query
+//! probes go out (`QueryProbe`), which entries go into a pong answering a
+//! query (`QueryPong`), the order maintenance pings go out (`PingProbe`),
+//! which entries go into a pong answering a ping (`PingPong`), and which
+//! entry is evicted when the link cache is full (`CacheReplacement`).
+//!
+//! The first four are *selection* policies: they prefer some entries over
+//! others. Replacement policies are named for **what gets evicted**, so the
+//! mirror of a Most-Files-Shared selection goal is a Least-Files-Shared
+//! eviction ([`ReplacementPolicy::Lfs`]).
+//!
+//! MR\* is not a separate ordering: it is [`SelectionPolicy::Mr`] combined
+//! with the `ResetNumResults` protocol flag, which zeroes third-party
+//! `NumRes` claims at insertion time.
+
+use simkit::rng::RngStream;
+use simkit::time::SimTime;
+
+use crate::entry::CacheEntry;
+
+/// Preference order for probes and pong construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SelectionPolicy {
+    /// Uniformly random order — the paper's baseline, and the fairest.
+    #[default]
+    Random,
+    /// Most Recently Used: freshest `TS` first (fewest wasted probes).
+    Mru,
+    /// Least Recently Used: stalest `TS` first (spreads load; risks dead
+    /// probes).
+    Lru,
+    /// Most Files Shared: highest advertised `NumFiles` first.
+    Mfs,
+    /// Most Results: highest recorded `NumRes` first.
+    Mr,
+}
+
+/// Eviction order for the link cache, named for what gets **evicted**.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplacementPolicy {
+    /// Evict a uniformly random entry.
+    #[default]
+    Random,
+    /// Evict the least-recently-used entry (keeps fresh entries — the
+    /// MRU-goal mirror).
+    Lru,
+    /// Evict the most-recently-used entry (the fairness mirror; the paper
+    /// shows it is pathological).
+    Mru,
+    /// Evict the entry advertising the fewest files (keeps big sharers —
+    /// the MFS-goal mirror).
+    Lfs,
+    /// Evict the entry with the fewest recorded results (the MR-goal
+    /// mirror).
+    Lr,
+}
+
+impl std::fmt::Display for SelectionPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SelectionPolicy::Random => "Ran",
+            SelectionPolicy::Mru => "MRU",
+            SelectionPolicy::Lru => "LRU",
+            SelectionPolicy::Mfs => "MFS",
+            SelectionPolicy::Mr => "MR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ReplacementPolicy::Random => "Ran",
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Mru => "MRU",
+            ReplacementPolicy::Lfs => "LFS",
+            ReplacementPolicy::Lr => "LR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl SelectionPolicy {
+    /// The replacement policy that pursues the same goal as this selection
+    /// policy (§4: "Most Files Shared becomes Least Files Shared", …).
+    #[must_use]
+    pub fn mirror_replacement(self) -> ReplacementPolicy {
+        match self {
+            SelectionPolicy::Random => ReplacementPolicy::Random,
+            SelectionPolicy::Mru => ReplacementPolicy::Lru,
+            SelectionPolicy::Lru => ReplacementPolicy::Mru,
+            SelectionPolicy::Mfs => ReplacementPolicy::Lfs,
+            SelectionPolicy::Mr => ReplacementPolicy::Lr,
+        }
+    }
+}
+
+/// Scales a timestamp to an orderable integer (microsecond resolution).
+fn ts_key(ts: SimTime) -> u64 {
+    (ts.as_secs() * 1e6) as u64
+}
+
+/// Preference key for `entry` under `policy`: **larger keys are preferred**
+/// (probed/pong'd first, evicted last). Ties are broken by a random draw so
+/// equal-key entries are treated symmetrically.
+#[must_use]
+pub fn selection_key(policy: SelectionPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
+    use rand::RngCore;
+    let tie = rng.next_u64();
+    let primary = match policy {
+        SelectionPolicy::Random => 0,
+        SelectionPolicy::Mru => ts_key(entry.ts()),
+        SelectionPolicy::Lru => u64::MAX - ts_key(entry.ts()),
+        SelectionPolicy::Mfs => u64::from(entry.num_files()),
+        SelectionPolicy::Mr => u64::from(entry.num_res()),
+    };
+    (primary, tie)
+}
+
+/// Retention key for `entry` under an eviction policy: the entry with the
+/// **smallest** key is the eviction victim.
+#[must_use]
+pub fn retention_key(policy: ReplacementPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
+    use rand::RngCore;
+    let tie = rng.next_u64();
+    let primary = match policy {
+        ReplacementPolicy::Random => 0,
+        // Evicting the LRU entry means retaining by freshness.
+        ReplacementPolicy::Lru => ts_key(entry.ts()),
+        // Evicting the MRU entry means retaining by staleness.
+        ReplacementPolicy::Mru => u64::MAX - ts_key(entry.ts()),
+        ReplacementPolicy::Lfs => u64::from(entry.num_files()),
+        ReplacementPolicy::Lr => u64::from(entry.num_res()),
+    };
+    (primary, tie)
+}
+
+/// Selects up to `k` entries from `entries` in preference order under
+/// `policy` — this is how pongs are built.
+///
+/// Runs in O(n) for `Random` and O(n log k) otherwise.
+#[must_use]
+pub fn select_top_k(
+    policy: SelectionPolicy,
+    entries: &[CacheEntry],
+    k: usize,
+    rng: &mut RngStream,
+) -> Vec<CacheEntry> {
+    if k == 0 || entries.is_empty() {
+        return Vec::new();
+    }
+    if policy == SelectionPolicy::Random {
+        return rng.sample_indices(entries.len(), k).into_iter().map(|i| entries[i]).collect();
+    }
+    // Keep the k best seen so far in a small min-heap (by key).
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<((u64, u64), usize)>> = BinaryHeap::with_capacity(k + 1);
+    for (i, e) in entries.iter().enumerate() {
+        let key = selection_key(policy, e, rng);
+        heap.push(Reverse((key, i)));
+        if heap.len() > k {
+            heap.pop();
+        }
+    }
+    let mut picked: Vec<((u64, u64), usize)> = heap.into_iter().map(|Reverse(x)| x).collect();
+    // Preference order: highest key first.
+    picked.sort_by(|a, b| b.0.cmp(&a.0));
+    picked.into_iter().map(|(_, i)| entries[i]).collect()
+}
+
+/// Picks the index of the eviction victim under `policy` from a non-empty
+/// slice, i.e. the entry with the smallest retention key.
+///
+/// Returns `None` on an empty slice.
+#[must_use]
+pub fn eviction_victim(
+    policy: ReplacementPolicy,
+    entries: &[CacheEntry],
+    rng: &mut RngStream,
+) -> Option<usize> {
+    if entries.is_empty() {
+        return None;
+    }
+    if policy == ReplacementPolicy::Random {
+        return Some(rng.below(entries.len()));
+    }
+    entries
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (retention_key(policy, e, rng), i))
+        .min()
+        .map(|(_, i)| i)
+}
+
+/// A probe-ordering queue: candidates are pushed as they are discovered
+/// (link cache first, then pong entries) and popped in preference order
+/// under the `QueryProbe`/`PingProbe` policy.
+///
+/// Keys are fixed at push time; the paper's policies rank on the metadata
+/// carried by the entry, which does not change while the entry waits in the
+/// queue.
+///
+/// # Examples
+///
+/// ```
+/// use guess::addr::AddrAllocator;
+/// use guess::entry::CacheEntry;
+/// use guess::policy::{ProbeQueue, SelectionPolicy};
+/// use simkit::rng::RngStream;
+/// use simkit::time::SimTime;
+///
+/// let mut alloc = AddrAllocator::new();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let mut q = ProbeQueue::new(SelectionPolicy::Mfs);
+/// q.push(CacheEntry::new(alloc.allocate(), SimTime::ZERO, 10), &mut rng);
+/// q.push(CacheEntry::new(alloc.allocate(), SimTime::ZERO, 999), &mut rng);
+/// assert_eq!(q.pop().unwrap().num_files(), 999);
+/// ```
+#[derive(Debug)]
+pub struct ProbeQueue {
+    policy: SelectionPolicy,
+    heap: std::collections::BinaryHeap<Ranked>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Ranked {
+    key: (u64, u64),
+    entry_addr_order: u64,
+    entry: RankedEntry,
+}
+
+// CacheEntry is PartialEq but not Eq/Ord (contains SimTime floats); wrap the
+// fields we need for heap storage.
+#[derive(Debug, PartialEq, Eq)]
+struct RankedEntry {
+    addr: crate::addr::PeerAddr,
+    ts_micros: u64,
+    num_files: u32,
+    num_res: u32,
+}
+
+impl PartialOrd for Ranked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ranked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+impl ProbeQueue {
+    /// Creates an empty queue ordering by `policy`.
+    #[must_use]
+    pub fn new(policy: SelectionPolicy) -> Self {
+        ProbeQueue { policy, heap: std::collections::BinaryHeap::new() }
+    }
+
+    /// The queue's ordering policy.
+    #[must_use]
+    pub fn policy(&self) -> SelectionPolicy {
+        self.policy
+    }
+
+    /// Adds a candidate. The caller is responsible for deduplication.
+    pub fn push(&mut self, entry: CacheEntry, rng: &mut RngStream) {
+        let key = selection_key(self.policy, &entry, rng);
+        self.heap.push(Ranked {
+            key,
+            entry_addr_order: entry.addr().index() as u64,
+            entry: RankedEntry {
+                addr: entry.addr(),
+                ts_micros: (entry.ts().as_secs() * 1e6) as u64,
+                num_files: entry.num_files(),
+                num_res: entry.num_res(),
+            },
+        });
+    }
+
+    /// Pops the most-preferred candidate.
+    pub fn pop(&mut self) -> Option<CacheEntry> {
+        self.heap.pop().map(|r| {
+            CacheEntry::from_pong(
+                r.entry.addr,
+                SimTime::from_secs(r.entry.ts_micros as f64 / 1e6),
+                r.entry.num_files,
+                r.entry.num_res,
+            )
+        })
+    }
+
+    /// Number of waiting candidates.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns true if no candidates wait.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrAllocator;
+
+    fn entries(n: usize) -> (Vec<CacheEntry>, AddrAllocator) {
+        let mut alloc = AddrAllocator::new();
+        let v = (0..n)
+            .map(|i| {
+                let mut e = CacheEntry::new(
+                    alloc.allocate(),
+                    SimTime::from_secs(i as f64),
+                    (i * 10) as u32,
+                );
+                e.record_results(SimTime::from_secs(i as f64), (i % 4) as u32);
+                e
+            })
+            .collect();
+        (v, alloc)
+    }
+
+    fn rng() -> RngStream {
+        RngStream::from_seed(99, "policy-test")
+    }
+
+    #[test]
+    fn mfs_prefers_big_sharers() {
+        let (es, _) = entries(10);
+        let mut r = rng();
+        let top = select_top_k(SelectionPolicy::Mfs, &es, 3, &mut r);
+        let files: Vec<u32> = top.iter().map(CacheEntry::num_files).collect();
+        assert_eq!(files, vec![90, 80, 70]);
+    }
+
+    #[test]
+    fn mru_prefers_fresh_lru_prefers_stale() {
+        let (es, _) = entries(5);
+        let mut r = rng();
+        let mru = select_top_k(SelectionPolicy::Mru, &es, 1, &mut r)[0];
+        let lru = select_top_k(SelectionPolicy::Lru, &es, 1, &mut r)[0];
+        assert_eq!(mru.ts(), SimTime::from_secs(4.0));
+        assert_eq!(lru.ts(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn mr_prefers_producers() {
+        let (es, _) = entries(8);
+        let mut r = rng();
+        let top = select_top_k(SelectionPolicy::Mr, &es, 2, &mut r);
+        assert!(top.iter().all(|e| e.num_res() == 3));
+    }
+
+    #[test]
+    fn random_selection_is_distinct_subset() {
+        let (es, _) = entries(20);
+        let mut r = rng();
+        let sel = select_top_k(SelectionPolicy::Random, &es, 5, &mut r);
+        assert_eq!(sel.len(), 5);
+        let mut addrs: Vec<_> = sel.iter().map(|e| e.addr()).collect();
+        addrs.sort();
+        addrs.dedup();
+        assert_eq!(addrs.len(), 5);
+    }
+
+    #[test]
+    fn top_k_clamps_to_len() {
+        let (es, _) = entries(3);
+        let mut r = rng();
+        assert_eq!(select_top_k(SelectionPolicy::Mfs, &es, 10, &mut r).len(), 3);
+        assert!(select_top_k(SelectionPolicy::Mfs, &es, 0, &mut r).is_empty());
+        assert!(select_top_k(SelectionPolicy::Mfs, &[], 3, &mut r).is_empty());
+    }
+
+    #[test]
+    fn lfs_evicts_smallest_sharer() {
+        let (es, _) = entries(10);
+        let mut r = rng();
+        let victim = eviction_victim(ReplacementPolicy::Lfs, &es, &mut r).unwrap();
+        assert_eq!(es[victim].num_files(), 0);
+    }
+
+    #[test]
+    fn lru_eviction_removes_stalest_mru_removes_freshest() {
+        let (es, _) = entries(6);
+        let mut r = rng();
+        let lru = eviction_victim(ReplacementPolicy::Lru, &es, &mut r).unwrap();
+        assert_eq!(es[lru].ts(), SimTime::ZERO);
+        let mru = eviction_victim(ReplacementPolicy::Mru, &es, &mut r).unwrap();
+        assert_eq!(es[mru].ts(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn eviction_on_empty_is_none() {
+        let mut r = rng();
+        assert!(eviction_victim(ReplacementPolicy::Random, &[], &mut r).is_none());
+    }
+
+    #[test]
+    fn random_eviction_is_in_bounds() {
+        let (es, _) = entries(7);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = eviction_victim(ReplacementPolicy::Random, &es, &mut r).unwrap();
+            assert!(v < 7);
+        }
+    }
+
+    #[test]
+    fn probe_queue_orders_by_policy() {
+        let (es, _) = entries(10);
+        let mut r = rng();
+        let mut q = ProbeQueue::new(SelectionPolicy::Mfs);
+        for e in &es {
+            q.push(*e, &mut r);
+        }
+        let mut last = u32::MAX;
+        while let Some(e) = q.pop() {
+            assert!(e.num_files() <= last, "queue must pop in descending NumFiles");
+            last = e.num_files();
+        }
+    }
+
+    #[test]
+    fn probe_queue_random_pops_everything() {
+        let (es, _) = entries(50);
+        let mut r = rng();
+        let mut q = ProbeQueue::new(SelectionPolicy::Random);
+        for e in &es {
+            q.push(*e, &mut r);
+        }
+        assert_eq!(q.len(), 50);
+        let mut popped = 0;
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn probe_queue_round_trips_entry_fields() {
+        let mut r = rng();
+        let mut alloc = AddrAllocator::new();
+        let e = CacheEntry::from_pong(alloc.allocate(), SimTime::from_secs(12.5), 77, 3);
+        let mut q = ProbeQueue::new(SelectionPolicy::Mr);
+        q.push(e, &mut r);
+        let back = q.pop().unwrap();
+        assert_eq!(back.addr(), e.addr());
+        assert_eq!(back.num_files(), 77);
+        assert_eq!(back.num_res(), 3);
+        assert!((back.ts().as_secs() - 12.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mirror_replacement_matches_paper_table() {
+        assert_eq!(SelectionPolicy::Mfs.mirror_replacement(), ReplacementPolicy::Lfs);
+        assert_eq!(SelectionPolicy::Mr.mirror_replacement(), ReplacementPolicy::Lr);
+        assert_eq!(SelectionPolicy::Mru.mirror_replacement(), ReplacementPolicy::Lru);
+        assert_eq!(SelectionPolicy::Lru.mirror_replacement(), ReplacementPolicy::Mru);
+        assert_eq!(SelectionPolicy::Random.mirror_replacement(), ReplacementPolicy::Random);
+    }
+
+    #[test]
+    fn display_names_match_figures() {
+        assert_eq!(SelectionPolicy::Mfs.to_string(), "MFS");
+        assert_eq!(ReplacementPolicy::Lfs.to_string(), "LFS");
+        assert_eq!(SelectionPolicy::Random.to_string(), "Ran");
+    }
+}

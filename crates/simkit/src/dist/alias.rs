@@ -1,0 +1,190 @@
+//! Walker's alias method for O(1) sampling from a discrete distribution.
+
+use crate::dist::DiscreteDist;
+use crate::rng::RngStream;
+
+/// A precomputed alias table over weighted categories.
+///
+/// Construction is O(n); each sample is O(1). This is the workhorse behind
+/// the Zipf catalog samplers, which are consulted on every simulated probe.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{AliasTable, DiscreteDist};
+/// use simkit::rng::RngStream;
+///
+/// let table = AliasTable::new(&[1.0, 3.0]).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let hits = (0..10_000).filter(|_| table.sample_index(&mut rng) == 1).count();
+/// assert!((7000..8000).contains(&hits)); // ~75% of mass on index 1
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+/// Error building an [`AliasTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildAliasError {
+    /// The weight slice was empty.
+    Empty,
+    /// A weight was negative, NaN, or infinite.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+    },
+    /// All weights were zero.
+    ZeroMass,
+}
+
+impl std::fmt::Display for BuildAliasError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildAliasError::Empty => write!(f, "no categories provided"),
+            BuildAliasError::InvalidWeight { index } => {
+                write!(f, "weight at index {index} is negative or non-finite")
+            }
+            BuildAliasError::ZeroMass => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for BuildAliasError {}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildAliasError`] if `weights` is empty, contains a
+    /// negative or non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, BuildAliasError> {
+        if weights.is_empty() {
+            return Err(BuildAliasError::Empty);
+        }
+        for (index, &w) in weights.iter().enumerate() {
+            if !w.is_finite() || w < 0.0 {
+                return Err(BuildAliasError::InvalidWeight { index });
+            }
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(BuildAliasError::ZeroMass);
+        }
+
+        let n = weights.len();
+        let mut prob = vec![0.0; n];
+        let mut alias = vec![0usize; n];
+        // Scaled probabilities: mean 1.0.
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * n as f64 / total).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(n);
+        let mut large: Vec<usize> = Vec::with_capacity(n);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            prob[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Whatever remains is (numerically) exactly 1.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Ok(AliasTable { prob, alias })
+    }
+}
+
+impl DiscreteDist for AliasTable {
+    fn sample_index(&self, rng: &mut RngStream) -> usize {
+        let n = self.prob.len();
+        let i = rng.below(n);
+        if rng.f64() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.prob.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(AliasTable::new(&[]).unwrap_err(), BuildAliasError::Empty);
+        assert_eq!(
+            AliasTable::new(&[1.0, -2.0]).unwrap_err(),
+            BuildAliasError::InvalidWeight { index: 1 }
+        );
+        assert_eq!(
+            AliasTable::new(&[0.0, f64::NAN]).unwrap_err(),
+            BuildAliasError::InvalidWeight { index: 1 }
+        );
+        assert_eq!(AliasTable::new(&[0.0, 0.0]).unwrap_err(), BuildAliasError::ZeroMass);
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let t = AliasTable::new(&[3.0]).unwrap();
+        let mut rng = RngStream::from_seed(1, "t");
+        for _ in 0..100 {
+            assert_eq!(t.sample_index(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_category_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 1.0]).unwrap();
+        let mut rng = RngStream::from_seed(2, "t");
+        for _ in 0..10_000 {
+            assert_ne!(t.sample_index(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn frequencies_match_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = RngStream::from_seed(3, "t");
+        let mut counts = [0u32; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[t.sample_index(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = f64::from(counts[i]) / f64::from(n);
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "category {i}: observed {observed:.4}, expected {expected:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn len_reports_categories() {
+        let t = AliasTable::new(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Empirical distribution: resample i.i.d. from a fixed sample, exactly the
+//! way the paper resamples its measured Gnutella session-length trace.
+
+use crate::dist::ContinuousDist;
+use crate::rng::RngStream;
+
+/// A distribution defined by a finite sample; draws return uniformly random
+/// elements of the sample (bootstrap resampling).
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{ContinuousDist, EmpiricalDist};
+/// use simkit::rng::RngStream;
+///
+/// let d = EmpiricalDist::from_sample(vec![1.0, 2.0, 3.0]).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// assert!([1.0, 2.0, 3.0].contains(&d.sample(&mut rng)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EmpiricalDist {
+    sample: Vec<f64>,
+    sorted: Vec<f64>,
+}
+
+/// Error constructing an [`EmpiricalDist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildEmpiricalError {
+    /// The sample was empty.
+    Empty,
+    /// The sample contained a NaN or infinite value.
+    NonFinite,
+}
+
+impl std::fmt::Display for BuildEmpiricalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildEmpiricalError::Empty => write!(f, "empirical sample is empty"),
+            BuildEmpiricalError::NonFinite => write!(f, "empirical sample contains non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for BuildEmpiricalError {}
+
+impl EmpiricalDist {
+    /// Builds the distribution from a raw sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildEmpiricalError`] if the sample is empty or contains
+    /// non-finite values.
+    pub fn from_sample(sample: Vec<f64>) -> Result<Self, BuildEmpiricalError> {
+        if sample.is_empty() {
+            return Err(BuildEmpiricalError::Empty);
+        }
+        if sample.iter().any(|x| !x.is_finite()) {
+            return Err(BuildEmpiricalError::NonFinite);
+        }
+        let mut sorted = sample.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ok(EmpiricalDist { sample, sorted })
+    }
+
+    /// Number of observations in the underlying sample.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Returns true if the sample is empty (never true after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sample.is_empty()
+    }
+
+    /// The `q`-quantile of the sample (`q` clamped to `[0,1]`), by the
+    /// nearest-rank method.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).saturating_sub(1);
+        self.sorted[idx.min(self.sorted.len() - 1)]
+    }
+
+    /// The sample median.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Returns a new distribution with every observation multiplied by
+    /// `factor` — this is exactly the paper's `LifespanMultiplier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is non-finite or negative.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> EmpiricalDist {
+        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        EmpiricalDist {
+            sample: self.sample.iter().map(|x| x * factor).collect(),
+            sorted: self.sorted.iter().map(|x| x * factor).collect(),
+        }
+    }
+}
+
+impl ContinuousDist for EmpiricalDist {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        self.sample[rng.below(self.sample.len())]
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(self.sample.iter().sum::<f64>() / self.sample.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_samples() {
+        assert_eq!(EmpiricalDist::from_sample(vec![]).unwrap_err(), BuildEmpiricalError::Empty);
+        assert_eq!(
+            EmpiricalDist::from_sample(vec![1.0, f64::NAN]).unwrap_err(),
+            BuildEmpiricalError::NonFinite
+        );
+    }
+
+    #[test]
+    fn draws_come_from_sample() {
+        let d = EmpiricalDist::from_sample(vec![5.0, 6.0, 7.0]).unwrap();
+        let mut rng = RngStream::from_seed(1, "em");
+        for _ in 0..1000 {
+            assert!([5.0, 6.0, 7.0].contains(&d.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn quantiles_and_median() {
+        let d = EmpiricalDist::from_sample((1..=100).map(f64::from).collect()).unwrap();
+        assert_eq!(d.median(), 50.0);
+        assert_eq!(d.quantile(0.0), 1.0);
+        assert_eq!(d.quantile(1.0), 100.0);
+        assert_eq!(d.quantile(0.9), 90.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let d = EmpiricalDist::from_sample(vec![10.0, 20.0]).unwrap();
+        let s = d.scaled(0.2);
+        assert_eq!(s.median(), 2.0);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn mean_is_sample_mean() {
+        let d = EmpiricalDist::from_sample(vec![2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(d.mean(), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_negative() {
+        let d = EmpiricalDist::from_sample(vec![1.0]).unwrap();
+        let _ = d.scaled(-1.0);
+    }
+}

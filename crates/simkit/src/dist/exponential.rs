@@ -1,0 +1,101 @@
+//! Exponential distribution (Poisson inter-arrival times).
+
+use crate::dist::ContinuousDist;
+use crate::rng::RngStream;
+
+/// Exponential distribution with the given rate `lambda` (events/second).
+///
+/// Query-burst arrivals in the workload follow a Poisson process, so the
+/// gaps between bursts are exponential.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{ContinuousDist, Exponential};
+/// use simkit::rng::RngStream;
+///
+/// let gap = Exponential::new(0.5).unwrap(); // mean 2 seconds
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// assert!(gap.sample(&mut rng) >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    lambda: f64,
+}
+
+/// Error constructing an [`Exponential`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidRateError;
+
+impl std::fmt::Display for InvalidRateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exponential rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for InvalidRateError {}
+
+impl Exponential {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRateError`] unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Self, InvalidRateError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(InvalidRateError);
+        }
+        Ok(Exponential { lambda })
+    }
+
+    /// The rate parameter, in events per second.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        // Inverse CDF; (1 - u) avoids ln(0).
+        let u = rng.f64();
+        -(1.0 - u).ln() / self.lambda
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some(1.0 / self.lambda)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+        assert!(Exponential::new(1.0).is_ok());
+    }
+
+    #[test]
+    fn sample_mean_approaches_analytic_mean() {
+        let d = Exponential::new(0.25).unwrap();
+        let mut rng = RngStream::from_seed(1, "e");
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(d.mean(), Some(4.0));
+    }
+
+    #[test]
+    fn samples_are_non_negative() {
+        let d = Exponential::new(2.0).unwrap();
+        let mut rng = RngStream::from_seed(2, "e");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Log-normal distribution, used for heavy-tailed session lengths.
+
+use crate::dist::ContinuousDist;
+use crate::rng::RngStream;
+
+/// Log-normal distribution: `exp(N(mu, sigma^2))`.
+///
+/// Measured P2P session lengths are strongly right-skewed; the synthetic
+/// lifetime sample is a mixture of log-normals.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{ContinuousDist, LogNormal};
+/// use simkit::rng::RngStream;
+///
+/// // median = e^7 ≈ 1096 seconds
+/// let d = LogNormal::new(7.0, 1.5).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+/// Error constructing a [`LogNormal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidLogNormalError;
+
+impl std::fmt::Display for InvalidLogNormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "log-normal parameters must be finite with sigma > 0")
+    }
+}
+
+impl std::error::Error for InvalidLogNormalError {}
+
+impl LogNormal {
+    /// Creates a log-normal with log-space mean `mu` and log-space standard
+    /// deviation `sigma`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidLogNormalError`] unless both parameters are finite
+    /// and `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, InvalidLogNormalError> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma <= 0.0 {
+            return Err(InvalidLogNormalError);
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+
+    /// The distribution's median, `exp(mu)`.
+    #[must_use]
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+
+    /// Draws a standard normal via Box–Muller.
+    fn standard_normal(rng: &mut RngStream) -> f64 {
+        let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+impl ContinuousDist for LogNormal {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        (self.mu + self.sigma * Self::standard_normal(rng)).exp()
+    }
+
+    fn mean(&self) -> Option<f64> {
+        Some((self.mu + self.sigma * self.sigma / 2.0).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(1.0, 0.0).is_err());
+        assert!(LogNormal::new(1.0, -2.0).is_err());
+        assert!(LogNormal::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn samples_positive() {
+        let d = LogNormal::new(2.0, 1.0).unwrap();
+        let mut rng = RngStream::from_seed(1, "ln");
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn empirical_median_near_exp_mu() {
+        let d = LogNormal::new(3.0, 0.8).unwrap();
+        let mut rng = RngStream::from_seed(2, "ln");
+        let mut v: Vec<f64> = (0..50_001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        let expected = d.median();
+        assert!(
+            (median / expected - 1.0).abs() < 0.05,
+            "median {median:.2} vs expected {expected:.2}"
+        );
+    }
+
+    #[test]
+    fn empirical_mean_near_analytic() {
+        let d = LogNormal::new(1.0, 0.5).unwrap();
+        let mut rng = RngStream::from_seed(3, "ln");
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
+        let analytic = d.mean().unwrap();
+        assert!((mean / analytic - 1.0).abs() < 0.03, "mean {mean:.3} vs {analytic:.3}");
+    }
+}

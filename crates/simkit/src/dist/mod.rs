@@ -1,0 +1,47 @@
+//! Probability distributions used by the workload models.
+//!
+//! All samplers draw from an [`RngStream`] so that
+//! simulations remain deterministic under a fixed seed.
+//!
+//! [`RngStream`]: crate::RngStream
+
+mod alias;
+mod empirical;
+mod exponential;
+mod lognormal;
+mod pareto;
+mod zipf;
+
+pub use alias::{AliasTable, BuildAliasError};
+pub use empirical::{BuildEmpiricalError, EmpiricalDist};
+pub use exponential::{Exponential, InvalidRateError};
+pub use lognormal::{InvalidLogNormalError, LogNormal};
+pub use pareto::{BoundedPareto, InvalidParetoError};
+pub use zipf::{BuildZipfError, Zipf};
+
+use crate::rng::RngStream;
+
+/// A continuous distribution over non-negative reals.
+pub trait ContinuousDist {
+    /// Draws one sample.
+    fn sample(&self, rng: &mut RngStream) -> f64;
+
+    /// The analytical mean, if finite and known.
+    fn mean(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// A discrete distribution over `0..len()`.
+pub trait DiscreteDist {
+    /// Draws one index.
+    fn sample_index(&self, rng: &mut RngStream) -> usize;
+
+    /// Number of categories.
+    fn len(&self) -> usize;
+
+    /// Returns true if there are no categories.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,114 @@
+//! Bounded (truncated) Pareto distribution, used for shared-file counts.
+
+use crate::dist::ContinuousDist;
+use crate::rng::RngStream;
+
+/// Pareto distribution truncated to `[lo, hi]` with shape `alpha`.
+///
+/// Matches the "most peers share few files, a handful share thousands"
+/// shape of measured file-sharing populations while keeping a hard upper
+/// bound so a single simulated peer cannot own the whole catalog.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{BoundedPareto, ContinuousDist};
+/// use simkit::rng::RngStream;
+///
+/// let files = BoundedPareto::new(1.0, 10_000.0, 0.8).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let x = files.sample(&mut rng);
+/// assert!((1.0..=10_000.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    lo: f64,
+    hi: f64,
+    alpha: f64,
+}
+
+/// Error constructing a [`BoundedPareto`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidParetoError;
+
+impl std::fmt::Display for InvalidParetoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bounded pareto requires 0 < lo < hi and finite alpha > 0")
+    }
+}
+
+impl std::error::Error for InvalidParetoError {}
+
+impl BoundedPareto {
+    /// Creates a bounded Pareto on `[lo, hi]` with tail index `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParetoError`] unless `0 < lo < hi` and `alpha` is
+    /// finite and positive.
+    pub fn new(lo: f64, hi: f64, alpha: f64) -> Result<Self, InvalidParetoError> {
+        let params_ok = lo.is_finite() && hi.is_finite() && alpha.is_finite();
+        if !params_ok || lo <= 0.0 || hi <= lo || alpha <= 0.0 {
+            return Err(InvalidParetoError);
+        }
+        Ok(BoundedPareto { lo, hi, alpha })
+    }
+
+    /// The lower bound of the support.
+    #[must_use]
+    pub fn lower(&self) -> f64 {
+        self.lo
+    }
+
+    /// The upper bound of the support.
+    #[must_use]
+    pub fn upper(&self) -> f64 {
+        self.hi
+    }
+}
+
+impl ContinuousDist for BoundedPareto {
+    fn sample(&self, rng: &mut RngStream) -> f64 {
+        // Inverse CDF of the truncated Pareto.
+        let u = rng.f64();
+        let la = self.lo.powf(-self.alpha);
+        let ha = self.hi.powf(-self.alpha);
+        (la - u * (la - ha)).powf(-1.0 / self.alpha)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(BoundedPareto::new(0.0, 10.0, 1.0).is_err());
+        assert!(BoundedPareto::new(5.0, 5.0, 1.0).is_err());
+        assert!(BoundedPareto::new(5.0, 2.0, 1.0).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, 0.0).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, f64::NAN).is_err());
+        assert!(BoundedPareto::new(1.0, 10.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn samples_stay_in_bounds() {
+        let d = BoundedPareto::new(2.0, 50.0, 1.2).unwrap();
+        let mut rng = RngStream::from_seed(1, "p");
+        for _ in 0..20_000 {
+            let x = d.sample(&mut rng);
+            assert!((2.0..=50.0).contains(&x), "sample {x} out of bounds");
+        }
+    }
+
+    #[test]
+    fn distribution_is_right_skewed() {
+        let d = BoundedPareto::new(1.0, 10_000.0, 1.0).unwrap();
+        let mut rng = RngStream::from_seed(2, "p");
+        let n = 50_000;
+        let below10 = (0..n).filter(|_| d.sample(&mut rng) < 10.0).count();
+        // With alpha=1 on [1, 1e4], P(X < 10) = (1 - 1/10)/(1 - 1e-4) ≈ 0.9.
+        let frac = below10 as f64 / n as f64;
+        assert!((0.88..0.92).contains(&frac), "P(X<10) = {frac}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipf (discrete power-law) distribution over ranks, via an alias table.
+
+use crate::dist::{AliasTable, DiscreteDist};
+use crate::rng::RngStream;
+
+/// Zipf distribution over ranks `0..n`, where rank `r` has weight
+/// `1 / (r + 1)^exponent`.
+///
+/// Item popularity in file-sharing catalogs is strongly Zipf-like; the
+/// query model uses one `Zipf` for item replication and one for query
+/// popularity.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::dist::{Zipf, DiscreteDist};
+/// use simkit::rng::RngStream;
+///
+/// let z = Zipf::new(100, 1.0).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// assert!(z.sample_index(&mut rng) < 100);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    table: AliasTable,
+    exponent: f64,
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildZipfError {
+    /// `n` was zero.
+    Empty,
+    /// The exponent was negative or non-finite.
+    InvalidExponent,
+}
+
+impl std::fmt::Display for BuildZipfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildZipfError::Empty => write!(f, "zipf over zero ranks"),
+            BuildZipfError::InvalidExponent => write!(f, "zipf exponent must be finite and >= 0"),
+        }
+    }
+}
+
+impl std::error::Error for BuildZipfError {}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with the given exponent.
+    ///
+    /// An exponent of `0.0` degenerates to the uniform distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildZipfError`] if `n == 0` or the exponent is negative
+    /// or non-finite.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, BuildZipfError> {
+        if n == 0 {
+            return Err(BuildZipfError::Empty);
+        }
+        if !exponent.is_finite() || exponent < 0.0 {
+            return Err(BuildZipfError::InvalidExponent);
+        }
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+        let table = AliasTable::new(&weights).expect("zipf weights are positive and finite");
+        Ok(Zipf { table, exponent })
+    }
+
+    /// The skew exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// The normalized probability of rank `r`, or `None` if out of range.
+    #[must_use]
+    pub fn probability(&self, r: usize) -> Option<f64> {
+        if r >= self.len() {
+            return None;
+        }
+        let h: f64 = (0..self.len()).map(|k| 1.0 / ((k + 1) as f64).powf(self.exponent)).sum();
+        Some(1.0 / ((r + 1) as f64).powf(self.exponent) / h)
+    }
+}
+
+impl DiscreteDist for Zipf {
+    fn sample_index(&self, rng: &mut RngStream) -> usize {
+        self.table.sample_index(rng)
+    }
+
+    fn len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_params() {
+        assert_eq!(Zipf::new(0, 1.0).unwrap_err(), BuildZipfError::Empty);
+        assert_eq!(Zipf::new(5, -1.0).unwrap_err(), BuildZipfError::InvalidExponent);
+        assert_eq!(Zipf::new(5, f64::INFINITY).unwrap_err(), BuildZipfError::InvalidExponent);
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = RngStream::from_seed(1, "z");
+        let mut rank0 = 0;
+        let mut tail = 0; // ranks >= 500
+        for _ in 0..50_000 {
+            let r = z.sample_index(&mut rng);
+            if r == 0 {
+                rank0 += 1;
+            }
+            if r >= 500 {
+                tail += 1;
+            }
+        }
+        assert!(rank0 > tail, "head should outweigh the entire tail half: {rank0} vs {tail}");
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(10, 0.0).unwrap();
+        let mut rng = RngStream::from_seed(2, "z");
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((8500..11500).contains(&c), "uniform bucket out of range: {c}");
+        }
+    }
+
+    #[test]
+    fn probability_sums_to_one() {
+        let z = Zipf::new(50, 0.8).unwrap();
+        let total: f64 = (0..50).map(|r| z.probability(r).unwrap()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.probability(50).is_none());
+    }
+
+    #[test]
+    fn empirical_head_probability_matches_analytic() {
+        let z = Zipf::new(100, 1.2).unwrap();
+        let mut rng = RngStream::from_seed(3, "z");
+        let n = 200_000;
+        let hits = (0..n).filter(|_| z.sample_index(&mut rng) == 0).count();
+        let expected = z.probability(0).unwrap();
+        let observed = hits as f64 / n as f64;
+        assert!((observed - expected).abs() < 0.01, "observed {observed:.4} vs {expected:.4}");
+    }
+}

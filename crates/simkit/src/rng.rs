@@ -1,0 +1,268 @@
+//! Deterministic random-number streams.
+//!
+//! Every stochastic component of a simulation draws from its own
+//! [`RngStream`], derived from a single run seed plus a component label.
+//! Splitting streams this way keeps components statistically independent
+//! *and* means adding randomness to one component cannot perturb the draws
+//! seen by another — runs stay comparable across code changes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A named, seedable random stream.
+///
+/// # Examples
+///
+/// ```
+/// use rand::RngCore;
+/// use simkit::rng::RngStream;
+///
+/// let mut a = RngStream::from_seed(42, "lifetimes");
+/// let mut b = RngStream::from_seed(42, "lifetimes");
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed + label => same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+}
+
+/// Stable 64-bit FNV-1a hash, used to fold a stream label into the seed.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl RngStream {
+    /// Creates a stream from a run seed and a component label.
+    ///
+    /// Distinct labels under the same seed yield independent streams;
+    /// identical `(seed, label)` pairs yield identical streams.
+    #[must_use]
+    pub fn from_seed(seed: u64, label: &str) -> Self {
+        let mixed = seed ^ fnv1a(label.as_bytes()).rotate_left(17);
+        // SplitMix64 expansion of the 64-bit seed into the 32-byte StdRng seed.
+        let mut state = mixed;
+        let mut seed_bytes = [0u8; 32];
+        for chunk in seed_bytes.chunks_mut(8) {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        RngStream { rng: StdRng::from_seed(seed_bytes) }
+    }
+
+    /// Derives a child stream labelled `label` from this stream's current
+    /// state. Useful for giving every simulated peer its own stream.
+    #[must_use]
+    pub fn fork(&mut self, label: &str) -> RngStream {
+        let seed = self.rng.gen::<u64>();
+        RngStream::from_seed(seed, label)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[must_use]
+    pub fn f64(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Bernoulli trial succeeding with probability `p` (clamped to `[0,1]`).
+    #[must_use]
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen::<f64>() < p
+        }
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    #[must_use]
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "below(0) is meaningless");
+        self.rng.gen_range(0..bound)
+    }
+
+    /// Uniform integer in the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[must_use]
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range [{lo}, {hi}]");
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[must_use]
+    pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.below(slice.len())])
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` (k clamped to n),
+    /// returned in random order.
+    #[must_use]
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k * 8 <= n {
+            // Sparse case: rejection sampling is O(k) expected, avoiding
+            // the O(n) index-vector setup — this path runs on every pong.
+            let mut picked = Vec::with_capacity(k);
+            while picked.len() < k {
+                let c = self.below(n);
+                if !picked.contains(&c) {
+                    picked.push(c);
+                }
+            }
+            return picked;
+        }
+        // Dense case: partial Fisher–Yates.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.below(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.rng.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = RngStream::from_seed(7, "x");
+        let mut b = RngStream::from_seed(7, "x");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn labels_split_streams() {
+        let mut a = RngStream::from_seed(7, "alpha");
+        let mut b = RngStream::from_seed(7, "beta");
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams with different labels should diverge");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::from_seed(1, "c");
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-0.5));
+        assert!(r.chance(1.5));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = RngStream::from_seed(2, "cal");
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2700..=3300).contains(&hits), "got {hits} hits for p=0.3");
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut r = RngStream::from_seed(3, "b");
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let mut r = RngStream::from_seed(4, "s");
+        let s = r.sample_indices(50, 10);
+        assert_eq!(s.len(), 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "indices must be distinct");
+        assert!(sorted.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_clamps_k() {
+        let mut r = RngStream::from_seed(5, "s2");
+        assert_eq!(r.sample_indices(3, 10).len(), 3);
+        assert!(r.sample_indices(0, 4).is_empty());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::from_seed(6, "sh");
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_children() {
+        let mut parent = RngStream::from_seed(9, "p");
+        let mut c1 = parent.fork("child");
+        let mut c2 = parent.fork("child");
+        // Two forks from different parent states differ even with equal labels.
+        assert_ne!(c1.next_u64(), c2.next_u64());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut r = RngStream::from_seed(10, "ch");
+        let empty: [u8; 0] = [];
+        assert!(r.choose(&empty).is_none());
+        assert_eq!(r.choose(&[5]), Some(&5));
+    }
+}

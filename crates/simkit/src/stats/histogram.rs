@@ -1,0 +1,178 @@
+//! A simple fixed-width histogram with exact-percentile support.
+
+/// Collects `f64` observations and answers quantile queries exactly by
+/// keeping all samples (the experiment scales here are small enough that
+/// exactness beats sketching).
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for x in 1..=100 {
+///     h.record(x as f64);
+/// }
+/// assert_eq!(h.percentile(50.0), Some(50.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram { samples: Vec::new(), sorted: true }
+    }
+
+    /// Records one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `x` is not finite.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "Histogram::record({x})");
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true if no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (`0 <= p <= 100`) by nearest rank, or `None`
+    /// when empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        Some(self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)])
+    }
+
+    /// Mean of the recorded observations; `0.0` when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        }
+    }
+
+    /// Buckets the observations into `bins` equal-width bins spanning
+    /// `[min, max]`; returns `(bin_lower_edge, count)` pairs.
+    ///
+    /// Returns an empty vector when there are no samples or `bins == 0`.
+    pub fn binned(&mut self, bins: usize) -> Vec<(f64, usize)> {
+        if self.samples.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let mut out: Vec<(f64, usize)> = (0..bins).map(|i| (lo + width * i as f64, 0)).collect();
+        for &x in &self.samples {
+            let mut idx = ((x - lo) / width) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            out[idx].1 += 1;
+        }
+        out
+    }
+
+    /// Consumes the histogram and returns the raw samples in sorted order.
+    #[must_use]
+    pub fn into_sorted_samples(mut self) -> Vec<f64> {
+        self.ensure_sorted();
+        self.samples
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.binned(4).is_empty());
+    }
+
+    #[test]
+    fn percentiles_exact() {
+        let mut h = Histogram::new();
+        for x in 1..=10 {
+            h.record(f64::from(x));
+        }
+        assert_eq!(h.percentile(10.0), Some(1.0));
+        assert_eq!(h.percentile(50.0), Some(5.0));
+        assert_eq!(h.percentile(100.0), Some(10.0));
+        assert_eq!(h.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn binning_covers_all_samples() {
+        let mut h = Histogram::new();
+        for x in 0..100 {
+            h.record(f64::from(x));
+        }
+        let bins = h.binned(10);
+        assert_eq!(bins.len(), 10);
+        assert_eq!(bins.iter().map(|(_, c)| c).sum::<usize>(), 100);
+        assert_eq!(bins[0].1, 10);
+    }
+
+    #[test]
+    fn constant_samples_bin_safely() {
+        let mut h = Histogram::new();
+        for _ in 0..5 {
+            h.record(7.0);
+        }
+        let bins = h.binned(3);
+        assert_eq!(bins.iter().map(|(_, c)| c).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn into_sorted_samples_sorts() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(1.0);
+        h.record(2.0);
+        assert_eq!(h.into_sorted_samples(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn mean_is_correct() {
+        let mut h = Histogram::new();
+        h.record(2.0);
+        h.record(6.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.count(), 2);
+    }
+}

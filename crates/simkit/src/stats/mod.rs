@@ -1,0 +1,11 @@
+//! Online statistics used by the experiment harness.
+
+mod counter;
+mod histogram;
+mod summary;
+mod timeseries;
+
+pub use counter::CounterSet;
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use timeseries::TimeSeries;

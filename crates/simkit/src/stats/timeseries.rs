@@ -1,0 +1,135 @@
+//! Time-stamped metric series for periodic simulation snapshots.
+
+use crate::time::SimTime;
+
+/// A series of `(time, value)` observations, appended in time order.
+///
+/// Used for connectivity and cache-health snapshots taken at sampling
+/// events during a run.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::stats::TimeSeries;
+/// use simkit::time::SimTime;
+///
+/// let mut ts = TimeSeries::new("live_entries");
+/// ts.record(SimTime::from_secs(10.0), 42.0);
+/// assert_eq!(ts.last(), Some((SimTime::from_secs(10.0), 42.0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with a display name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series' display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last recorded point — snapshots
+    /// must arrive in time order.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(at >= last, "time series must be appended in time order");
+        }
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns true if the series has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The most recent point.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Iterates over all points in time order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    /// Mean of the values observed at or after `from` — used to average a
+    /// steady-state window while discarding warm-up.
+    #[must_use]
+    pub fn mean_since(&self, from: SimTime) -> Option<f64> {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for &(t, v) in &self.points {
+            if t >= from {
+                sum += v;
+                n += 1;
+            }
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(1.0), 10.0);
+        ts.record(t(2.0), 20.0);
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.last(), Some((t(2.0), 20.0)));
+        assert_eq!(ts.name(), "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(5.0), 1.0);
+        ts.record(t(4.0), 2.0);
+    }
+
+    #[test]
+    fn mean_since_discards_warmup() {
+        let mut ts = TimeSeries::new("x");
+        ts.record(t(0.0), 100.0); // warm-up artifact
+        ts.record(t(10.0), 2.0);
+        ts.record(t(20.0), 4.0);
+        assert_eq!(ts.mean_since(t(5.0)), Some(3.0));
+        assert_eq!(ts.mean_since(t(25.0)), None);
+        assert_eq!(ts.mean_since(t(0.0)), Some(106.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = TimeSeries::new("e");
+        assert!(ts.is_empty());
+        assert!(ts.last().is_none());
+        assert!(ts.mean_since(t(0.0)).is_none());
+    }
+}

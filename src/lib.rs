@@ -1,0 +1,38 @@
+//! `guess-suite` — umbrella crate for the GUESS non-forwarding P2P search
+//! reproduction (Yang, Vinograd & Garcia-Molina, ICDCS 2004).
+//!
+//! This crate re-exports the workspace members so examples and downstream
+//! users need a single dependency:
+//!
+//! * [`guess`] — the GUESS protocol and its discrete-event simulator;
+//! * [`gnutella`] — forwarding baselines (flooding, fixed extent,
+//!   iterative deepening);
+//! * [`workload`] — churn, content, and query models;
+//! * [`simkit`] — the deterministic simulation substrate.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use guess_suite::guess::config::Config;
+//! use guess_suite::guess::engine::GuessSim;
+//!
+//! let report = GuessSim::new(Config::default())?.run();
+//! println!("probes/query = {:.1}", report.probes_per_query());
+//! # Ok::<(), guess_suite::guess::config::ConfigError>(())
+//! ```
+//!
+//! Runnable walk-throughs live in `examples/`:
+//!
+//! * `quickstart` — one default simulation, explained line by line;
+//! * `policy_showdown` — every policy combination head-to-head;
+//! * `churn_and_maintenance` — cache size / ping interval health;
+//! * `cache_poisoning` — malicious peers vs MFS/MR/MR*;
+//! * `guess_vs_gnutella` — the Figure 8 tradeoff at small scale.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use gnutella;
+pub use guess;
+pub use simkit;
+pub use workload;

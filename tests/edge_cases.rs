@@ -1,0 +1,155 @@
+//! Failure injection and boundary conditions for the full simulator.
+
+use guess_suite::guess::config::{BadPongBehavior, Config};
+use guess_suite::guess::engine::GuessSim;
+use guess_suite::guess::policy::{ReplacementPolicy, SelectionPolicy};
+use guess_suite::simkit::time::SimDuration;
+
+fn base(seed: u64) -> Config {
+    let mut cfg = Config::small_test(seed);
+    cfg.run.duration = SimDuration::from_secs(250.0);
+    cfg.run.warmup = SimDuration::from_secs(60.0);
+    cfg
+}
+
+#[test]
+fn extreme_churn_never_panics() {
+    // Median lifetime of a few seconds: nearly every probe targets a peer
+    // that is about to die or already has.
+    let mut cfg = base(41);
+    cfg.system.lifespan_multiplier = 0.01;
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert!(report.counters.get("deaths") > report.counters.get("births") / 2);
+    assert!(report.unsatisfaction() <= 1.0);
+}
+
+#[test]
+fn unseeded_caches_strand_queries() {
+    // cache_seed_size = 0: nobody knows anybody at t=0. Introductions
+    // cannot bootstrap (there is no first contact), so queries find
+    // nothing and connectivity is nil — the "pong server matters" story.
+    let mut cfg = base(42);
+    cfg.run.cache_seed_size = 0;
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert!(report.unsatisfaction() > 0.95, "unsat {}", report.unsatisfaction());
+    assert!(report.largest_component.unwrap_or(0.0) <= 1.5);
+}
+
+#[test]
+fn minimal_network_of_two_peers_works() {
+    let mut cfg = base(43);
+    cfg.system.network_size = 2;
+    cfg.protocol.cache_size = 1;
+    cfg.run.cache_seed_size = 1;
+    let report = GuessSim::new(cfg).unwrap().run();
+    // The run completes and produces sane numbers.
+    assert!(report.queries > 0);
+    assert!(report.probes_per_query() <= 2.0);
+}
+
+#[test]
+fn tiny_cache_of_one_entry_is_survivable() {
+    let mut cfg = base(44);
+    cfg.protocol.cache_size = 1;
+    cfg.run.cache_seed_size = 1;
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert!(report.queries > 0);
+    // The single pointer plus the query cache still finds some results.
+    assert!(report.unsatisfaction() < 1.0);
+}
+
+#[test]
+fn all_policies_complete_under_attack() {
+    // Exhaustive policy × behavior matrix at tiny scale: nothing panics,
+    // every report is internally consistent.
+    let selections = [
+        SelectionPolicy::Random,
+        SelectionPolicy::Mru,
+        SelectionPolicy::Lru,
+        SelectionPolicy::Mfs,
+        SelectionPolicy::Mr,
+    ];
+    let replacements = [
+        ReplacementPolicy::Random,
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Mru,
+        ReplacementPolicy::Lfs,
+        ReplacementPolicy::Lr,
+    ];
+    for (i, &qp) in selections.iter().enumerate() {
+        for (j, &cr) in replacements.iter().enumerate() {
+            let mut cfg = base(100 + (i * 5 + j) as u64);
+            cfg.system.network_size = 60;
+            cfg.protocol.cache_size = 15;
+            cfg.run.cache_seed_size = 2;
+            cfg.run.duration = SimDuration::from_secs(150.0);
+            cfg.run.warmup = SimDuration::from_secs(40.0);
+            cfg.protocol.query_probe = qp;
+            cfg.protocol.query_pong = qp;
+            cfg.protocol.ping_probe = qp;
+            cfg.protocol.ping_pong = qp;
+            cfg.protocol.cache_replacement = cr;
+            cfg.system.bad_peer_fraction = 0.15;
+            cfg.system.bad_pong_behavior =
+                if (i + j) % 2 == 0 { BadPongBehavior::Dead } else { BadPongBehavior::Bad };
+            let report = GuessSim::new(cfg).unwrap().run();
+            let total = report.good_per_query() + report.dead_per_query() + report.refused_per_query();
+            assert!(
+                (total - report.probes_per_query()).abs() < 1e-9,
+                "probe breakdown must sum to the total for {qp:?}/{cr:?}"
+            );
+            assert!(report.unsatisfied <= report.queries);
+        }
+    }
+}
+
+#[test]
+fn zero_intro_zero_pong_sized_one_still_runs() {
+    let mut cfg = base(45);
+    cfg.protocol.intro_prob = 0.0;
+    cfg.protocol.pong_size = 1;
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert!(report.queries > 0);
+}
+
+#[test]
+fn saturated_bad_network_fails_gracefully() {
+    // 80% attackers, colluding: good peers should mostly fail but the
+    // simulation stays well-defined. (0.8 < 1.0 so the config is valid.)
+    let mut cfg = base(46);
+    cfg.system.bad_peer_fraction = 0.8;
+    cfg.system.bad_pong_behavior = BadPongBehavior::Bad;
+    cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert!(report.unsatisfaction() > 0.3, "a saturated attack must hurt");
+}
+
+#[test]
+fn long_ping_interval_with_tiny_cache_fragments() {
+    let mut cfg = base(47);
+    cfg.run.simulate_queries = false;
+    cfg.run.duration = SimDuration::from_secs(900.0);
+    cfg.run.warmup = SimDuration::from_secs(400.0);
+    cfg.system.lifespan_multiplier = 0.05; // several generations die off
+    cfg.protocol.cache_size = 4;
+    cfg.run.cache_seed_size = 2;
+    cfg.protocol.ping_interval = SimDuration::from_secs(3000.0);
+    let report = GuessSim::new(cfg.clone()).unwrap().run();
+    let lcc = report.largest_component.unwrap();
+    assert!(
+        lcc < cfg.system.network_size as f64 * 0.85,
+        "neglected 4-entry caches must fragment, LCC {lcc}"
+    );
+}
+
+#[test]
+fn burst_sizes_multiply_queries() {
+    // The burst model emits 1..=5 queries per burst; the total query
+    // count must exceed the number of bursts processed.
+    let report = GuessSim::new(base(48)).unwrap().run();
+    assert!(report.queries > 0);
+    // Mean burst size is 3, so queries ≈ 3 × bursts; just sanity-check
+    // that multiple queries happen per peer on average.
+    let n = Config::small_test(48).system.network_size as u64;
+    assert!(report.queries > n / 2);
+}

@@ -1,0 +1,202 @@
+//! End-to-end assertions of the paper's qualitative claims, at reduced
+//! scale. Each test names the section/figure whose conclusion it checks.
+
+use guess_suite::guess::config::{BadPongBehavior, Config};
+use guess_suite::guess::engine::GuessSim;
+use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::simkit::time::SimDuration;
+
+fn cfg(seed: u64) -> Config {
+    let mut cfg = Config::small_test(seed);
+    cfg.system.network_size = 250;
+    cfg.protocol.cache_size = 50;
+    cfg.run.duration = SimDuration::from_secs(500.0);
+    cfg.run.warmup = SimDuration::from_secs(150.0);
+    cfg
+}
+
+/// §6.2 / Figures 10–11: metadata-driven policies slash probe cost.
+#[test]
+fn good_policies_slash_query_cost() {
+    let random = GuessSim::new(cfg(1)).unwrap().run();
+    let mut mfs_cfg = cfg(1);
+    mfs_cfg.protocol = mfs_cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+    let mfs = GuessSim::new(mfs_cfg).unwrap().run();
+    let speedup = random.probes_per_query() / mfs.probes_per_query();
+    assert!(
+        speedup > 3.0,
+        "MFS/MFS/LFS should be several times cheaper than Random, got {speedup:.1}x"
+    );
+    // ...without sacrificing satisfaction.
+    assert!(mfs.unsatisfaction() < random.unsatisfaction() + 0.08);
+}
+
+/// §6.1 / Figure 3: probe cost grows with cache size.
+#[test]
+fn probe_cost_grows_with_cache_size() {
+    let run = |cache: usize| {
+        let mut c = cfg(2);
+        c.system.lifespan_multiplier = 0.2;
+        c.protocol.cache_size = cache;
+        GuessSim::new(c).unwrap().run().probes_per_query()
+    };
+    let small = run(10);
+    let large = run(250);
+    // At this reduced scale the query cache lets even tiny link caches
+    // reach much of the network, so the gap is milder than Figure 3's.
+    assert!(large > small * 1.2, "cache 250 ({large:.1}) should cost well above cache 10 ({small:.1})");
+}
+
+/// §6.1 / Figure 5: extra probes at large cache sizes are mostly dead.
+#[test]
+fn large_caches_mostly_add_dead_probes() {
+    let run = |cache: usize| {
+        let mut c = cfg(3);
+        c.system.lifespan_multiplier = 0.2;
+        c.protocol.cache_size = cache;
+        let r = GuessSim::new(c).unwrap().run();
+        (r.good_per_query(), r.dead_per_query())
+    };
+    let (good_small, dead_small) = run(20);
+    let (good_large, dead_large) = run(250);
+    let dead_growth = dead_large - dead_small;
+    let good_growth = good_large - good_small;
+    assert!(
+        dead_growth > good_growth,
+        "dead probes (+{dead_growth:.1}) should grow faster than good (+{good_growth:.1})"
+    );
+}
+
+/// §6.3 / Figure 13: efficiency-seeking policies concentrate load.
+#[test]
+fn mfs_concentrates_load_random_spreads_it() {
+    let mut mfs_cfg = cfg(4);
+    mfs_cfg.protocol.query_probe = SelectionPolicy::Mfs;
+    mfs_cfg.protocol.cache_replacement = SelectionPolicy::Mfs.mirror_replacement();
+    let mfs = GuessSim::new(mfs_cfg).unwrap().run();
+    let random = GuessSim::new(cfg(4)).unwrap().run();
+
+    let top_share = |loads: &[u64]| {
+        let total: u64 = loads.iter().sum();
+        let top: u64 = loads.iter().take(loads.len() / 20).sum();
+        top as f64 / total.max(1) as f64
+    };
+    let mfs_share = top_share(&mfs.loads);
+    let random_share = top_share(&random.loads);
+    assert!(
+        mfs_share > random_share,
+        "top-5% share under MFS ({mfs_share:.2}) must exceed Random ({random_share:.2})"
+    );
+    // And Random pays far more total probes for the same workload.
+    let total = |loads: &[u64]| loads.iter().sum::<u64>() as f64;
+    assert!(total(&random.loads) > 2.0 * total(&mfs.loads));
+}
+
+/// §6.3 / Figures 14–15: capacity limits refuse probes without collapsing
+/// satisfaction.
+#[test]
+fn capacity_limits_refuse_but_do_not_starve() {
+    let mut limited = cfg(5);
+    limited.protocol = limited.protocol.with_uniform_policy(SelectionPolicy::Mr);
+    limited.system.max_probes_per_second = Some(1);
+    let mut unlimited = limited.clone();
+    unlimited.system.max_probes_per_second = None;
+    let lim = GuessSim::new(limited).unwrap().run();
+    let unlim = GuessSim::new(unlimited).unwrap().run();
+    assert!(lim.refused_per_query() > 0.0, "a 1/s cap must refuse something");
+    assert_eq!(unlim.refused_per_query(), 0.0);
+    assert!(
+        lim.unsatisfaction() < unlim.unsatisfaction() + 0.12,
+        "satisfaction should be barely affected: {:.3} vs {:.3}",
+        lim.unsatisfaction(),
+        unlim.unsatisfaction()
+    );
+}
+
+/// §6.4 / Figures 16–18: without collusion, MFS collapses but MR holds.
+#[test]
+fn dead_ip_poisoning_breaks_mfs_not_mr() {
+    let attacked = |policy: SelectionPolicy, reset: bool| {
+        let mut c = cfg(6);
+        c.protocol = c.protocol.with_uniform_policy(policy);
+        c.protocol.reset_num_results = reset;
+        c.system.bad_peer_fraction = 0.20;
+        c.system.bad_pong_behavior = BadPongBehavior::Dead;
+        GuessSim::new(c).unwrap().run()
+    };
+    let mfs = attacked(SelectionPolicy::Mfs, false);
+    let mr = attacked(SelectionPolicy::Mr, false);
+    assert!(
+        mfs.unsatisfaction() > mr.unsatisfaction() + 0.15,
+        "MFS ({:.2}) must degrade far beyond MR ({:.2}) under dead-IP poisoning",
+        mfs.unsatisfaction(),
+        mr.unsatisfaction()
+    );
+    assert!(
+        mfs.good_entries.unwrap() < mr.good_entries.unwrap(),
+        "MFS caches must be more poisoned than MR caches"
+    );
+}
+
+/// §6.4 / Figures 19–21: under collusion MR collapses too; MR* survives.
+#[test]
+fn collusion_breaks_mr_but_not_mr_star() {
+    let attacked = |reset: bool, seed: u64| {
+        let mut c = cfg(seed);
+        c.protocol = c.protocol.with_uniform_policy(SelectionPolicy::Mr);
+        c.protocol.reset_num_results = reset;
+        c.system.bad_peer_fraction = 0.20;
+        c.system.bad_pong_behavior = BadPongBehavior::Bad;
+        GuessSim::new(c).unwrap().run()
+    };
+    let mr = attacked(false, 7);
+    let mr_star = attacked(true, 7);
+    assert!(
+        mr.unsatisfaction() > mr_star.unsatisfaction() + 0.1,
+        "colluding attackers: MR ({:.2}) must fare worse than MR* ({:.2})",
+        mr.unsatisfaction(),
+        mr_star.unsatisfaction()
+    );
+    assert!(mr_star.good_entries.unwrap() > mr.good_entries.unwrap());
+}
+
+/// §6.2: response time falls with parallel walks at bounded extra probes.
+#[test]
+fn parallel_walks_trade_probes_for_latency() {
+    let run = |k: usize| {
+        let mut c = cfg(8);
+        c.protocol.query_pong = SelectionPolicy::Mfs;
+        c.protocol.parallel_probes = k;
+        GuessSim::new(c).unwrap().run()
+    };
+    let serial = run(1);
+    let walked = run(5);
+    assert!(
+        walked.mean_response_secs() < serial.mean_response_secs() / 2.0,
+        "k=5 should cut response time at least in half: {:.2}s vs {:.2}s",
+        walked.mean_response_secs(),
+        serial.mean_response_secs()
+    );
+    assert!(
+        walked.probes_per_query() < serial.probes_per_query() + 5.0,
+        "k=5 costs at most ~k-1 extra probes ({:.1} vs {:.1})",
+        walked.probes_per_query(),
+        serial.probes_per_query()
+    );
+}
+
+/// §3.3: a benign "Good" bad-pong control barely hurts anyone.
+#[test]
+fn good_pong_attackers_are_mostly_harmless() {
+    let mut c = cfg(9);
+    c.system.bad_peer_fraction = 0.20;
+    c.system.bad_pong_behavior = BadPongBehavior::Good;
+    let attacked = GuessSim::new(c).unwrap().run();
+    let clean = GuessSim::new(cfg(9)).unwrap().run();
+    assert!(
+        attacked.unsatisfaction() < clean.unsatisfaction() + 0.25,
+        "pointing at real good peers is weak poison: {:.2} vs clean {:.2}",
+        attacked.unsatisfaction(),
+        clean.unsatisfaction()
+    );
+}

@@ -1,0 +1,163 @@
+//! Integration tests of protocol mechanics across crates: determinism,
+//! churn, protocol flags, and cache maintenance behaviour end-to-end.
+
+use guess_suite::guess::config::Config;
+use guess_suite::guess::engine::GuessSim;
+use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::simkit::time::SimDuration;
+
+fn small(seed: u64) -> Config {
+    let mut cfg = Config::small_test(seed);
+    cfg.run.duration = SimDuration::from_secs(300.0);
+    cfg.run.warmup = SimDuration::from_secs(80.0);
+    cfg
+}
+
+#[test]
+fn identical_seeds_reproduce_bit_identical_reports() {
+    let a = GuessSim::new(small(11)).unwrap().run();
+    let b = GuessSim::new(small(11)).unwrap().run();
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(a.unsatisfied, b.unsatisfied);
+    assert_eq!(a.loads, b.loads);
+    assert_eq!(a.good_probes.mean(), b.good_probes.mean());
+    assert_eq!(a.dead_probes.mean(), b.dead_probes.mean());
+    assert_eq!(a.response_time.mean(), b.response_time.mean());
+    assert_eq!(a.live_fraction, b.live_fraction);
+    assert_eq!(a.largest_component, b.largest_component);
+    let counters_a: Vec<_> = a.counters.iter().collect();
+    let counters_b: Vec<_> = b.counters.iter().collect();
+    assert_eq!(counters_a, counters_b);
+}
+
+#[test]
+fn population_is_constant_under_churn() {
+    let mut cfg = small(12);
+    cfg.system.lifespan_multiplier = 0.1;
+    let report = GuessSim::new(cfg.clone()).unwrap().run();
+    assert!(report.counters.get("deaths") > 50, "heavy churn expected");
+    assert_eq!(
+        report.counters.get("births") - report.counters.get("deaths"),
+        cfg.system.network_size as u64
+    );
+    // Loads were recorded for every dead peer plus everyone alive at the end.
+    assert_eq!(report.loads.len() as u64, report.counters.get("births"));
+}
+
+#[test]
+fn introduction_probability_zero_disables_introductions() {
+    let mut cfg = small(13);
+    cfg.protocol.intro_prob = 0.0;
+    let report = GuessSim::new(cfg).unwrap().run();
+    assert_eq!(report.counters.get("introductions"), 0);
+
+    let mut cfg_on = small(13);
+    cfg_on.protocol.intro_prob = 0.5;
+    let report_on = GuessSim::new(cfg_on).unwrap().run();
+    assert!(report_on.counters.get("introductions") > 0);
+}
+
+#[test]
+fn pings_maintain_liveness() {
+    // With no queries, faster pinging yields a higher live fraction.
+    let mut lazy = small(14);
+    lazy.run.simulate_queries = false;
+    lazy.system.lifespan_multiplier = 0.2;
+    lazy.protocol.ping_interval = SimDuration::from_secs(600.0);
+    let mut eager = lazy.clone();
+    eager.protocol.ping_interval = SimDuration::from_secs(5.0);
+    let lazy_report = GuessSim::new(lazy).unwrap().run();
+    let eager_report = GuessSim::new(eager).unwrap().run();
+    assert!(
+        eager_report.live_fraction.unwrap() > lazy_report.live_fraction.unwrap(),
+        "eager pings {:.3} must beat lazy pings {:.3}",
+        eager_report.live_fraction.unwrap(),
+        lazy_report.live_fraction.unwrap()
+    );
+    assert!(eager_report.counters.get("pings_sent") > lazy_report.counters.get("pings_sent"));
+}
+
+#[test]
+fn backoff_flag_preserves_entries_on_refusal() {
+    // With a choked network, DoBackoff=false evicts refused peers while
+    // DoBackoff=true retains them; both must refuse a similar amount.
+    let mut churnless = small(15);
+    churnless.system.max_probes_per_second = Some(1);
+    churnless.protocol = churnless.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+    let mut with_backoff = churnless.clone();
+    with_backoff.protocol.do_backoff = true;
+    let evicting = GuessSim::new(churnless).unwrap().run();
+    let retaining = GuessSim::new(with_backoff).unwrap().run();
+    assert!(evicting.refused_per_query() > 0.0);
+    assert!(retaining.refused_per_query() > 0.0);
+}
+
+#[test]
+fn desired_results_extend_the_search() {
+    let one = GuessSim::new(small(16)).unwrap().run();
+    let mut cfg = small(16);
+    cfg.system.num_desired_results = 5;
+    let five = GuessSim::new(cfg).unwrap().run();
+    assert!(
+        five.probes_per_query() > one.probes_per_query(),
+        "asking for 5 results ({:.1} probes) must cost more than 1 ({:.1})",
+        five.probes_per_query(),
+        one.probes_per_query()
+    );
+    assert!(five.unsatisfaction() >= one.unsatisfaction());
+}
+
+#[test]
+fn reset_num_results_changes_mr_behaviour() {
+    let mut mr = small(17);
+    mr.protocol = mr.protocol.with_uniform_policy(SelectionPolicy::Mr);
+    let mut mr_star = mr.clone();
+    mr_star.protocol.reset_num_results = true;
+    let a = GuessSim::new(mr).unwrap().run();
+    let b = GuessSim::new(mr_star).unwrap().run();
+    // Identical seeds, different information flow: the runs must diverge.
+    assert_ne!(
+        (a.queries, a.probes_per_query()),
+        (b.queries, b.probes_per_query()),
+        "MR and MR* should not be identical"
+    );
+}
+
+#[test]
+fn query_rate_scales_query_volume() {
+    let base = GuessSim::new(small(18)).unwrap().run();
+    let mut fast = small(18);
+    fast.system.query_rate *= 4.0;
+    let busy = GuessSim::new(fast).unwrap().run();
+    let ratio = busy.queries as f64 / base.queries.max(1) as f64;
+    assert!((2.0..8.0).contains(&ratio), "4x rate should give ~4x queries, got {ratio:.2}x");
+}
+
+#[test]
+fn invalid_configs_are_rejected_not_simulated() {
+    let mut cfg = small(19);
+    cfg.protocol.cache_size = 0;
+    assert!(GuessSim::new(cfg).is_err());
+
+    let mut cfg = small(19);
+    cfg.system.network_size = 0;
+    assert!(GuessSim::new(cfg).is_err());
+
+    let mut cfg = small(19);
+    cfg.run.warmup = cfg.run.duration;
+    assert!(GuessSim::new(cfg).is_err());
+}
+
+#[test]
+fn response_time_is_probe_interval_scaled() {
+    let mut cfg = small(20);
+    cfg.protocol.probe_interval = SimDuration::from_secs(0.2);
+    let slow = GuessSim::new(cfg.clone()).unwrap().run();
+    cfg.protocol.probe_interval = SimDuration::from_secs(0.05);
+    cfg.run.seed = 20; // same seed, same probing pattern
+    let fast = GuessSim::new(cfg).unwrap().run();
+    assert!(
+        fast.mean_response_secs() < slow.mean_response_secs(),
+        "shorter probe interval must reduce response time"
+    );
+}
