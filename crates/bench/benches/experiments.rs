@@ -1,11 +1,12 @@
-//! Criterion end-to-end benchmarks: small complete simulation runs.
+//! End-to-end benchmarks: small complete simulation runs.
 //!
 //! These gauge full-system throughput per protocol configuration — the
 //! numbers that govern how long the paper-scale `repro` sweeps take.
+//! Plain `fn main()` harness (the offline build environment has no
+//! criterion). Run with `cargo bench --bench experiments`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use guess::config::Config;
 use guess::engine::GuessSim;
@@ -16,6 +17,17 @@ use simkit::rng::RngStream;
 use simkit::time::SimDuration;
 use workload::content::CatalogParams;
 
+/// Times `iters` runs of `f` (after one warmup) and prints the mean.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<42} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
 fn small_cfg(seed: u64) -> Config {
     let mut cfg = Config::small_test(seed);
     cfg.run.duration = SimDuration::from_secs(250.0);
@@ -23,53 +35,30 @@ fn small_cfg(seed: u64) -> Config {
     cfg
 }
 
-fn bench_guess_run(c: &mut Criterion) {
-    let mut g = c.benchmark_group("guess_sim_small");
-    g.sample_size(10);
-    g.bench_function("random_policies", |b| {
-        b.iter(|| GuessSim::new(small_cfg(1)).expect("valid").run().queries);
+fn main() {
+    bench("guess_sim_small/random_policies", 10, || {
+        GuessSim::new(small_cfg(1)).expect("valid").run().queries
     });
-    g.bench_function("mfs_policies", |b| {
-        b.iter(|| {
-            let mut cfg = small_cfg(2);
-            cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
-            GuessSim::new(cfg).expect("valid").run().queries
-        });
+    bench("guess_sim_small/mfs_policies", 10, || {
+        let mut cfg = small_cfg(2);
+        cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
+        GuessSim::new(cfg).expect("valid").run().queries
     });
-    g.bench_function("poisoned_20pct", |b| {
-        b.iter(|| {
-            let mut cfg = small_cfg(3);
-            cfg.system.bad_peer_fraction = 0.2;
-            GuessSim::new(cfg).expect("valid").run().queries
-        });
+    bench("guess_sim_small/poisoned_20pct", 10, || {
+        let mut cfg = small_cfg(3);
+        cfg.system.bad_peer_fraction = 0.2;
+        GuessSim::new(cfg).expect("valid").run().queries
     });
-    g.finish();
-}
 
-fn bench_baselines(c: &mut Criterion) {
     let pop = Population::generate(500, CatalogParams::default(), 7).expect("valid");
-    let mut g = c.benchmark_group("forwarding_baselines");
-    g.sample_size(10);
-    g.bench_function("fixed_extent_curve_500x500", |b| {
-        b.iter(|| {
-            let mut rng = RngStream::from_seed(7, "bench");
-            FixedExtentCurve::evaluate(&pop, 500, &mut rng).unsatisfiable_fraction()
-        });
+    bench("forwarding/fixed_extent_curve_500x500", 10, || {
+        let mut rng = RngStream::from_seed(7, "bench");
+        FixedExtentCurve::evaluate(&pop, 500, &mut rng).unsatisfiable_fraction()
     });
-    g.bench_function("flood_ttl5_regular4", |b| {
-        let mut rng = RngStream::from_seed(8, "bench");
-        let topo = Topology::random_regular(500, 4, &mut rng);
-        b.iter(|| {
-            let t = pop.sample_target(&mut rng);
-            gnutella::flood(&topo, &pop, 0, 5, t).results
-        });
+    let mut rng = RngStream::from_seed(8, "bench");
+    let topo = Topology::random_regular(500, 4, &mut rng);
+    bench("forwarding/flood_ttl5_regular4", 1000, || {
+        let t = pop.sample_target(&mut rng);
+        gnutella::flood(&topo, &pop, 0, 5, t).results
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(4)).warm_up_time(Duration::from_secs(1));
-    targets = bench_guess_run, bench_baselines
-}
-criterion_main!(benches);

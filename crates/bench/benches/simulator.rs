@@ -1,8 +1,12 @@
-//! Criterion micro-benchmarks for the simulator's hot paths.
+//! Micro-benchmarks for the simulator's hot paths.
+//!
+//! Plain `fn main()` harness (the offline build environment has no
+//! criterion): each benchmark runs a fixed number of timed iterations and
+//! reports the mean per-iteration wall clock. Run with
+//! `cargo bench --bench simulator`.
 
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use guess::addr::AddrAllocator;
 use guess::entry::CacheEntry;
@@ -14,108 +18,92 @@ use simkit::event::EventQueue;
 use simkit::rng::RngStream;
 use simkit::time::SimTime;
 
+/// Times `iters` runs of `f` (after one warmup) and prints the mean.
+fn bench<R>(name: &str, iters: u32, mut f: impl FnMut() -> R) {
+    black_box(f());
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<42} {per_iter:>12.2?}/iter  ({iters} iters)");
+}
+
 fn entries(n: usize) -> Vec<CacheEntry> {
     let mut alloc = AddrAllocator::new();
     (0..n)
-        .map(|i| CacheEntry::from_pong(alloc.allocate(), SimTime::from_secs(i as f64), (i % 500) as u32, (i % 7) as u32))
+        .map(|i| {
+            CacheEntry::from_pong(
+                alloc.allocate(),
+                SimTime::from_secs(i as f64),
+                (i % 500) as u32,
+                (i % 7) as u32,
+            )
+        })
         .collect()
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u32 {
-                q.schedule(SimTime::from_secs(f64::from(i % 97)), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += u64::from(e);
-            }
-            sum
-        });
+fn main() {
+    bench("event_queue_push_pop_10k", 100, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u32 {
+            q.schedule(SimTime::from_secs(f64::from(i % 97)), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum += u64::from(e);
+        }
+        sum
     });
-}
 
-fn bench_link_cache_offer(c: &mut Criterion) {
     let es = entries(5000);
-    c.bench_function("link_cache_offer_random_5k", |b| {
-        b.iter_batched(
-            || (LinkCache::new(100), RngStream::from_seed(1, "b")),
-            |(mut cache, mut rng)| {
-                for e in &es {
-                    let _ = cache.offer(*e, ReplacementPolicy::Random, &mut rng);
-                }
-                cache.len()
-            },
-            BatchSize::SmallInput,
-        );
+    bench("link_cache_offer_random_5k", 100, || {
+        let mut cache = LinkCache::new(100);
+        let mut rng = RngStream::from_seed(1, "b");
+        for e in &es {
+            let _ = cache.offer(*e, ReplacementPolicy::Random, &mut rng);
+        }
+        cache.len()
     });
-    c.bench_function("link_cache_offer_lfs_5k", |b| {
-        b.iter_batched(
-            || (LinkCache::new(100), RngStream::from_seed(1, "b")),
-            |(mut cache, mut rng)| {
-                for e in &es {
-                    let _ = cache.offer(*e, ReplacementPolicy::Lfs, &mut rng);
-                }
-                cache.len()
-            },
-            BatchSize::SmallInput,
-        );
+    bench("link_cache_offer_lfs_5k", 100, || {
+        let mut cache = LinkCache::new(100);
+        let mut rng = RngStream::from_seed(1, "b");
+        for e in &es {
+            let _ = cache.offer(*e, ReplacementPolicy::Lfs, &mut rng);
+        }
+        cache.len()
     });
-}
 
-fn bench_policy_selection(c: &mut Criterion) {
-    let es = entries(500);
-    c.bench_function("select_top5_mfs_from_500", |b| {
-        let mut rng = RngStream::from_seed(2, "b");
-        b.iter(|| select_top_k(SelectionPolicy::Mfs, &es, 5, &mut rng));
+    let es500 = entries(500);
+    let mut rng = RngStream::from_seed(2, "b");
+    bench("select_top5_mfs_from_500", 2000, || {
+        select_top_k(SelectionPolicy::Mfs, &es500, 5, &mut rng)
     });
-    c.bench_function("select_top5_random_from_500", |b| {
-        let mut rng = RngStream::from_seed(2, "b");
-        b.iter(|| select_top_k(SelectionPolicy::Random, &es, 5, &mut rng));
+    let mut rng = RngStream::from_seed(2, "b");
+    bench("select_top5_random_from_500", 2000, || {
+        select_top_k(SelectionPolicy::Random, &es500, 5, &mut rng)
     });
-    c.bench_function("probe_queue_churn_500", |b| {
-        let mut rng = RngStream::from_seed(3, "b");
-        b.iter(|| {
-            let mut q = ProbeQueue::new(SelectionPolicy::Mr);
-            for e in &es {
-                q.push(*e, &mut rng);
-            }
-            let mut n = 0;
-            while q.pop().is_some() {
-                n += 1;
-            }
-            n
-        });
+    let mut rng = RngStream::from_seed(3, "b");
+    bench("probe_queue_churn_500", 1000, || {
+        let mut q = ProbeQueue::new(SelectionPolicy::Mr);
+        for e in &es500 {
+            q.push(*e, &mut rng);
+        }
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        n
     });
-}
 
-fn bench_zipf(c: &mut Criterion) {
     let z = Zipf::new(20_000, 1.2).expect("valid");
-    c.bench_function("zipf_sample_20k_ranks", |b| {
-        let mut rng = RngStream::from_seed(4, "b");
-        b.iter(|| z.sample_index(&mut rng));
-    });
-}
+    let mut rng = RngStream::from_seed(4, "b");
+    bench("zipf_sample_20k_ranks", 100_000, || z.sample_index(&mut rng));
 
-fn bench_connectivity(c: &mut Criterion) {
     let mut rng = RngStream::from_seed(5, "b");
     let n = 1000;
     let edges: Vec<(usize, usize)> = (0..20_000).map(|_| (rng.below(n), rng.below(n))).collect();
-    c.bench_function("largest_component_1k_nodes_20k_edges", |b| {
-        b.iter(|| largest_component(n, edges.iter().copied()));
+    bench("largest_component_1k_nodes_20k_edges", 100, || {
+        largest_component(n, edges.iter().copied())
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
-    targets =
-    bench_event_queue,
-    bench_link_cache_offer,
-    bench_policy_selection,
-    bench_zipf,
-    bench_connectivity
-}
-criterion_main!(benches);

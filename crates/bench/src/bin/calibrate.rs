@@ -1,58 +1,74 @@
 //! Scratch calibration binary: checks the default configuration against
 //! the paper's headline numbers before the full experiment harness runs.
+//!
+//! Accepts `--jobs N` (default: all cores); the four checks are
+//! independent work units and print in a fixed order regardless of N.
 
 use guess::config::Config;
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
 use gnutella::population::Population;
 use gnutella::FixedExtentCurve;
 use simkit::rng::RngStream;
 use workload::content::CatalogParams;
 
 fn main() {
-    // 1. Unsatisfiable floor at N=1000 (paper: ~6%).
-    let pop = Population::generate(1000, CatalogParams::default(), 1).unwrap();
-    let mut rng = RngStream::from_seed(1, "cal");
-    let curve = FixedExtentCurve::evaluate(&pop, 2000, &mut rng);
-    println!("floor (whole-network unsatisfiable): {:.3}", curve.unsatisfiable_fraction());
-    println!("fixed extent 540: unsat {:.3}", curve.unsatisfaction_at(540));
-    println!("fixed extent 1000: unsat {:.3}", curve.unsatisfaction_at(1000));
-
-    // 2. GUESS with default (Random) policies.
-    let cfg = Config::default();
-    let report = GuessSim::new(cfg.clone()).unwrap().run();
-    println!(
-        "GUESS Random: probes/query {:.1} (good {:.1} dead {:.1} refused {:.2}), unsat {:.3}, queries {}",
-        report.probes_per_query(),
-        report.good_per_query(),
-        report.dead_per_query(),
-        report.refused_per_query(),
-        report.unsatisfaction(),
-        report.queries
-    );
-    println!(
-        "  live frac {:.3} live abs {:.1}",
-        report.live_fraction.unwrap_or(-1.0),
-        report.live_absolute.unwrap_or(-1.0)
-    );
-
-    // 3. GUESS with QueryPong = MFS (paper: ~17 probes, 8% unsat).
-    let mut cfg2 = Config::default();
-    cfg2.protocol.query_pong = SelectionPolicy::Mfs;
-    let r2 = GuessSim::new(cfg2).unwrap().run();
-    println!(
-        "GUESS QueryPong=MFS: probes/query {:.1}, unsat {:.3}",
-        r2.probes_per_query(),
-        r2.unsatisfaction()
-    );
-
-    // 4. MFS/MFS/LFS combo (paper fig 10/11: ~4 probes at 0% bad).
-    let mut cfg3 = Config::default();
-    cfg3.protocol = cfg3.protocol.with_uniform_policy(SelectionPolicy::Mfs);
-    let r3 = GuessSim::new(cfg3).unwrap().run();
-    println!(
-        "GUESS MFS/MFS/LFS: probes/query {:.1}, unsat {:.3}",
-        r3.probes_per_query(),
-        r3.unsatisfaction()
-    );
+    let ctx = Ctx::new(Scale::Full, guess_bench::jobs_from_args());
+    let parts = ctx.map(vec![0usize, 1, 2, 3], |part| match part {
+        0 => {
+            // 1. Unsatisfiable floor at N=1000 (paper: ~6%).
+            let pop = Population::generate(1000, CatalogParams::default(), 1).unwrap();
+            let mut rng = RngStream::from_seed(1, "cal");
+            let curve = FixedExtentCurve::evaluate(&pop, 2000, &mut rng);
+            format!(
+                "floor (whole-network unsatisfiable): {:.3}\n\
+                 fixed extent 540: unsat {:.3}\n\
+                 fixed extent 1000: unsat {:.3}",
+                curve.unsatisfiable_fraction(),
+                curve.unsatisfaction_at(540),
+                curve.unsatisfaction_at(1000)
+            )
+        }
+        1 => {
+            // 2. GUESS with default (Random) policies.
+            let report = GuessSim::new(Config::default()).unwrap().run();
+            format!(
+                "GUESS Random: probes/query {:.1} (good {:.1} dead {:.1} refused {:.2}), unsat {:.3}, queries {}\n  \
+                 live frac {:.3} live abs {:.1}",
+                report.probes_per_query(),
+                report.good_per_query(),
+                report.dead_per_query(),
+                report.refused_per_query(),
+                report.unsatisfaction(),
+                report.queries,
+                report.live_fraction.unwrap_or(-1.0),
+                report.live_absolute.unwrap_or(-1.0)
+            )
+        }
+        2 => {
+            // 3. GUESS with QueryPong = MFS (paper: ~17 probes, 8% unsat).
+            let cfg = Config::default().with_query_pong(SelectionPolicy::Mfs);
+            let r = GuessSim::new(cfg).unwrap().run();
+            format!(
+                "GUESS QueryPong=MFS: probes/query {:.1}, unsat {:.3}",
+                r.probes_per_query(),
+                r.unsatisfaction()
+            )
+        }
+        _ => {
+            // 4. MFS/MFS/LFS combo (paper fig 10/11: ~4 probes at 0% bad).
+            let cfg = Config::default().with_uniform_policy(SelectionPolicy::Mfs);
+            let r = GuessSim::new(cfg).unwrap().run();
+            format!(
+                "GUESS MFS/MFS/LFS: probes/query {:.1}, unsat {:.3}",
+                r.probes_per_query(),
+                r.unsatisfaction()
+            )
+        }
+    });
+    for part in parts {
+        println!("{part}");
+    }
 }

@@ -3,19 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--quick] [--out <dir>]
-//! repro <experiment> [<experiment> ...] [--quick] [--out <dir>]
+//! repro all [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro --list
 //! ```
 //!
 //! Experiments: `table3`, `fig3` … `fig21`, `response`, plus the
 //! extension studies `selfish`, `adaptive`, `defense`, `fragmentation`.
 //! With `--out <dir>`, each report is additionally written to
-//! `<dir>/<name>.txt`.
+//! `<dir>/<name>.txt`; adding `--json` also writes `<dir>/<name>.json`
+//! (structured blocks, see [`guess_bench::report::Report::render_json`]).
+//!
+//! `--jobs N` bounds how many simulations run at once — across
+//! experiments and across the sweep points inside each one. Every sweep
+//! point carries its own RNG seed, so the reports are byte-identical at
+//! any `--jobs` level; only wall-clock time changes.
 
+use std::path::Path;
+use std::sync::mpsc;
 use std::time::Instant;
 
-use guess_bench::experiments;
+use guess_bench::experiments::{self, Experiment};
+use guess_bench::report::Report;
+use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
 
 fn main() {
@@ -31,11 +41,26 @@ fn main() {
         return;
     }
     let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let json = args.iter().any(|a| a == "--json");
     let out_dir: Option<std::path::PathBuf> = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+    if json && out_dir.is_none() {
+        eprintln!("--json needs --out <dir> to know where to write the files");
+        std::process::exit(2);
+    }
+    let jobs: usize = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create output directory {}: {e}", dir.display());
@@ -50,7 +75,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" {
+        if a == "--out" || a == "--jobs" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -77,21 +102,44 @@ fn main() {
         picked
     };
 
+    let ctx = Ctx::new(scale, jobs);
     let overall = Instant::now();
-    for e in &selected {
-        let started = Instant::now();
-        println!("==============================================================");
-        println!("== {} — {}", e.name, e.description);
-        println!("==============================================================");
-        let report = (e.run)(scale);
-        println!("{report}");
-        println!("[{} completed in {:.1}s]\n", e.name, started.elapsed().as_secs_f64());
-        if let Some(dir) = &out_dir {
-            let path = dir.join(format!("{}.txt", e.name));
-            if let Err(err) = std::fs::write(&path, &report) {
-                eprintln!("failed to write {}: {err}", path.display());
-            }
+    if ctx.jobs() == 1 {
+        // Serial: run and print each experiment in turn, as the original
+        // driver did, so per-experiment timings stay meaningful.
+        for e in &selected {
+            let started = Instant::now();
+            let report = (e.run)(&ctx);
+            emit(e, &report, started.elapsed().as_secs_f64(), out_dir.as_deref(), json, scale);
         }
+    } else {
+        // Parallel: one thread per experiment; each simulation inside
+        // acquires a permit from the shared `--jobs` budget. Results are
+        // printed in selection order as they become ready.
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|s| {
+            for (i, e) in selected.iter().enumerate() {
+                let tx = tx.clone();
+                let ctx = &ctx;
+                s.spawn(move || {
+                    let started = Instant::now();
+                    let report = (e.run)(ctx);
+                    // The receiver outlives the scope; send cannot fail.
+                    tx.send((i, report, started.elapsed().as_secs_f64())).expect("main receiver");
+                });
+            }
+            drop(tx);
+            let mut ready: Vec<Option<(Report, f64)>> = selected.iter().map(|_| None).collect();
+            let mut next = 0;
+            for (i, report, secs) in rx {
+                ready[i] = Some((report, secs));
+                while next < ready.len() {
+                    let Some((report, secs)) = ready[next].take() else { break };
+                    emit(&selected[next], &report, secs, out_dir.as_deref(), json, scale);
+                    next += 1;
+                }
+            }
+        });
     }
     println!(
         "ran {} experiment(s) at {:?} scale in {:.1}s",
@@ -101,11 +149,40 @@ fn main() {
     );
 }
 
+/// Prints one finished experiment in the standard frame and writes its
+/// `--out` artifacts.
+fn emit(e: &Experiment, report: &Report, secs: f64, out_dir: Option<&Path>, json: bool, scale: Scale) {
+    println!("==============================================================");
+    println!("== {} — {}", e.name, e.description);
+    println!("==============================================================");
+    let text = report.render_text();
+    println!("{text}");
+    println!("[{} completed in {secs:.1}s]\n", e.name);
+    if let Some(dir) = out_dir {
+        let path = dir.join(format!("{}.txt", e.name));
+        if let Err(err) = std::fs::write(&path, &text) {
+            eprintln!("failed to write {}: {err}", path.display());
+        }
+        if json {
+            let path = dir.join(format!("{}.json", e.name));
+            let doc = report.render_json(e.name, e.description, &format!("{scale:?}"));
+            if let Err(err) = std::fs::write(&path, doc) {
+                eprintln!("failed to write {}: {err}", path.display());
+            }
+        }
+    }
+}
+
 fn print_usage() {
     println!(
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
-         usage:\n  repro all [--quick]\n  repro <experiment>... [--quick]\n  repro --list\n\n\
-         --quick  shrunk grids/durations (shape check, ~1-2 min)\n\
-         default  full paper grids (several minutes)"
+         usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
+         repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  repro --list\n\n\
+         --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
+         --jobs N  at most N simulations in flight (default: all cores);\n          \
+         reports are byte-identical at any N\n\
+         --out DIR also write each report to DIR/<name>.txt\n\
+         --json    with --out, also write structured DIR/<name>.json\n\
+         default   full paper grids (several minutes)"
     );
 }

@@ -1,14 +1,20 @@
 //! Scratch: sweep catalog parameters to hit the paper's calibration
 //! targets at N=1000: ~6% unsatisfiable floor and ~40-50 mean first-hit
 //! rank for answerable queries (which drives Random-policy probe cost).
+//!
+//! Accepts `--jobs N` (default: all cores); each combo is an independent
+//! work unit, and lines print in combo order regardless of N.
 
 use gnutella::population::Population;
 use gnutella::FixedExtentCurve;
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
 use simkit::rng::RngStream;
 use workload::content::CatalogParams;
 
 fn main() {
-    let combos = [
+    let ctx = Ctx::new(Scale::Quick, guess_bench::jobs_from_args());
+    let combos = vec![
         (25_000, 0.95, 1.25),
         (20_000, 1.00, 1.25),
         (30_000, 0.90, 1.30),
@@ -24,7 +30,7 @@ fn main() {
         (12_000, 1.00, 1.15),
         (15_000, 0.95, 1.25),
     ];
-    for (items, rep, query) in combos {
+    let lines = ctx.map(combos, |(items, rep, query)| {
         let params = CatalogParams { items, replication_exponent: rep, query_exponent: query };
         let pop = Population::generate(1000, params, 7).unwrap();
         let mut rng = RngStream::from_seed(7, "sweep");
@@ -43,9 +49,12 @@ fn main() {
             }
         }
         let mean_rank = ranks as f64 / n.max(1) as f64;
-        println!(
+        format!(
             "items={items:6} rep={rep:.2} query={query:.2}  floor={floor:.3}  mean_first_hit={mean_rank:.1}  unsat@100={:.3}",
             curve.unsatisfaction_at(100)
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -7,20 +7,23 @@
 //! * `defense` — the pong-source reputation filter against cache
 //!   poisoning (the direction of Daswani & Garcia-Molina \[9\]);
 //! * `fragmentation` — §3.3's fragmentation attack on power-law vs
-//!   degree-limited overlays.
+//!   degree-limited overlays (a single sequential work unit: the attack
+//!   grid draws from one shared RNG stream in a fixed order).
 
 use guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior};
 use guess::engine::GuessSim;
 use guess::payments::PaymentParams;
 use guess::policy::SelectionPolicy;
-use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use guess::RunReport;
+use gnutella::dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
 use gnutella::fragmentation::{attack, AttackStrategy};
 use gnutella::Topology;
 use simkit::rng::RngStream;
 use simkit::time::SimDuration;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
 fn network_for(scale: Scale) -> usize {
     match scale {
@@ -31,286 +34,323 @@ fn network_for(scale: Scale) -> usize {
 
 /// Selfish-peer study: response time for the selfish, load for everyone.
 #[must_use]
-pub fn run_selfish(scale: Scale) -> String {
-    let mut table = Table::new(vec![
-        "% selfish",
-        "refused/query",
-        "unsatisfied",
-        "mean response (s)",
-        "top-peer load",
-    ]);
-    for (i, &frac) in [0.0f64, 0.1, 0.3, 0.5].iter().enumerate() {
-        let mut cfg = base_config(scale, 0x5e1f + i as u64);
-        cfg.system.network_size = network_for(scale);
+pub fn run_selfish(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let items: Vec<(usize, f64)> = [0.0f64, 0.1, 0.3, 0.5].iter().copied().enumerate().collect();
+    let rows = ctx.map(items, |(i, frac)| {
         // MR concentrates probes on productive peers, so capacity limits
         // actually bind — the regime where selfish volleys hurt others.
-        cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mr);
-        cfg.system.max_probes_per_second = Some(5);
-        cfg.system.selfish_fraction = frac;
-        cfg.system.selfish_parallelism = 100;
+        let cfg = base_config(scale, 0x5e1f + i as u64)
+            .with_network_size(network_for(scale))
+            .with_uniform_policy(SelectionPolicy::Mr)
+            .with_max_probes_per_second(Some(5))
+            .with_selfish(frac, 100);
         let report = GuessSim::new(cfg).expect("valid config").run();
-        table.row(vec![
-            fnum(frac * 100.0, 0),
-            fnum(report.refused_per_query(), 2),
-            fnum(report.unsatisfaction(), 3),
-            fnum(report.mean_response_secs(), 2),
-            report.loads.first().copied().unwrap_or(0).to_string(),
-        ]);
+        vec![
+            Cell::float(frac * 100.0, 0),
+            Cell::float(report.refused_per_query(), 2),
+            Cell::float(report.unsatisfaction(), 3),
+            Cell::float(report.mean_response_secs(), 2),
+            Cell::uint(report.loads.first().copied().unwrap_or(0)),
+        ]
+    });
+    let mut table = TableBlock::new(
+        "selfish",
+        vec!["% selfish", "refused/query", "unsatisfied", "mean response (s)", "top-peer load"],
+    );
+    for row in rows {
+        table.row(row);
     }
-    format!(
-        "EXTENSION — selfish peers (§3.3): volleys of 100 parallel probes\n\
-         Expected shape: response time collapses as selfishness spreads (each selfish\n\
-         peer helps itself), while refusals and hot-peer load climb — the tragedy of\n\
-         the commons the paper predicts, motivating probe payments.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "EXTENSION — selfish peers (§3.3): volleys of 100 parallel probes\n\
+             Expected shape: response time collapses as selfishness spreads (each selfish\n\
+             peer helps itself), while refusals and hot-peer load climb — the tragedy of\n\
+             the commons the paper predicts, motivating probe payments.\n\n",
+        )
+        .table(table)
 }
 
 /// Adaptive maintenance & walks vs the fixed protocol.
 #[must_use]
-pub fn run_adaptive(scale: Scale) -> String {
+pub fn run_adaptive(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let n = network_for(scale);
-    let mut out = String::new();
-    out.push_str(
-        "EXTENSION — adaptive mechanisms the paper defers to future work\n\n",
-    );
 
     // Part 1: ping-interval adaptation under churn (queries off).
-    let mut table = Table::new(vec!["ping mode", "pings sent", "frac live", "LCC"]);
-    for (name, adaptive, fixed_secs) in [
+    let ping_modes: Vec<(&'static str, Option<AdaptivePing>, f64)> = vec![
         ("fixed 30s", None, 30.0),
         ("fixed 120s", None, 120.0),
         ("adaptive [5s,300s]", Some(AdaptivePing::default()), 120.0),
-    ] {
-        let mut cfg = base_config(scale, 0xada);
-        cfg.system.network_size = n;
-        cfg.system.lifespan_multiplier = 0.2;
-        cfg.run.simulate_queries = false;
-        cfg.protocol.ping_interval = SimDuration::from_secs(fixed_secs);
-        cfg.protocol.adaptive_ping = adaptive;
+    ];
+    let ping_rows = ctx.map(ping_modes, |(name, adaptive, fixed_secs)| {
+        let cfg = base_config(scale, 0xada)
+            .with_network_size(n)
+            .with_lifespan_multiplier(0.2)
+            .with_queries(false)
+            .with_ping_interval(SimDuration::from_secs(fixed_secs))
+            .with_adaptive_ping(adaptive);
         let report = GuessSim::new(cfg).expect("valid config").run();
-        table.row(vec![
-            name.to_string(),
-            report.counters.get("pings_sent").to_string(),
-            fnum(report.live_fraction.unwrap_or(f64::NAN), 3),
-            fnum(report.largest_component.unwrap_or(f64::NAN), 0),
-        ]);
+        vec![
+            Cell::text(name),
+            Cell::uint(report.counters.get("pings_sent")),
+            Cell::float(report.live_fraction.unwrap_or(f64::NAN), 3),
+            Cell::float(report.largest_component.unwrap_or(f64::NAN), 0),
+        ]
+    });
+    let mut ping_table =
+        TableBlock::new("ping_adaptation", vec!["ping mode", "pings sent", "frac live", "LCC"]);
+    for row in ping_rows {
+        ping_table.row(row);
     }
-    out.push_str("Ping-interval adaptation (heavy churn, queries off):\n");
-    out.push_str(&table.render());
-    out.push('\n');
 
     // Part 2: adaptive walk widening vs fixed k.
-    let mut table = Table::new(vec!["walk mode", "probes/query", "response mean (s)", "response p95 (s)"]);
-    for (name, k, adaptive) in [
+    let walk_modes: Vec<(&'static str, usize, Option<AdaptiveParallelism>)> = vec![
         ("serial k=1", 1usize, None),
         ("fixed k=5", 5, None),
         ("adaptive (x2 after 10 dry)", 1, Some(AdaptiveParallelism::default())),
-    ] {
-        let mut cfg = base_config(scale, 0xadb);
-        cfg.system.network_size = n;
-        cfg.protocol.query_pong = SelectionPolicy::Mfs;
-        cfg.protocol.parallel_probes = k;
-        cfg.protocol.adaptive_parallelism = adaptive;
+    ];
+    let walk_rows = ctx.map(walk_modes, |(name, k, adaptive)| {
+        let cfg = base_config(scale, 0xadb)
+            .with_network_size(n)
+            .with_query_pong(SelectionPolicy::Mfs)
+            .with_parallel_probes(k)
+            .with_adaptive_parallelism(adaptive);
         let report = GuessSim::new(cfg).expect("valid config").run();
-        table.row(vec![
-            name.to_string(),
-            fnum(report.probes_per_query(), 1),
-            fnum(report.mean_response_secs(), 2),
-            fnum(report.response_p95.unwrap_or(f64::NAN), 2),
-        ]);
-    }
-    out.push_str("Walk widening (QueryPong=MFS):\n");
-    out.push_str(&table.render());
-    out.push_str(
-        "\nAdaptive widening keeps the average cost near serial probing while\n\
-         cutting the tail response time that makes rare-item searches painful.\n",
+        vec![
+            Cell::text(name),
+            Cell::float(report.probes_per_query(), 1),
+            Cell::float(report.mean_response_secs(), 2),
+            Cell::float(report.response_p95.unwrap_or(f64::NAN), 2),
+        ]
+    });
+    let mut walk_table = TableBlock::new(
+        "walk_widening",
+        vec!["walk mode", "probes/query", "response mean (s)", "response p95 (s)"],
     );
-    out
+    for row in walk_rows {
+        walk_table.row(row);
+    }
+
+    Report::new()
+        .text("EXTENSION — adaptive mechanisms the paper defers to future work\n\n")
+        .text("Ping-interval adaptation (heavy churn, queries off):\n")
+        .table(ping_table)
+        .text("\n")
+        .text("Walk widening (QueryPong=MFS):\n")
+        .table(walk_table)
+        .text(
+            "\nAdaptive widening keeps the average cost near serial probing while\n\
+             cutting the tail response time that makes rare-item searches painful.\n",
+        )
 }
 
 /// Pong-source reputation vs cache poisoning.
 #[must_use]
-pub fn run_defense(scale: Scale) -> String {
+pub fn run_defense(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let n = network_for(scale);
-    let mut table = Table::new(vec![
-        "policy",
-        "pong filter",
-        "probes/query",
-        "unsatisfied",
-        "good entries",
-        "blacklisted",
-    ]);
+    let mut grid = Vec::new();
     for (pi, (pname, policy)) in
         [("MFS", SelectionPolicy::Mfs), ("MR", SelectionPolicy::Mr)].into_iter().enumerate()
     {
         for (fi, filter) in [false, true].into_iter().enumerate() {
-            let mut cfg = base_config(scale, 0xdef + (pi * 2 + fi) as u64);
-            cfg.system.network_size = n;
-            cfg.system.bad_peer_fraction = 0.20;
-            cfg.system.bad_pong_behavior = BadPongBehavior::Dead;
-            cfg.protocol = cfg.protocol.with_uniform_policy(policy);
-            cfg.protocol.distrust_pongs = filter;
-            let report = GuessSim::new(cfg).expect("valid config").run();
-            table.row(vec![
-                pname.to_string(),
-                if filter { "on" } else { "off" }.to_string(),
-                fnum(report.probes_per_query(), 1),
-                fnum(report.unsatisfaction(), 3),
-                fnum(report.good_entries.unwrap_or(f64::NAN), 1),
-                report.counters.get("sources_blacklisted").to_string(),
-            ]);
+            grid.push((pi, fi, pname, policy, filter));
         }
     }
-    format!(
-        "EXTENSION — pong-source reputation filter vs 20% poisoners (BadPong=Dead)\n\
-         Expected shape: the filter blacklists attackers after a handful of dead\n\
-         shares, restoring much of MFS's clean-network efficiency.\n\n{}",
-        table.render()
-    )
+    let rows = ctx.map(grid, |(pi, fi, pname, policy, filter)| {
+        let cfg = base_config(scale, 0xdef + (pi * 2 + fi) as u64)
+            .with_network_size(n)
+            .with_bad_peers(0.20, BadPongBehavior::Dead)
+            .with_uniform_policy(policy)
+            .with_distrust_pongs(filter);
+        let report = GuessSim::new(cfg).expect("valid config").run();
+        vec![
+            Cell::text(pname),
+            Cell::text(if filter { "on" } else { "off" }),
+            Cell::float(report.probes_per_query(), 1),
+            Cell::float(report.unsatisfaction(), 3),
+            Cell::float(report.good_entries.unwrap_or(f64::NAN), 1),
+            Cell::uint(report.counters.get("sources_blacklisted")),
+        ]
+    });
+    let mut table = TableBlock::new(
+        "defense",
+        vec!["policy", "pong filter", "probes/query", "unsatisfied", "good entries", "blacklisted"],
+    );
+    for row in rows {
+        table.row(row);
+    }
+    Report::new()
+        .text(
+            "EXTENSION — pong-source reputation filter vs 20% poisoners (BadPong=Dead)\n\
+             Expected shape: the filter blacklists attackers after a handful of dead\n\
+             shares, restoring much of MFS's clean-network efficiency.\n\n",
+        )
+        .table(table)
 }
 
 /// Fragmentation attack on overlay topologies.
 #[must_use]
-pub fn run_fragmentation(scale: Scale) -> String {
+pub fn run_fragmentation(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let n = match scale {
         Scale::Full => 5000,
         Scale::Quick => 1000,
     };
-    let mut rng = RngStream::from_seed(0xf4a6, "fragmentation");
-    let power_law = Topology::preferential_attachment(n, 2, &mut rng);
-    let limited = Topology::random_regular(n, 2, &mut rng);
-    let victims: Vec<usize> = [0.0f64, 0.01, 0.02, 0.05, 0.10]
-        .iter()
-        .map(|f| (f * n as f64) as usize)
-        .collect();
-    let mut table = Table::new(vec!["topology", "strategy", "% removed", "cohesion"]);
-    for (tname, topo) in [("power-law", &power_law), ("degree-limited", &limited)] {
-        for strategy in [AttackStrategy::HighestDegree, AttackStrategy::Random] {
-            for &v in &victims {
-                let out = attack(topo, strategy, v, &mut rng);
-                let sname = match strategy {
-                    AttackStrategy::HighestDegree => "targeted",
-                    AttackStrategy::Random => "random",
-                };
-                table.row(vec![
-                    tname.to_string(),
-                    sname.to_string(),
-                    fnum(v as f64 / n as f64 * 100.0, 0),
-                    fnum(out.cohesion(), 3),
-                ]);
+    // The whole grid draws from one RNG stream in a fixed order, so it
+    // runs as a single sequential unit under one permit.
+    let table = ctx.compute(|| {
+        let mut rng = RngStream::from_seed(0xf4a6, "fragmentation");
+        let power_law = Topology::preferential_attachment(n, 2, &mut rng);
+        let limited = Topology::random_regular(n, 2, &mut rng);
+        let victims: Vec<usize> = [0.0f64, 0.01, 0.02, 0.05, 0.10]
+            .iter()
+            .map(|f| (f * n as f64) as usize)
+            .collect();
+        let mut table =
+            TableBlock::new("fragmentation", vec!["topology", "strategy", "% removed", "cohesion"]);
+        for (tname, topo) in [("power-law", &power_law), ("degree-limited", &limited)] {
+            for strategy in [AttackStrategy::HighestDegree, AttackStrategy::Random] {
+                for &v in &victims {
+                    let out = attack(topo, strategy, v, &mut rng);
+                    let sname = match strategy {
+                        AttackStrategy::HighestDegree => "targeted",
+                        AttackStrategy::Random => "random",
+                    };
+                    table.row(vec![
+                        Cell::text(tname),
+                        Cell::text(sname),
+                        Cell::float(v as f64 / n as f64 * 100.0, 0),
+                        Cell::float(out.cohesion(), 3),
+                    ]);
+                }
             }
         }
-    }
-    format!(
-        "EXTENSION — fragmentation attacks (§3.3), N={n}\n\
-         Expected shape: targeted hub removal shatters the power-law overlay while\n\
-         the degree-limited overlay degrades gracefully; random failures barely\n\
-         dent either — the paper's argument for simple connection limits.\n\n{}",
-        table.render()
-    )
+        table
+    });
+    Report::new()
+        .text(format!(
+            "EXTENSION — fragmentation attacks (§3.3), N={n}\n\
+             Expected shape: targeted hub removal shatters the power-law overlay while\n\
+             the degree-limited overlay degrades gracefully; random failures barely\n\
+             dent either — the paper's argument for simple connection limits.\n\n"
+        ))
+        .table(table)
 }
 
 /// Probe payments vs selfish volleys.
 #[must_use]
-pub fn run_payments(scale: Scale) -> String {
+pub fn run_payments(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let n = network_for(scale);
-    let mut table = Table::new(vec![
-        "economy",
-        "% selfish",
-        "probes/query",
-        "response (s)",
-        "unsatisfied",
-        "budget-outs",
-    ]);
+    let mut grid = Vec::new();
     for (i, &selfish) in [0.0f64, 0.4].iter().enumerate() {
         for (j, payments) in [None, Some(PaymentParams::default())].into_iter().enumerate() {
-            let mut cfg = base_config(scale, 0x9a9 + (i * 2 + j) as u64);
-            cfg.system.network_size = n;
-            cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mr);
-            cfg.system.max_probes_per_second = Some(5);
-            cfg.system.selfish_fraction = selfish;
-            cfg.system.selfish_parallelism = 100;
-            cfg.protocol.probe_payments = payments;
-            let report = GuessSim::new(cfg).expect("valid config").run();
-            table.row(vec![
-                if payments.is_some() { "paid" } else { "free" }.to_string(),
-                fnum(selfish * 100.0, 0),
-                fnum(report.probes_per_query(), 1),
-                fnum(report.mean_response_secs(), 2),
-                fnum(report.unsatisfaction(), 3),
-                report.counters.get("probe_budget_exhausted").to_string(),
-            ]);
+            grid.push((i, j, selfish, payments));
         }
     }
-    format!(
-        "EXTENSION — probe payments (§3.3, after PPay [23])\n\
-         Expected shape: probing now has a price — volley senders exhaust their\n\
-         credit (budget-outs > 0), which removes the selfish response-time freebie;\n\
-         honest traffic is funded comfortably by the allowance.\n\n{}",
-        table.render()
-    )
+    let rows = ctx.map(grid, |(i, j, selfish, payments)| {
+        let cfg = base_config(scale, 0x9a9 + (i * 2 + j) as u64)
+            .with_network_size(n)
+            .with_uniform_policy(SelectionPolicy::Mr)
+            .with_max_probes_per_second(Some(5))
+            .with_selfish(selfish, 100)
+            .with_probe_payments(payments);
+        let report = GuessSim::new(cfg).expect("valid config").run();
+        vec![
+            Cell::text(if payments.is_some() { "paid" } else { "free" }),
+            Cell::float(selfish * 100.0, 0),
+            Cell::float(report.probes_per_query(), 1),
+            Cell::float(report.mean_response_secs(), 2),
+            Cell::float(report.unsatisfaction(), 3),
+            Cell::uint(report.counters.get("probe_budget_exhausted")),
+        ]
+    });
+    let mut table = TableBlock::new(
+        "payments",
+        vec!["economy", "% selfish", "probes/query", "response (s)", "unsatisfied", "budget-outs"],
+    );
+    for row in rows {
+        table.row(row);
+    }
+    Report::new()
+        .text(
+            "EXTENSION — probe payments (§3.3, after PPay [23])\n\
+             Expected shape: probing now has a price — volley senders exhaust their\n\
+             credit (budget-outs > 0), which removes the selfish response-time freebie;\n\
+             honest traffic is funded comfortably by the allowance.\n\n",
+        )
+        .table(table)
+}
+
+enum Side {
+    Guess(Box<RunReport>),
+    Gnutella(Box<GnutellaReport>),
 }
 
 /// GUESS vs a churn-aware Gnutella overlay on identical workloads.
 #[must_use]
-pub fn run_forwarding(scale: Scale) -> String {
+pub fn run_forwarding(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let n = network_for(scale);
-    let mut out = String::new();
-    out.push_str(
-        "EXTENSION — §3.2/§3.3 quantified: GUESS vs dynamic Gnutella on one workload\n\n",
-    );
-
-    // GUESS side.
-    let mut gcfg = base_config(scale, 0xf0d);
-    gcfg.system.network_size = n;
-    gcfg.protocol.query_pong = SelectionPolicy::Mfs;
-    let guess_report = GuessSim::new(gcfg).expect("valid config").run();
-    let guess_maintenance =
-        guess_report.counters.get("pings_sent") * 2; // ping + pong
-
-    // Gnutella side (same content model, same churn model, same rate).
-    let dyn_cfg = GnutellaConfig {
-        network_size: n,
-        duration: scale.duration(),
-        warmup: scale.warmup(),
-        ..GnutellaConfig::default()
+    let mut sides = ctx.map(vec![0usize, 1], |i| {
+        if i == 0 {
+            // GUESS side.
+            let gcfg = base_config(scale, 0xf0d)
+                .with_network_size(n)
+                .with_query_pong(SelectionPolicy::Mfs);
+            Side::Guess(Box::new(GuessSim::new(gcfg).expect("valid config").run()))
+        } else {
+            // Gnutella side (same content model, same churn model, same rate).
+            let dyn_cfg = GnutellaConfig {
+                network_size: n,
+                duration: scale.duration(),
+                warmup: scale.warmup(),
+                ..GnutellaConfig::default()
+            };
+            Side::Gnutella(Box::new(GnutellaSim::new(dyn_cfg).expect("valid config").run()))
+        }
+    });
+    let (Side::Guess(guess_report), Side::Gnutella(gnutella_report)) =
+        (sides.remove(0), sides.remove(0))
+    else {
+        unreachable!("map preserves item order");
     };
-    let gnutella_report = GnutellaSim::new(dyn_cfg).expect("valid config").run();
+    let guess_maintenance = guess_report.counters.get("pings_sent") * 2; // ping + pong
     let gnutella_maintenance = gnutella_report.counters.get("connect_messages");
 
-    let mut table = Table::new(vec![
-        "mechanism",
-        "query cost (msgs)",
-        "unsatisfied",
-        "maintenance msgs",
+    let mut table = TableBlock::new(
+        "forwarding",
+        vec!["mechanism", "query cost (msgs)", "unsatisfied", "maintenance msgs"],
+    );
+    table.row(vec![
+        Cell::text("GUESS (QueryPong=MFS)"),
+        Cell::float(guess_report.probes_per_query(), 1),
+        Cell::float(guess_report.unsatisfaction(), 3),
+        Cell::uint(guess_maintenance),
     ]);
     table.row(vec![
-        "GUESS (QueryPong=MFS)".into(),
-        fnum(guess_report.probes_per_query(), 1),
-        fnum(guess_report.unsatisfaction(), 3),
-        guess_maintenance.to_string(),
+        Cell::text("Gnutella flood ttl=7"),
+        Cell::float(gnutella_report.messages_per_query(), 1),
+        Cell::float(gnutella_report.unsatisfaction(), 3),
+        Cell::uint(gnutella_maintenance),
     ]);
-    table.row(vec![
-        "Gnutella flood ttl=7".into(),
-        fnum(gnutella_report.messages_per_query(), 1),
-        fnum(gnutella_report.unsatisfaction(), 3),
-        gnutella_maintenance.to_string(),
-    ]);
-    out.push_str(&table.render());
-    out.push_str(&format!(
-        "\nGnutella reaches {:.0} peers/query; a single malicious query thus costs\n\
-         the network {:.0} messages for ~{} sent by the attacker — the amplification\n\
-         of §3.3. GUESS probes cost the attacker one message each (amplification 1),\n\
-         but Gnutella's maintenance traffic is far lower ({} vs {} messages):\n\
-         the paper's efficiency-vs-state tradeoff, quantified.\n",
-        gnutella_report.peers_reached.mean(),
-        gnutella_report.messages_per_query(),
-        GnutellaConfig::default().target_degree,
-        gnutella_maintenance,
-        guess_maintenance,
-    ));
-    out
+    Report::new()
+        .text("EXTENSION — §3.2/§3.3 quantified: GUESS vs dynamic Gnutella on one workload\n\n")
+        .table(table)
+        .text(format!(
+            "\nGnutella reaches {:.0} peers/query; a single malicious query thus costs\n\
+             the network {:.0} messages for ~{} sent by the attacker — the amplification\n\
+             of §3.3. GUESS probes cost the attacker one message each (amplification 1),\n\
+             but Gnutella's maintenance traffic is far lower ({} vs {} messages):\n\
+             the paper's efficiency-vs-state tradeoff, quantified.\n",
+            gnutella_report.peers_reached.mean(),
+            gnutella_report.messages_per_query(),
+            GnutellaConfig::default().target_degree,
+            gnutella_maintenance,
+            guess_maintenance,
+        ))
 }
 
 #[cfg(test)]
@@ -319,7 +359,8 @@ mod tests {
 
     #[test]
     fn payments_report_renders() {
-        let out = run_payments(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_payments(&ctx).render_text();
         assert!(out.contains("budget-outs"));
         assert!(out.contains("paid"));
         assert!(out.contains("free"));
@@ -327,7 +368,8 @@ mod tests {
 
     #[test]
     fn forwarding_report_compares_mechanisms() {
-        let out = run_forwarding(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_forwarding(&ctx).render_text();
         assert!(out.contains("GUESS"));
         assert!(out.contains("Gnutella flood"));
         assert!(out.contains("maintenance"));
@@ -335,14 +377,16 @@ mod tests {
 
     #[test]
     fn selfish_report_renders() {
-        let out = run_selfish(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_selfish(&ctx).render_text();
         assert!(out.contains("% selfish"));
         assert!(out.lines().filter(|l| l.contains('.')).count() >= 4);
     }
 
     #[test]
     fn adaptive_report_covers_both_parts() {
-        let out = run_adaptive(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_adaptive(&ctx).render_text();
         assert!(out.contains("Ping-interval adaptation"));
         assert!(out.contains("Walk widening"));
         assert!(out.contains("adaptive"));
@@ -350,14 +394,16 @@ mod tests {
 
     #[test]
     fn defense_report_shows_filter_column() {
-        let out = run_defense(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_defense(&ctx).render_text();
         assert!(out.contains("pong filter"));
         assert!(out.contains("blacklisted"));
     }
 
     #[test]
     fn fragmentation_report_compares_topologies() {
-        let out = run_fragmentation(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run_fragmentation(&ctx).render_text();
         assert!(out.contains("power-law"));
         assert!(out.contains("degree-limited"));
         assert!(out.contains("targeted"));

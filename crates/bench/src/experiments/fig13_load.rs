@@ -8,8 +8,9 @@
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::Table;
 
 /// The policy combinations of the figure (QueryProbe / CacheReplacement).
 #[must_use]
@@ -28,40 +29,49 @@ pub const RANKS: [usize; 9] = [1, 2, 3, 5, 10, 32, 100, 316, 1000];
 
 /// Runs the Figure 13 reproduction.
 #[must_use]
-pub fn run(scale: Scale) -> String {
+pub fn run(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let items: Vec<(usize, (&'static str, SelectionPolicy))> =
+        combos().into_iter().enumerate().collect();
+    let results = ctx.map(items, |(i, (name, probe))| {
+        let mut cfg = base_config(scale, 0xf13 + i as u64)
+            .with_query_probe(probe)
+            .with_cache_replacement(probe.mirror_replacement());
+        if scale == Scale::Quick {
+            cfg = cfg.with_network_size(300);
+        }
+        let report = GuessSim::new(cfg).expect("valid config").run();
+        let total: u64 = report.loads.iter().sum();
+        let ranked: Vec<u64> =
+            RANKS.iter().map(|&r| report.loads.get(r - 1).copied().unwrap_or(0)).collect();
+        (name, total, ranked)
+    });
+
     let mut table = {
         let mut header = vec!["combo".to_string(), "total probes".to_string()];
         header.extend(RANKS.iter().map(|r| format!("rank {r}")));
-        Table::new(header.iter().map(String::as_str).collect())
+        TableBlock::with_columns("ranked_load", header)
     };
-    let mut totals: Vec<(String, f64)> = Vec::new();
-    for (i, (name, probe)) in combos().into_iter().enumerate() {
-        let mut cfg = base_config(scale, 0xf13 + i as u64);
-        if scale == Scale::Quick {
-            cfg.system.network_size = 300;
-        }
-        cfg.protocol.query_probe = probe;
-        cfg.protocol.cache_replacement = probe.mirror_replacement();
-        let report = GuessSim::new(cfg).expect("valid config").run();
-        let total: u64 = report.loads.iter().sum();
-        totals.push((name.to_string(), total as f64));
-        let mut row = vec![name.to_string(), total.to_string()];
-        for &r in &RANKS {
-            let v = report.loads.get(r - 1).copied().unwrap_or(0);
-            row.push(v.to_string());
-        }
+    let mut totals: Vec<(&str, f64)> = Vec::new();
+    for (name, total, ranked) in &results {
+        totals.push((name, *total as f64));
+        let mut row = vec![Cell::text(*name), Cell::uint(*total)];
+        row.extend(ranked.iter().map(|&v| Cell::uint(v)));
         table.row(row);
     }
-    let random_total = totals.iter().find(|(n, _)| n == "Random/Random").map_or(0.0, |t| t.1);
-    let mfs_total = totals.iter().find(|(n, _)| n == "MFS/LFS").map_or(1.0, |t| t.1);
-    format!(
-        "Figure 13 — ranked load (probes received) per policy combination\n\
-         Expected shape: MFS/LFS and MR/LR pile load onto the top-ranked peers;\n\
-         Random/Random is flat but far more expensive in total (paper: ~8x MFS/LFS).\n\n{}\n\
-         total probes Random/Random vs MFS/LFS: {:.1}x (paper: ~8x)\n",
-        table.render(),
-        random_total / mfs_total.max(1.0)
-    )
+    let random_total = totals.iter().find(|(n, _)| *n == "Random/Random").map_or(0.0, |t| t.1);
+    let mfs_total = totals.iter().find(|(n, _)| *n == "MFS/LFS").map_or(1.0, |t| t.1);
+    Report::new()
+        .text(
+            "Figure 13 — ranked load (probes received) per policy combination\n\
+             Expected shape: MFS/LFS and MR/LR pile load onto the top-ranked peers;\n\
+             Random/Random is flat but far more expensive in total (paper: ~8x MFS/LFS).\n\n",
+        )
+        .table(table)
+        .text(format!(
+            "\ntotal probes Random/Random vs MFS/LFS: {:.1}x (paper: ~8x)\n",
+            random_total / mfs_total.max(1.0)
+        ))
 }
 
 #[cfg(test)]
@@ -70,7 +80,8 @@ mod tests {
 
     #[test]
     fn report_covers_all_combos() {
-        let out = run(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run(&ctx).render_text();
         for (name, _) in combos() {
             assert!(out.contains(name), "missing combo {name}");
         }

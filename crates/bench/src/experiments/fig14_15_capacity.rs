@@ -1,21 +1,22 @@
 //! Figures 14 and 15: behaviour under per-peer capacity limits.
 //!
 //! Setup (§6.3): MR policies (the less-fair, hotspot-prone choice),
-//! network sizes 500–5000, `MaxProbesPerSecond` ∈ {50, 10, 5, 1}.
+//! network sizes 500–5000, `MaxProbesPerSecond` ∈ {50, 10, 5, 1}. The
+//! sweep is computed once per [`Ctx`] and shared by both figures.
 //!
 //! * Fig 14 — refused probes per query grow with network size (hot peers
 //!   sit in many caches), while good and dead probes stay roughly steady;
 //! * Fig 15 — query satisfaction is barely affected: enough other peers
 //!   can serve the content.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
 /// Capacity limits swept (probes/second).
 pub const CAPS: [u32; 4] = [50, 10, 5, 1];
@@ -37,8 +38,6 @@ pub struct Point {
     pub unsat: f64,
 }
 
-static SWEEP: Mutex<Option<HashMap<Scale, Vec<Point>>>> = Mutex::new(None);
-
 fn networks(scale: Scale) -> Vec<usize> {
     match scale {
         Scale::Full => vec![500, 1000, 2000, 5000],
@@ -46,74 +45,77 @@ fn networks(scale: Scale) -> Vec<usize> {
     }
 }
 
-/// The (memoized) capacity sweep.
+/// The capacity sweep (computed once per context).
 #[must_use]
-pub fn sweep(scale: Scale) -> Vec<Point> {
-    {
-        let mut guard = SWEEP.lock().expect("memo");
-        if let Some(v) = guard.get_or_insert_with(HashMap::new).get(&scale) {
-            return v.clone();
+pub fn sweep(ctx: &Ctx) -> Arc<Vec<Point>> {
+    ctx.shared("fig14_15/sweep", |ctx| {
+        let scale = ctx.scale();
+        let mut grid = Vec::new();
+        for network in networks(scale) {
+            for cap in CAPS {
+                grid.push((network, cap));
+            }
         }
-    }
-    let mut points = Vec::new();
-    for network in networks(scale) {
-        for cap in CAPS {
-            let mut cfg = base_config(scale, 0xf14 + (network as u64) * 7 + u64::from(cap));
-            cfg.system.network_size = network;
-            cfg.system.max_probes_per_second = Some(cap);
-            cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mr);
+        ctx.map(grid, |(network, cap)| {
+            let cfg = base_config(scale, 0xf14 + (network as u64) * 7 + u64::from(cap))
+                .with_network_size(network)
+                .with_max_probes_per_second(Some(cap))
+                .with_uniform_policy(SelectionPolicy::Mr);
             let report = GuessSim::new(cfg).expect("valid config").run();
-            points.push(Point {
+            Point {
                 network,
                 cap,
                 good: report.good_per_query(),
                 refused: report.refused_per_query(),
                 dead: report.dead_per_query(),
                 unsat: report.unsatisfaction(),
-            });
-        }
-    }
-    SWEEP.lock().expect("memo").get_or_insert_with(HashMap::new).insert(scale, points.clone());
-    points
+            }
+        })
+    })
 }
 
 /// Figure 14: probe breakdown per (network, capacity).
 #[must_use]
-pub fn run_fig14(scale: Scale) -> String {
-    let pts = sweep(scale);
-    let mut table =
-        Table::new(vec!["NetworkSize", "MaxProbes/s", "good/query", "refused/query", "dead/query"]);
-    for p in &pts {
+pub fn run_fig14(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx);
+    let mut table = TableBlock::new(
+        "probe_breakdown",
+        vec!["NetworkSize", "MaxProbes/s", "good/query", "refused/query", "dead/query"],
+    );
+    for p in pts.iter() {
         table.row(vec![
-            p.network.to_string(),
-            p.cap.to_string(),
-            fnum(p.good, 1),
-            fnum(p.refused, 1),
-            fnum(p.dead, 1),
+            Cell::size(p.network),
+            Cell::uint(p.cap),
+            Cell::float(p.good, 1),
+            Cell::float(p.refused, 1),
+            Cell::float(p.dead, 1),
         ]);
     }
-    format!(
-        "Figure 14 — probe breakdown under capacity limits (MR policies)\n\
-         Expected shape: refused probes grow as the network grows and the cap\n\
-         shrinks; good and dead probes stay roughly steady.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Figure 14 — probe breakdown under capacity limits (MR policies)\n\
+             Expected shape: refused probes grow as the network grows and the cap\n\
+             shrinks; good and dead probes stay roughly steady.\n\n",
+        )
+        .table(table)
 }
 
 /// Figure 15: unsatisfaction vs capacity.
 #[must_use]
-pub fn run_fig15(scale: Scale) -> String {
-    let pts = sweep(scale);
-    let mut table = Table::new(vec!["NetworkSize", "MaxProbes/s", "unsatisfied"]);
-    for p in &pts {
-        table.row(vec![p.network.to_string(), p.cap.to_string(), fnum(p.unsat, 3)]);
+pub fn run_fig15(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx);
+    let mut table =
+        TableBlock::new("unsat_vs_cap", vec!["NetworkSize", "MaxProbes/s", "unsatisfied"]);
+    for p in pts.iter() {
+        table.row(vec![Cell::size(p.network), Cell::uint(p.cap), Cell::float(p.unsat, 3)]);
     }
-    format!(
-        "Figure 15 — satisfaction under capacity limits (MR policies)\n\
-         Expected shape: unsatisfaction barely moves even when many probes are\n\
-         refused — other capable peers absorb the queries.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Figure 15 — satisfaction under capacity limits (MR policies)\n\
+             Expected shape: unsatisfaction barely moves even when many probes are\n\
+             refused — other capable peers absorb the queries.\n\n",
+        )
+        .table(table)
 }
 
 #[cfg(test)]
@@ -122,13 +124,15 @@ mod tests {
 
     #[test]
     fn sweep_covers_grid() {
-        let pts = sweep(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx);
         assert_eq!(pts.len(), networks(Scale::Quick).len() * CAPS.len());
     }
 
     #[test]
     fn tighter_caps_refuse_more() {
-        let pts = sweep(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx);
         let n = networks(Scale::Quick)[1];
         let at = |cap: u32| pts.iter().find(|p| p.network == n && p.cap == cap).unwrap().refused;
         assert!(
@@ -141,7 +145,8 @@ mod tests {
 
     #[test]
     fn reports_render() {
-        assert!(run_fig14(Scale::Quick).contains("refused/query"));
-        assert!(run_fig15(Scale::Quick).contains("unsatisfied"));
+        let ctx = Ctx::new(Scale::Quick, 2);
+        assert!(run_fig14(&ctx).render_text().contains("refused/query"));
+        assert!(run_fig15(&ctx).render_text().contains("unsatisfied"));
     }
 }

@@ -3,6 +3,8 @@
 //! Setup (§6.4): N=1000 defaults; `PercentBadPeers` ∈ {0, 5, 10, 15, 20};
 //! four policy configurations applied uniformly to QueryProbe / QueryPong /
 //! CacheReplacement — Random, MR, MR\* (MR + `ResetNumResults`), MFS.
+//! Each collusion mode's sweep is computed once per [`Ctx`] and shared by
+//! its three figures.
 //!
 //! * No collusion (`BadPongBehavior = Dead`, Figs 16–18): malicious pongs
 //!   carry fabricated dead addresses. MFS collapses (it trusts claimed
@@ -13,15 +15,15 @@
 //!   re-enter caches faster than NumRes=0 evicts them; only Random and
 //!   MR\* survive, with MR\* cheaper than Random.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use guess::config::BadPongBehavior;
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
 /// Bad-peer fractions swept (the paper's 0–20 %).
 pub const FRACTIONS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];
@@ -41,8 +43,6 @@ pub struct Point {
     pub good_entries: f64,
 }
 
-static SWEEP: Mutex<Option<HashMap<(Scale, bool), Vec<Point>>>> = Mutex::new(None);
-
 /// The four policy configurations of the figures.
 #[must_use]
 pub fn policies() -> Vec<(&'static str, SelectionPolicy, bool)> {
@@ -55,126 +55,130 @@ pub fn policies() -> Vec<(&'static str, SelectionPolicy, bool)> {
     ]
 }
 
-/// The (memoized) malicious-peer sweep; `collusion` selects
-/// `BadPongBehavior::Bad` vs `Dead`.
+/// The malicious-peer sweep (computed once per context per mode);
+/// `collusion` selects `BadPongBehavior::Bad` vs `Dead`.
 #[must_use]
-pub fn sweep(scale: Scale, collusion: bool) -> Vec<Point> {
-    {
-        let mut guard = SWEEP.lock().expect("memo");
-        if let Some(v) = guard.get_or_insert_with(HashMap::new).get(&(scale, collusion)) {
-            return v.clone();
-        }
-    }
-    let fractions: Vec<f64> = match scale {
-        Scale::Full => FRACTIONS.to_vec(),
-        Scale::Quick => vec![0.0, 0.10, 0.20],
-    };
-    let mut points = Vec::new();
-    for (pi, (name, policy, reset)) in policies().into_iter().enumerate() {
-        for (fi, &bad) in fractions.iter().enumerate() {
-            let mut cfg = base_config(scale, 0xf16 + (pi * 16 + fi) as u64);
-            if scale == Scale::Quick {
-                cfg.system.network_size = 300;
+pub fn sweep(ctx: &Ctx, collusion: bool) -> Arc<Vec<Point>> {
+    let key = if collusion { "fig16_21/collusion" } else { "fig16_21/no_collusion" };
+    ctx.shared(key, |ctx| {
+        let scale = ctx.scale();
+        let fractions: Vec<f64> = match scale {
+            Scale::Full => FRACTIONS.to_vec(),
+            Scale::Quick => vec![0.0, 0.10, 0.20],
+        };
+        let mut grid = Vec::new();
+        for (pi, (name, policy, reset)) in policies().into_iter().enumerate() {
+            for (fi, &bad) in fractions.iter().enumerate() {
+                grid.push((pi, fi, name, policy, reset, bad));
             }
-            cfg.system.bad_peer_fraction = bad;
-            cfg.system.bad_pong_behavior =
-                if collusion { BadPongBehavior::Bad } else { BadPongBehavior::Dead };
-            cfg.protocol = cfg.protocol.with_uniform_policy(policy);
-            cfg.protocol.reset_num_results = reset;
+        }
+        ctx.map(grid, |(pi, fi, name, policy, reset, bad)| {
+            let behavior = if collusion { BadPongBehavior::Bad } else { BadPongBehavior::Dead };
+            let mut cfg = base_config(scale, 0xf16 + (pi * 16 + fi) as u64)
+                .with_bad_peers(bad, behavior)
+                .with_uniform_policy(policy)
+                .with_reset_num_results(reset);
+            if scale == Scale::Quick {
+                cfg = cfg.with_network_size(300);
+            }
             let report = GuessSim::new(cfg).expect("valid config").run();
-            points.push(Point {
+            Point {
                 policy: name.to_string(),
                 bad,
                 probes: report.probes_per_query(),
                 unsat: report.unsatisfaction(),
                 good_entries: report.good_entries.unwrap_or(f64::NAN),
-            });
-        }
-    }
-    SWEEP
-        .lock()
-        .expect("memo")
-        .get_or_insert_with(HashMap::new)
-        .insert((scale, collusion), points.clone());
-    points
+            }
+        })
+    })
 }
 
-fn render(points: &[Point], metric: fn(&Point) -> f64, col: &str, prec: usize) -> String {
-    let mut table = Table::new(vec!["policy", "% bad", col]);
+fn render(name: &str, points: &[Point], metric: fn(&Point) -> f64, col: &str, prec: usize) -> TableBlock {
+    let mut table = TableBlock::new(name, vec!["policy", "% bad", col]);
     for p in points {
-        table.row(vec![p.policy.clone(), fnum(p.bad * 100.0, 0), fnum(metric(p), prec)]);
+        table.row(vec![
+            Cell::text(p.policy.clone()),
+            Cell::float(p.bad * 100.0, 0),
+            Cell::float(metric(p), prec),
+        ]);
     }
-    table.render()
+    table
 }
 
 /// Figure 16: probes/query, no collusion.
 #[must_use]
-pub fn run_fig16(scale: Scale) -> String {
-    let pts = sweep(scale, false);
-    format!(
-        "Figure 16 — probes/query vs %bad (BadPong=Dead, no collusion)\n\
-         Expected shape: MFS cost blows up with %bad; Random/MR/MR* stay flat-ish.\n\n{}",
-        render(&pts, |p| p.probes, "probes/query", 1)
-    )
+pub fn run_fig16(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, false);
+    Report::new()
+        .text(
+            "Figure 16 — probes/query vs %bad (BadPong=Dead, no collusion)\n\
+             Expected shape: MFS cost blows up with %bad; Random/MR/MR* stay flat-ish.\n\n",
+        )
+        .table(render("probes_no_collusion", &pts, |p| p.probes, "probes/query", 1))
 }
 
 /// Figure 17: unsatisfaction, no collusion.
 #[must_use]
-pub fn run_fig17(scale: Scale) -> String {
-    let pts = sweep(scale, false);
-    format!(
-        "Figure 17 — unsatisfaction vs %bad (BadPong=Dead)\n\
-         Expected shape: MFS degrades toward total failure by 20% bad;\n\
-         MR keeps the best cost/robustness tradeoff; MR* and Random robust.\n\n{}",
-        render(&pts, |p| p.unsat, "unsatisfied", 3)
-    )
+pub fn run_fig17(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, false);
+    Report::new()
+        .text(
+            "Figure 17 — unsatisfaction vs %bad (BadPong=Dead)\n\
+             Expected shape: MFS degrades toward total failure by 20% bad;\n\
+             MR keeps the best cost/robustness tradeoff; MR* and Random robust.\n\n",
+        )
+        .table(render("unsat_no_collusion", &pts, |p| p.unsat, "unsatisfied", 3))
 }
 
 /// Figure 18: good cache entries, no collusion.
 #[must_use]
-pub fn run_fig18(scale: Scale) -> String {
-    let pts = sweep(scale, false);
-    format!(
-        "Figure 18 — unpoisoned link-cache entries vs %bad (BadPong=Dead)\n\
-         Expected shape: good entries collapse for MFS only.\n\n{}",
-        render(&pts, |p| p.good_entries, "good entries", 1)
-    )
+pub fn run_fig18(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, false);
+    Report::new()
+        .text(
+            "Figure 18 — unpoisoned link-cache entries vs %bad (BadPong=Dead)\n\
+             Expected shape: good entries collapse for MFS only.\n\n",
+        )
+        .table(render("good_entries_no_collusion", &pts, |p| p.good_entries, "good entries", 1))
 }
 
 /// Figure 19: probes/query, collusion.
 #[must_use]
-pub fn run_fig19(scale: Scale) -> String {
-    let pts = sweep(scale, true);
-    format!(
-        "Figure 19 — probes/query vs %bad (BadPong=Bad, collusion)\n\
-         Expected shape: both MFS and MR degrade; Random and MR* stay usable,\n\
-         with MR* cheaper than Random.\n\n{}",
-        render(&pts, |p| p.probes, "probes/query", 1)
-    )
+pub fn run_fig19(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, true);
+    Report::new()
+        .text(
+            "Figure 19 — probes/query vs %bad (BadPong=Bad, collusion)\n\
+             Expected shape: both MFS and MR degrade; Random and MR* stay usable,\n\
+             with MR* cheaper than Random.\n\n",
+        )
+        .table(render("probes_collusion", &pts, |p| p.probes, "probes/query", 1))
 }
 
 /// Figure 20: unsatisfaction, collusion.
 #[must_use]
-pub fn run_fig20(scale: Scale) -> String {
-    let pts = sweep(scale, true);
-    format!(
-        "Figure 20 — unsatisfaction vs %bad (BadPong=Bad, collusion)\n\
-         Expected shape: MFS and MR head toward 100% unsatisfied at 20% bad;\n\
-         MR* and Random stay robust.\n\n{}",
-        render(&pts, |p| p.unsat, "unsatisfied", 3)
-    )
+pub fn run_fig20(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, true);
+    Report::new()
+        .text(
+            "Figure 20 — unsatisfaction vs %bad (BadPong=Bad, collusion)\n\
+             Expected shape: MFS and MR head toward 100% unsatisfied at 20% bad;\n\
+             MR* and Random stay robust.\n\n",
+        )
+        .table(render("unsat_collusion", &pts, |p| p.unsat, "unsatisfied", 3))
 }
 
 /// Figure 21: good cache entries, collusion.
 #[must_use]
-pub fn run_fig21(scale: Scale) -> String {
-    let pts = sweep(scale, true);
-    format!(
-        "Figure 21 — unpoisoned link-cache entries vs %bad (BadPong=Bad)\n\
-         Expected shape: caches poison heavily for both MR and MFS;\n\
-         Random and MR* retain good entries.\n\n{}",
-        render(&pts, |p| p.good_entries, "good entries", 1)
-    )
+pub fn run_fig21(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, true);
+    Report::new()
+        .text(
+            "Figure 21 — unpoisoned link-cache entries vs %bad (BadPong=Bad)\n\
+             Expected shape: caches poison heavily for both MR and MFS;\n\
+             Random and MR* retain good entries.\n\n",
+        )
+        .table(render("good_entries_collusion", &pts, |p| p.good_entries, "good entries", 1))
 }
 
 #[cfg(test)]
@@ -183,7 +187,8 @@ mod tests {
 
     #[test]
     fn sweep_covers_policies_and_fractions() {
-        let pts = sweep(Scale::Quick, false);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx, false);
         assert_eq!(pts.len(), 4 * 3);
         for (name, _, _) in policies() {
             assert!(pts.iter().any(|p| p.policy == name));
@@ -192,7 +197,8 @@ mod tests {
 
     #[test]
     fn mfs_degrades_under_poisoning() {
-        let pts = sweep(Scale::Quick, false);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx, false);
         let mfs_clean = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.0).unwrap();
         let mfs_poisoned = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.20).unwrap();
         assert!(
@@ -209,8 +215,9 @@ mod tests {
 
     #[test]
     fn reports_render() {
+        let ctx = Ctx::new(Scale::Quick, 2);
         for f in [run_fig16, run_fig17, run_fig18, run_fig19, run_fig20, run_fig21] {
-            let out = f(Scale::Quick);
+            let out = f(&ctx).render_text();
             assert!(out.contains("MR*"));
         }
     }

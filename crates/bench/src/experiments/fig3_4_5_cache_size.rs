@@ -2,7 +2,9 @@
 //!
 //! Setup (§6.1): `LifespanMultiplier = 0.2`, Random policies, network
 //! sizes 200–5000, cache sizes from 5 up to the network size. The three
-//! figures read the same sweep:
+//! figures read the same sweep, computed once per [`Ctx`] and shared
+//! through it (every `(network, cache)` point has its own seed, so the
+//! points run in parallel):
 //!
 //! * Fig 3 — probes/query grows with cache size, at every network size;
 //! * Fig 4 — unsatisfaction is minimized at a *moderate* cache size
@@ -10,13 +12,13 @@
 //! * Fig 5 — (N=1000) dead probes grow with cache size while good probes
 //!   peak around cache size 20.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use guess::engine::GuessSim;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{strained_config, Scale};
-use crate::table::{fnum, Table};
 
 /// One sweep sample.
 #[derive(Debug, Clone, Copy)]
@@ -35,8 +37,6 @@ pub struct Point {
     pub unsat: f64,
 }
 
-static SWEEP: Mutex<Option<HashMap<Scale, Vec<Point>>>> = Mutex::new(None);
-
 fn cache_grid(network: usize, scale: Scale) -> Vec<usize> {
     let base = [5usize, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000];
     let mut grid: Vec<usize> = scale
@@ -50,86 +50,81 @@ fn cache_grid(network: usize, scale: Scale) -> Vec<usize> {
     grid
 }
 
-/// The shared Figure 3/4/5 sweep (memoized per scale).
+/// The shared Figure 3/4/5 sweep (computed once per context).
 #[must_use]
-pub fn sweep(scale: Scale) -> Vec<Point> {
-    let store = &SWEEP;
-    {
-        let mut guard = store.lock().expect("sweep memo");
-        let map = guard.get_or_insert_with(HashMap::new);
-        if let Some(v) = map.get(&scale) {
-            return v.clone();
+pub fn sweep(ctx: &Ctx) -> Arc<Vec<Point>> {
+    ctx.shared("fig3_4_5/sweep", |ctx| {
+        let scale = ctx.scale();
+        let mut grid = Vec::new();
+        for network in scale.network_sizes() {
+            for cache in cache_grid(network, scale) {
+                grid.push((network, cache));
+            }
         }
-    }
-    let mut points = Vec::new();
-    for network in scale.network_sizes() {
-        for cache in cache_grid(network, scale) {
+        ctx.map(grid, |(network, cache)| {
             let cfg = strained_config(scale, network, cache, 0xf135 + (network * 31 + cache) as u64);
             let report = GuessSim::new(cfg).expect("valid config").run();
-            points.push(Point {
+            Point {
                 network,
                 cache,
                 probes: report.probes_per_query(),
                 good: report.good_per_query(),
                 dead: report.dead_per_query(),
                 unsat: report.unsatisfaction(),
-            });
-        }
-    }
-    store
-        .lock()
-        .expect("sweep memo")
-        .get_or_insert_with(HashMap::new)
-        .insert(scale, points.clone());
-    points
+            }
+        })
+    })
 }
 
 /// Figure 3: probes/query vs cache size.
 #[must_use]
-pub fn run_fig3(scale: Scale) -> String {
-    let points = sweep(scale);
-    let mut table = Table::new(vec!["NetworkSize", "CacheSize", "probes/query"]);
-    for p in &points {
-        table.row(vec![p.network.to_string(), p.cache.to_string(), fnum(p.probes, 1)]);
+pub fn run_fig3(ctx: &Ctx) -> Report {
+    let points = sweep(ctx);
+    let mut table = TableBlock::new("probes_vs_cache", vec!["NetworkSize", "CacheSize", "probes/query"]);
+    for p in points.iter() {
+        table.row(vec![Cell::size(p.network), Cell::size(p.cache), Cell::float(p.probes, 1)]);
     }
-    format!(
-        "Figure 3 — probes/query vs CacheSize (LifespanMultiplier=0.2, Random policies)\n\
-         Expected shape: cost rises monotonically-ish with cache size at every network size.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Figure 3 — probes/query vs CacheSize (LifespanMultiplier=0.2, Random policies)\n\
+             Expected shape: cost rises monotonically-ish with cache size at every network size.\n\n",
+        )
+        .table(table)
 }
 
 /// Figure 4: unsatisfaction vs cache size.
 #[must_use]
-pub fn run_fig4(scale: Scale) -> String {
-    let points = sweep(scale);
-    let mut table = Table::new(vec!["NetworkSize", "CacheSize", "unsatisfied"]);
-    for p in &points {
-        table.row(vec![p.network.to_string(), p.cache.to_string(), fnum(p.unsat, 3)]);
+pub fn run_fig4(ctx: &Ctx) -> Report {
+    let points = sweep(ctx);
+    let mut table = TableBlock::new("unsat_vs_cache", vec!["NetworkSize", "CacheSize", "unsatisfied"]);
+    for p in points.iter() {
+        table.row(vec![Cell::size(p.network), Cell::size(p.cache), Cell::float(p.unsat, 3)]);
     }
-    format!(
-        "Figure 4 — unsatisfaction vs CacheSize (same sweep as Figure 3)\n\
-         Expected shape: high at tiny caches, minimum at moderate caches (paper: 20-70),\n\
-         rising again at very large caches.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Figure 4 — unsatisfaction vs CacheSize (same sweep as Figure 3)\n\
+             Expected shape: high at tiny caches, minimum at moderate caches (paper: 20-70),\n\
+             rising again at very large caches.\n\n",
+        )
+        .table(table)
 }
 
 /// Figure 5: good vs dead probe breakdown at N=1000.
 #[must_use]
-pub fn run_fig5(scale: Scale) -> String {
-    let points = sweep(scale);
+pub fn run_fig5(ctx: &Ctx) -> Report {
+    let points = sweep(ctx);
     let slice_network = if points.iter().any(|p| p.network == 1000) { 1000 } else { 500 };
-    let mut table = Table::new(vec!["CacheSize", "good/query", "dead/query"]);
+    let mut table = TableBlock::new("probe_breakdown", vec!["CacheSize", "good/query", "dead/query"]);
     for p in points.iter().filter(|p| p.network == slice_network) {
-        table.row(vec![p.cache.to_string(), fnum(p.good, 1), fnum(p.dead, 1)]);
+        table.row(vec![Cell::size(p.cache), Cell::float(p.good, 1), Cell::float(p.dead, 1)]);
     }
-    format!(
-        "Figure 5 — probe breakdown vs CacheSize (N={slice_network})\n\
-         Expected shape: dead probes rise sharply with cache size then level off;\n\
-         good probes peak near CacheSize=20 (paper: ~30% above the CacheSize=200 level).\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(format!(
+            "Figure 5 — probe breakdown vs CacheSize (N={slice_network})\n\
+             Expected shape: dead probes rise sharply with cache size then level off;\n\
+             good probes peak near CacheSize=20 (paper: ~30% above the CacheSize=200 level).\n\n"
+        ))
+        .table(table)
 }
 
 #[cfg(test)]
@@ -148,22 +143,24 @@ mod tests {
 
     #[test]
     fn quick_sweep_covers_both_networks() {
-        let pts = sweep(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx);
         for n in Scale::Quick.network_sizes() {
             assert!(pts.iter().any(|p| p.network == n), "missing network {n}");
         }
-        // Memoization: second call returns identical data.
-        let again = sweep(Scale::Quick);
+        // Sharing: a second call returns the same computed data.
+        let again = sweep(&ctx);
         assert_eq!(pts.len(), again.len());
+        assert!(Arc::ptr_eq(&pts, &again), "second call shares the first sweep");
     }
 
     #[test]
     fn reports_render() {
-        // Uses the memoized sweep from the previous test when run in the
-        // same process; otherwise computes it.
-        let f3 = run_fig3(Scale::Quick);
-        let f4 = run_fig4(Scale::Quick);
-        let f5 = run_fig5(Scale::Quick);
+        // One context: the three figures share a single sweep.
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let f3 = run_fig3(&ctx).render_text();
+        let f4 = run_fig4(&ctx).render_text();
+        let f5 = run_fig5(&ctx).render_text();
         assert!(f3.contains("probes/query"));
         assert!(f4.contains("unsatisfied"));
         assert!(f5.contains("dead/query"));

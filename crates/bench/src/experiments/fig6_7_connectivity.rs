@@ -12,8 +12,9 @@
 
 use guess::engine::GuessSim;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{strained_config, Scale};
-use crate::table::{fnum, Table};
 
 /// Ping intervals swept, in seconds (the paper's x-axis spans 0–600).
 #[must_use]
@@ -34,7 +35,8 @@ fn lcc_for(scale: Scale, network: usize, cache: usize, interval: f64, seed: u64)
 
 /// Figure 6: LCC vs ping interval, per cache size, N=1000.
 #[must_use]
-pub fn run_fig6(scale: Scale) -> String {
+pub fn run_fig6(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let caches: Vec<usize> = match scale {
         Scale::Full => vec![10, 20, 50, 100, 200, 500],
         Scale::Quick => vec![10, 50, 200],
@@ -43,45 +45,62 @@ pub fn run_fig6(scale: Scale) -> String {
         Scale::Full => 1000,
         Scale::Quick => 300,
     };
-    let mut table = Table::new(vec!["CacheSize", "PingInterval", "LCC"]);
+    let mut grid = Vec::new();
     for &cache in &caches {
         for &interval in &ping_intervals(scale) {
-            let lcc = lcc_for(scale, network, cache, interval, 0xf16 + cache as u64);
-            table.row(vec![cache.to_string(), fnum(interval, 0), fnum(lcc, 0)]);
+            grid.push((cache, interval));
         }
     }
-    format!(
-        "Figure 6 — largest connected component vs PingInterval (N={network}, queries off)\n\
-         Expected shape: connectivity decays as PingInterval grows; the smallest caches\n\
-         fragment first (they hold the fewest absolute live entries).\n\n{}",
-        table.render()
-    )
+    let rows = ctx.map(grid, |(cache, interval)| {
+        let lcc = lcc_for(scale, network, cache, interval, 0xf16 + cache as u64);
+        vec![Cell::size(cache), Cell::float(interval, 0), Cell::float(lcc, 0)]
+    });
+    let mut table = TableBlock::new("lcc_vs_interval", vec!["CacheSize", "PingInterval", "LCC"]);
+    for row in rows {
+        table.row(row);
+    }
+    Report::new()
+        .text(format!(
+            "Figure 6 — largest connected component vs PingInterval (N={network}, queries off)\n\
+             Expected shape: connectivity decays as PingInterval grows; the smallest caches\n\
+             fragment first (they hold the fewest absolute live entries).\n\n"
+        ))
+        .table(table)
 }
 
 /// Figure 7: relative LCC vs ping interval, per network size, CacheSize=20.
 #[must_use]
-pub fn run_fig7(scale: Scale) -> String {
+pub fn run_fig7(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
     let networks: Vec<usize> = match scale {
         Scale::Full => vec![200, 500, 1000, 2000],
         Scale::Quick => vec![200, 500],
     };
-    let mut table = Table::new(vec!["NetworkSize", "PingInterval", "LCC/N"]);
+    let mut grid = Vec::new();
     for &network in &networks {
         for &interval in &ping_intervals(scale) {
-            let lcc = lcc_for(scale, network, 20, interval, 0xf17 + network as u64);
-            table.row(vec![
-                network.to_string(),
-                fnum(interval, 0),
-                fnum(lcc / network as f64, 3),
-            ]);
+            grid.push((network, interval));
         }
     }
-    format!(
-        "Figure 7 — relative connectivity vs PingInterval (CacheSize=20)\n\
-         Expected shape: at a given PingInterval, LCC/N is roughly the same across\n\
-         network sizes — ping-interval selection is independent of N.\n\n{}",
-        table.render()
-    )
+    let rows = ctx.map(grid, |(network, interval)| {
+        let lcc = lcc_for(scale, network, 20, interval, 0xf17 + network as u64);
+        vec![
+            Cell::size(network),
+            Cell::float(interval, 0),
+            Cell::float(lcc / network as f64, 3),
+        ]
+    });
+    let mut table = TableBlock::new("relative_lcc", vec!["NetworkSize", "PingInterval", "LCC/N"]);
+    for row in rows {
+        table.row(row);
+    }
+    Report::new()
+        .text(
+            "Figure 7 — relative connectivity vs PingInterval (CacheSize=20)\n\
+             Expected shape: at a given PingInterval, LCC/N is roughly the same across\n\
+             network sizes — ping-interval selection is independent of N.\n\n",
+        )
+        .table(table)
 }
 
 #[cfg(test)]

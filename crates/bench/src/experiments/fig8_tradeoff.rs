@@ -11,59 +11,57 @@
 //! Paper reference points: GUESS Random ≈ (99 probes, 6 % unsat); GUESS
 //! MFS ≈ (17 probes, 8 %); fixed extent needs ≈1000 probes for 6 % and
 //! ≈540 for 8 % — over an order of magnitude worse.
+//!
+//! Parallelism note: the fixed-extent curve and the deepening schedules
+//! draw from one shared RNG stream in a fixed order, so they form a
+//! single sequential work unit; the two GUESS runs are independent
+//! units and run alongside it.
 
 use gnutella::iterative::{evaluate as iterative_evaluate, DeepeningPolicy};
 use gnutella::population::Population;
 use gnutella::{FixedExtentCurve, Topology};
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
+use guess::RunReport;
 use simkit::rng::RngStream;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
-/// Runs the Figure 8 reproduction.
-#[must_use]
-pub fn run(scale: Scale) -> String {
-    let n = match scale {
-        Scale::Full => 1000,
-        Scale::Quick => 300,
-    };
-    let seed = 0xf18u64;
-    let mut out = String::new();
-    out.push_str(&format!(
-        "Figure 8 — unsatisfaction vs average query cost (N={n})\n\
-         Expected shape: GUESS dominates; iterative deepening sits between GUESS and\n\
-         fixed extent; fixed extent needs nearly the whole network for low unsatisfaction.\n\n"
-    ));
+enum Piece {
+    Gnutella {
+        fixed: TableBlock,
+        notes: String,
+        deepening: TableBlock,
+    },
+    Guess(RunReport),
+}
 
-    // --- Fixed extent (Gnutella) --------------------------------------
+fn gnutella_piece(scale: Scale, n: usize, seed: u64) -> Piece {
     let pop = Population::generate(n, workload::content::CatalogParams::default(), seed)
         .expect("valid population");
     let mut rng = RngStream::from_seed(seed, "fig8");
     let curve = FixedExtentCurve::evaluate(&pop, scale.curve_queries(), &mut rng);
-    let mut fixed = Table::new(vec!["extent (probes)", "unsatisfied"]);
+    let mut fixed = TableBlock::new("fixed_extent", vec!["extent (probes)", "unsatisfied"]);
     let extents: Vec<usize> =
         [1, 2, 5, 10, 17, 50, 99, 200, 540, 1000].iter().copied().filter(|&e| e <= n).collect();
     for &e in &extents {
-        fixed.row(vec![e.to_string(), fnum(curve.unsatisfaction_at(e), 3)]);
+        fixed.row(vec![Cell::size(e), Cell::float(curve.unsatisfaction_at(e), 3)]);
     }
-    out.push_str("Fixed extent (Gnutella):\n");
-    out.push_str(&fixed.render());
-    out.push_str(&format!(
+    let mut notes = format!(
         "unsatisfiable floor (whole network): {:.3}\n",
         curve.unsatisfiable_fraction()
-    ));
+    );
     let floor = curve.unsatisfiable_fraction();
     if let Some(e) = curve.extent_for_unsatisfaction(floor + 0.005) {
-        out.push_str(&format!("fixed extent needed to reach floor+0.5%: {e} probes\n"));
+        notes.push_str(&format!("fixed extent needed to reach floor+0.5%: {e} probes\n"));
     }
     if let Some(e) = curve.extent_for_unsatisfaction(floor + 0.02) {
-        out.push_str(&format!("fixed extent needed to reach floor+2%:   {e} probes\n"));
+        notes.push_str(&format!("fixed extent needed to reach floor+2%:   {e} probes\n"));
     }
-    out.push('\n');
+    notes.push('\n');
 
-    // --- Iterative deepening ------------------------------------------
     let mut topo_rng = RngStream::from_seed(seed, "fig8-topo");
     let topo = Topology::random_regular(n, 4, &mut topo_rng);
     let schedules: Vec<(&str, Vec<usize>)> = vec![
@@ -71,43 +69,81 @@ pub fn run(scale: Scale) -> String {
         ("ttl 1;2;3;4;5;7", vec![1, 2, 3, 4, 5, 7]),
         ("ttl 3;7", vec![3, 7]),
     ];
-    let mut iter_table = Table::new(vec!["schedule", "mean cost", "unsatisfied"]);
+    let mut deepening = TableBlock::new("iterative_deepening", vec!["schedule", "mean cost", "unsatisfied"]);
     for (name, ttls) in schedules {
         let policy = DeepeningPolicy::new(ttls).expect("valid schedule");
         let (cost, unsat) =
             iterative_evaluate(&topo, &pop, &policy, scale.curve_queries() / 4, 1, &mut rng);
-        iter_table.row(vec![name.to_string(), fnum(cost, 1), fnum(unsat, 3)]);
+        deepening.row(vec![Cell::text(name), Cell::float(cost, 1), Cell::float(unsat, 3)]);
     }
-    out.push_str("Iterative deepening (coarse flexible extent):\n");
-    out.push_str(&iter_table.render());
-    out.push('\n');
+    Piece::Gnutella { fixed, notes, deepening }
+}
 
-    // --- GUESS ----------------------------------------------------------
-    let mut guess_table =
-        Table::new(vec!["config", "probes/query", "unsatisfied", "paper probes", "paper unsat"]);
-    let mut cfg = base_config(scale, seed);
-    cfg.system.network_size = n;
-    let random = GuessSim::new(cfg.clone()).expect("valid config").run();
+/// Runs the Figure 8 reproduction.
+#[must_use]
+pub fn run(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let n = match scale {
+        Scale::Full => 1000,
+        Scale::Quick => 300,
+    };
+    let seed = 0xf18u64;
+    let mut pieces = ctx.map(vec![0usize, 1, 2], |i| match i {
+        0 => gnutella_piece(scale, n, seed),
+        1 => Piece::Guess(
+            GuessSim::new(base_config(scale, seed).with_network_size(n))
+                .expect("valid config")
+                .run(),
+        ),
+        _ => Piece::Guess(
+            GuessSim::new(
+                base_config(scale, seed)
+                    .with_network_size(n)
+                    .with_query_pong(SelectionPolicy::Mfs),
+            )
+            .expect("valid config")
+            .run(),
+        ),
+    });
+    let (Piece::Gnutella { fixed, notes, deepening }, Piece::Guess(random), Piece::Guess(mfs)) =
+        (pieces.remove(0), pieces.remove(0), pieces.remove(0))
+    else {
+        unreachable!("map preserves item order");
+    };
+
+    let mut guess_table = TableBlock::new(
+        "guess",
+        vec!["config", "probes/query", "unsatisfied", "paper probes", "paper unsat"],
+    );
     guess_table.row(vec![
-        "GUESS Random (o)".into(),
-        fnum(random.probes_per_query(), 1),
-        fnum(random.unsatisfaction(), 3),
-        "99".into(),
-        "0.06".into(),
+        Cell::text("GUESS Random (o)"),
+        Cell::float(random.probes_per_query(), 1),
+        Cell::float(random.unsatisfaction(), 3),
+        Cell::uint(99u64),
+        Cell::float(0.06, 2),
     ]);
-    let mut mfs_cfg = cfg;
-    mfs_cfg.protocol.query_pong = SelectionPolicy::Mfs;
-    let mfs = GuessSim::new(mfs_cfg).expect("valid config").run();
     guess_table.row(vec![
-        "GUESS QueryPong=MFS (x)".into(),
-        fnum(mfs.probes_per_query(), 1),
-        fnum(mfs.unsatisfaction(), 3),
-        "17".into(),
-        "0.08".into(),
+        Cell::text("GUESS QueryPong=MFS (x)"),
+        Cell::float(mfs.probes_per_query(), 1),
+        Cell::float(mfs.unsatisfaction(), 3),
+        Cell::uint(17u64),
+        Cell::float(0.08, 2),
     ]);
-    out.push_str("GUESS (fine flexible extent):\n");
-    out.push_str(&guess_table.render());
-    out
+
+    Report::new()
+        .text(format!(
+            "Figure 8 — unsatisfaction vs average query cost (N={n})\n\
+             Expected shape: GUESS dominates; iterative deepening sits between GUESS and\n\
+             fixed extent; fixed extent needs nearly the whole network for low unsatisfaction.\n\n"
+        ))
+        .text("Fixed extent (Gnutella):\n")
+        .table(fixed)
+        .text(notes)
+        .text("Iterative deepening (coarse flexible extent):\n")
+        .table(deepening)
+        .text("\n")
+        .text("GUESS (fine flexible extent):\n")
+        .table(guess_table)
 }
 
 #[cfg(test)]
@@ -116,7 +152,8 @@ mod tests {
 
     #[test]
     fn quick_report_contains_all_mechanisms() {
-        let out = run(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run(&ctx).render_text();
         assert!(out.contains("Fixed extent"));
         assert!(out.contains("Iterative deepening"));
         assert!(out.contains("GUESS Random"));

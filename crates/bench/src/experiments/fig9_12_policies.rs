@@ -1,7 +1,9 @@
 //! Figures 9–12: the impact of each policy type in the default scenario.
 //!
 //! Setup (§6.2): N=1000, Table 1/2 defaults. One policy type is varied at
-//! a time, all others stay Random. Paper headlines:
+//! a time, all others stay Random. The per-knob sweep is computed once
+//! per [`Ctx`] and shared between figures (Figs 10 and 12 read the same
+//! QueryPong sweep). Paper headlines:
 //!
 //! * Fig 9 — `QueryProbe` matters least (≤ ~25 % cost change);
 //! * Fig 10 — `QueryPong = MFS` cuts cost ~4×;
@@ -9,14 +11,15 @@
 //!   (evict-freshest) is pathological — dead probes dominate;
 //! * Fig 12 — unsatisfaction stays within ~6–14 % for QueryPong variants.
 
-use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::Arc;
 
 use guess::engine::GuessSim;
 use guess::policy::{ReplacementPolicy, SelectionPolicy};
+use guess::Config;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
 /// Which policy knob a sweep turns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,6 +30,16 @@ pub enum Knob {
     QueryPong,
     /// Vary `CacheReplacement`.
     CacheReplacement,
+}
+
+impl Knob {
+    fn key(self) -> &'static str {
+        match self {
+            Knob::QueryProbe => "fig9_12/QueryProbe",
+            Knob::QueryPong => "fig9_12/QueryPong",
+            Knob::CacheReplacement => "fig9_12/CacheReplacement",
+        }
+    }
 }
 
 /// One sweep sample.
@@ -41,8 +54,6 @@ pub struct Point {
     /// Unsatisfied fraction.
     pub unsat: f64,
 }
-
-static SWEEP: Mutex<Option<HashMap<(Scale, Knob), Vec<Point>>>> = Mutex::new(None);
 
 const SELECTIONS: [SelectionPolicy; 5] = [
     SelectionPolicy::Random,
@@ -60,117 +71,122 @@ const REPLACEMENTS: [ReplacementPolicy; 5] = [
     ReplacementPolicy::Lr,
 ];
 
-/// The (memoized) sweep for one knob.
-#[must_use]
-pub fn sweep(scale: Scale, knob: Knob) -> Vec<Point> {
-    {
-        let mut guard = SWEEP.lock().expect("memo");
-        if let Some(v) = guard.get_or_insert_with(HashMap::new).get(&(scale, knob)) {
-            return v.clone();
-        }
+fn point_config(scale: Scale, seed: u64) -> Config {
+    let cfg = base_config(scale, seed);
+    if scale == Scale::Quick {
+        cfg.with_network_size(300)
+    } else {
+        cfg
     }
-    let mut points = Vec::new();
-    let run_one = |cfg| {
-        let report = GuessSim::new(cfg).expect("valid config").run();
-        (report.good_per_query(), report.dead_per_query(), report.unsatisfaction())
-    };
-    match knob {
-        Knob::QueryProbe | Knob::QueryPong => {
-            for (i, &p) in SELECTIONS.iter().enumerate() {
-                let mut cfg = base_config(scale, 0xf9 + i as u64);
-                if scale == Scale::Quick {
-                    cfg.system.network_size = 300;
-                }
-                match knob {
-                    Knob::QueryProbe => cfg.protocol.query_probe = p,
-                    Knob::QueryPong => cfg.protocol.query_pong = p,
-                    Knob::CacheReplacement => unreachable!(),
-                }
-                let (good, dead, unsat) = run_one(cfg);
-                points.push(Point { policy: p.to_string(), good, dead, unsat });
-            }
-        }
-        Knob::CacheReplacement => {
-            for (i, &p) in REPLACEMENTS.iter().enumerate() {
-                let mut cfg = base_config(scale, 0xf11 + i as u64);
-                if scale == Scale::Quick {
-                    cfg.system.network_size = 300;
-                }
-                cfg.protocol.cache_replacement = p;
-                let (good, dead, unsat) = run_one(cfg);
-                points.push(Point { policy: p.to_string(), good, dead, unsat });
-            }
-        }
-    }
-    SWEEP
-        .lock()
-        .expect("memo")
-        .get_or_insert_with(HashMap::new)
-        .insert((scale, knob), points.clone());
-    points
 }
 
-fn probes_table(points: &[Point]) -> String {
-    let mut table = Table::new(vec!["policy", "good/query", "deadIPs/query", "total"]);
+/// The sweep for one knob (computed once per context, shared between
+/// the figures that read it).
+#[must_use]
+pub fn sweep(ctx: &Ctx, knob: Knob) -> Arc<Vec<Point>> {
+    ctx.shared(knob.key(), |ctx| {
+        let scale = ctx.scale();
+        let run_one = |cfg, name: String| {
+            let report = GuessSim::new(cfg).expect("valid config").run();
+            Point {
+                policy: name,
+                good: report.good_per_query(),
+                dead: report.dead_per_query(),
+                unsat: report.unsatisfaction(),
+            }
+        };
+        match knob {
+            Knob::QueryProbe | Knob::QueryPong => {
+                let items: Vec<(usize, SelectionPolicy)> =
+                    SELECTIONS.iter().copied().enumerate().collect();
+                ctx.map(items, |(i, p)| {
+                    let cfg = point_config(scale, 0xf9 + i as u64);
+                    let cfg = match knob {
+                        Knob::QueryProbe => cfg.with_query_probe(p),
+                        Knob::QueryPong => cfg.with_query_pong(p),
+                        Knob::CacheReplacement => unreachable!(),
+                    };
+                    run_one(cfg, p.to_string())
+                })
+            }
+            Knob::CacheReplacement => {
+                let items: Vec<(usize, ReplacementPolicy)> =
+                    REPLACEMENTS.iter().copied().enumerate().collect();
+                ctx.map(items, |(i, p)| {
+                    let cfg = point_config(scale, 0xf11 + i as u64).with_cache_replacement(p);
+                    run_one(cfg, p.to_string())
+                })
+            }
+        }
+    })
+}
+
+fn probes_table(points: &[Point]) -> TableBlock {
+    let mut table =
+        TableBlock::new("probes_by_policy", vec!["policy", "good/query", "deadIPs/query", "total"]);
     for p in points {
         table.row(vec![
-            p.policy.clone(),
-            fnum(p.good, 1),
-            fnum(p.dead, 1),
-            fnum(p.good + p.dead, 1),
+            Cell::text(p.policy.clone()),
+            Cell::float(p.good, 1),
+            Cell::float(p.dead, 1),
+            Cell::float(p.good + p.dead, 1),
         ]);
     }
-    table.render()
+    table
 }
 
 /// Figure 9: probes/query per `QueryProbe` policy.
 #[must_use]
-pub fn run_fig9(scale: Scale) -> String {
-    let pts = sweep(scale, Knob::QueryProbe);
-    format!(
-        "Figure 9 — probes/query per QueryProbe policy (others Random)\n\
-         Expected shape: modest spread (paper: at most ~25% change).\n\n{}",
-        probes_table(&pts)
-    )
+pub fn run_fig9(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, Knob::QueryProbe);
+    Report::new()
+        .text(
+            "Figure 9 — probes/query per QueryProbe policy (others Random)\n\
+             Expected shape: modest spread (paper: at most ~25% change).\n\n",
+        )
+        .table(probes_table(&pts))
 }
 
 /// Figure 10: probes/query per `QueryPong` policy.
 #[must_use]
-pub fn run_fig10(scale: Scale) -> String {
-    let pts = sweep(scale, Knob::QueryPong);
-    format!(
-        "Figure 10 — probes/query per QueryPong policy (others Random)\n\
-         Expected shape: MFS ~4x cheaper than Random; MR close behind.\n\n{}",
-        probes_table(&pts)
-    )
+pub fn run_fig10(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, Knob::QueryPong);
+    Report::new()
+        .text(
+            "Figure 10 — probes/query per QueryPong policy (others Random)\n\
+             Expected shape: MFS ~4x cheaper than Random; MR close behind.\n\n",
+        )
+        .table(probes_table(&pts))
 }
 
 /// Figure 11: probes/query per `CacheReplacement` policy.
 #[must_use]
-pub fn run_fig11(scale: Scale) -> String {
-    let pts = sweep(scale, Knob::CacheReplacement);
-    format!(
-        "Figure 11 — probes/query per CacheReplacement policy (others Random)\n\
-         Expected shape: LFS >5x cheaper than Random; MRU (evict freshest)\n\
-         pathological — dead probes dominate.\n\n{}",
-        probes_table(&pts)
-    )
+pub fn run_fig11(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, Knob::CacheReplacement);
+    Report::new()
+        .text(
+            "Figure 11 — probes/query per CacheReplacement policy (others Random)\n\
+             Expected shape: LFS >5x cheaper than Random; MRU (evict freshest)\n\
+             pathological — dead probes dominate.\n\n",
+        )
+        .table(probes_table(&pts))
 }
 
 /// Figure 12: unsatisfaction per `QueryPong` policy.
 #[must_use]
-pub fn run_fig12(scale: Scale) -> String {
-    let pts = sweep(scale, Knob::QueryPong);
-    let mut table = Table::new(vec!["policy", "unsatisfied"]);
-    for p in &pts {
-        table.row(vec![p.policy.clone(), fnum(p.unsat, 3)]);
+pub fn run_fig12(ctx: &Ctx) -> Report {
+    let pts = sweep(ctx, Knob::QueryPong);
+    let mut table = TableBlock::new("unsat_by_policy", vec!["policy", "unsatisfied"]);
+    for p in pts.iter() {
+        table.row(vec![Cell::text(p.policy.clone()), Cell::float(p.unsat, 3)]);
     }
-    format!(
-        "Figure 12 — unsatisfied queries per QueryPong policy\n\
-         Expected shape: all within roughly 6-14%; ~6% of queries are\n\
-         unsatisfiable even probing the whole 1000-peer network.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Figure 12 — unsatisfied queries per QueryPong policy\n\
+             Expected shape: all within roughly 6-14%; ~6% of queries are\n\
+             unsatisfiable even probing the whole 1000-peer network.\n\n",
+        )
+        .table(table)
 }
 
 #[cfg(test)]
@@ -179,23 +195,26 @@ mod tests {
 
     #[test]
     fn sweeps_cover_all_policies() {
-        let pts = sweep(Scale::Quick, Knob::QueryPong);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx, Knob::QueryPong);
         let names: Vec<&str> = pts.iter().map(|p| p.policy.as_str()).collect();
         assert_eq!(names, vec!["Ran", "MRU", "LRU", "MFS", "MR"]);
     }
 
     #[test]
     fn replacement_sweep_uses_eviction_names() {
-        let pts = sweep(Scale::Quick, Knob::CacheReplacement);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let pts = sweep(&ctx, Knob::CacheReplacement);
         let names: Vec<&str> = pts.iter().map(|p| p.policy.as_str()).collect();
         assert_eq!(names, vec!["Ran", "LRU", "MRU", "LFS", "LR"]);
     }
 
     #[test]
     fn reports_render() {
-        assert!(run_fig9(Scale::Quick).contains("QueryProbe"));
-        assert!(run_fig10(Scale::Quick).contains("QueryPong"));
-        assert!(run_fig11(Scale::Quick).contains("CacheReplacement"));
-        assert!(run_fig12(Scale::Quick).contains("unsatisfied"));
+        let ctx = Ctx::new(Scale::Quick, 2);
+        assert!(run_fig9(&ctx).render_text().contains("QueryProbe"));
+        assert!(run_fig10(&ctx).render_text().contains("QueryPong"));
+        assert!(run_fig11(&ctx).render_text().contains("CacheReplacement"));
+        assert!(run_fig12(&ctx).render_text().contains("unsatisfied"));
     }
 }

@@ -1,8 +1,12 @@
 //! One module per paper table/figure; each regenerates its rows/series.
 //!
-//! Every experiment exposes `run(scale) -> String`: a formatted report
-//! including, where the paper states numbers, a paper-reference column so
-//! that shape agreement can be eyeballed directly.
+//! Every experiment exposes `run(&Ctx) -> Report`: a structured result
+//! (named tables of typed cells plus prose blocks) including, where the
+//! paper states numbers, a paper-reference column so that shape
+//! agreement can be eyeballed directly. The [`crate::runner::Ctx`]
+//! carries the scale and the `--jobs` concurrency budget; independent
+//! sweep points run in parallel through it with per-point seeds, so the
+//! rendered report is identical at any jobs level.
 
 pub mod extensions;
 pub mod fig13_load;
@@ -15,7 +19,8 @@ pub mod fig9_12_policies;
 pub mod response_time;
 pub mod table3_live_entries;
 
-use crate::scale::Scale;
+use crate::report::Report;
+use crate::runner::Ctx;
 
 /// A named, runnable experiment.
 #[derive(Clone, Copy)]
@@ -24,8 +29,8 @@ pub struct Experiment {
     pub name: &'static str,
     /// What the experiment reproduces.
     pub description: &'static str,
-    /// Runs the experiment and returns its formatted report.
-    pub run: fn(Scale) -> String,
+    /// Runs the experiment and returns its structured report.
+    pub run: fn(&Ctx) -> Report,
 }
 
 impl std::fmt::Debug for Experiment {

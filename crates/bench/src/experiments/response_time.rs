@@ -9,42 +9,47 @@
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
 
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
-use crate::table::{fnum, Table};
 
 /// Parallelism levels swept.
 pub const WALKS: [usize; 4] = [1, 2, 5, 10];
 
 /// Runs the response-time study.
 #[must_use]
-pub fn run(scale: Scale) -> String {
-    let mut table = Table::new(vec![
-        "k (parallel probes)",
-        "probes/query",
-        "response (s)",
-        "unsatisfied",
-    ]);
-    for (i, &k) in WALKS.iter().enumerate() {
-        let mut cfg = base_config(scale, 0xae5 + i as u64);
+pub fn run(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let items: Vec<(usize, usize)> = WALKS.iter().copied().enumerate().collect();
+    let rows = ctx.map(items, |(i, k)| {
+        let mut cfg = base_config(scale, 0xae5 + i as u64)
+            .with_query_pong(SelectionPolicy::Mfs)
+            .with_parallel_probes(k);
         if scale == Scale::Quick {
-            cfg.system.network_size = 300;
+            cfg = cfg.with_network_size(300);
         }
-        cfg.protocol.query_pong = SelectionPolicy::Mfs;
-        cfg.protocol.parallel_probes = k;
         let report = GuessSim::new(cfg).expect("valid config").run();
-        table.row(vec![
-            k.to_string(),
-            fnum(report.probes_per_query(), 1),
-            fnum(report.mean_response_secs(), 2),
-            fnum(report.unsatisfaction(), 3),
-        ]);
+        vec![
+            Cell::size(k),
+            Cell::float(report.probes_per_query(), 1),
+            Cell::float(report.mean_response_secs(), 2),
+            Cell::float(report.unsatisfaction(), 3),
+        ]
+    });
+    let mut table = TableBlock::new(
+        "parallel_walks",
+        vec!["k (parallel probes)", "probes/query", "response (s)", "unsatisfied"],
+    );
+    for row in rows {
+        table.row(row);
     }
-    format!(
-        "Response time — k-parallel probe walks (QueryPong=MFS, 0.2s per round)\n\
-         Expected shape: probes/query grows by at most ~k-1 while response time\n\
-         drops ~k-fold; paper example: k=5 keeps mean response under 1 second.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Response time — k-parallel probe walks (QueryPong=MFS, 0.2s per round)\n\
+             Expected shape: probes/query grows by at most ~k-1 while response time\n\
+             drops ~k-fold; paper example: k=5 keeps mean response under 1 second.\n\n",
+        )
+        .table(table)
 }
 
 #[cfg(test)]
@@ -53,7 +58,8 @@ mod tests {
 
     #[test]
     fn report_covers_all_walk_counts() {
-        let out = run(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run(&ctx).render_text();
         for k in WALKS {
             assert!(out.lines().any(|l| l.trim_start().starts_with(&k.to_string())));
         }

@@ -7,8 +7,9 @@
 
 use guess::engine::GuessSim;
 
-use crate::scale::{strained_config, Scale};
-use crate::table::{fnum, Table};
+use crate::report::{Cell, Report, TableBlock};
+use crate::runner::Ctx;
+use crate::scale::strained_config;
 
 /// Paper values: (cache size, fraction live, absolute live).
 pub const PAPER: [(usize, f64, f64); 6] = [
@@ -22,39 +23,43 @@ pub const PAPER: [(usize, f64, f64); 6] = [
 
 /// Runs the Table 3 reproduction.
 #[must_use]
-pub fn run(scale: Scale) -> String {
-    let mut table = Table::new(vec![
-        "CacheSize",
-        "frac live",
-        "abs live",
-        "paper frac",
-        "paper abs",
-    ]);
-    for &(cache, p_frac, p_abs) in &PAPER {
+pub fn run(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let rows = ctx.map(PAPER.to_vec(), |(cache, p_frac, p_abs)| {
         let cfg = strained_config(scale, 1000, cache, 0x7ab1e3 + cache as u64);
         let report = GuessSim::new(cfg).expect("valid config").run();
-        table.row(vec![
-            cache.to_string(),
-            fnum(report.live_fraction.unwrap_or(f64::NAN), 3),
-            fnum(report.live_absolute.unwrap_or(f64::NAN), 1),
-            fnum(p_frac, 3),
-            fnum(p_abs, 1),
-        ]);
+        vec![
+            Cell::size(cache),
+            Cell::float(report.live_fraction.unwrap_or(f64::NAN), 3),
+            Cell::float(report.live_absolute.unwrap_or(f64::NAN), 1),
+            Cell::float(p_frac, 3),
+            Cell::float(p_abs, 1),
+        ]
+    });
+    let mut table = TableBlock::new(
+        "live_entries",
+        vec!["CacheSize", "frac live", "abs live", "paper frac", "paper abs"],
+    );
+    for row in rows {
+        table.row(row);
     }
-    format!(
-        "Table 3 — live link-cache entries (N=1000, LifespanMultiplier=0.2)\n\
-         Expected shape: fraction live falls as the cache grows; absolute live rises then plateaus.\n\n{}",
-        table.render()
-    )
+    Report::new()
+        .text(
+            "Table 3 — live link-cache entries (N=1000, LifespanMultiplier=0.2)\n\
+             Expected shape: fraction live falls as the cache grows; absolute live rises then plateaus.\n\n",
+        )
+        .table(table)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scale::Scale;
 
     #[test]
     fn quick_run_reproduces_the_shape() {
-        let out = run(Scale::Quick);
+        let ctx = Ctx::new(Scale::Quick, 2);
+        let out = run(&ctx).render_text();
         assert!(out.contains("CacheSize"));
         // Six data rows, one per paper cache size.
         let data_lines = out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();

@@ -1,0 +1,35 @@
+//! Cross-run and cross-`--jobs` determinism.
+//!
+//! The parallel runner's whole contract is that results depend only on
+//! the seeds, never on scheduling: the same seed must reproduce the same
+//! [`guess::RunReport`] bit-for-bit, and a report rendered at `--jobs 4`
+//! must equal the one rendered at `--jobs 1`.
+
+use guess::{Config, GuessSim};
+use guess_bench::experiments;
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
+
+#[test]
+fn same_seed_means_identical_run_report() {
+    let run = || GuessSim::new(Config::small_test(42)).expect("valid config").run();
+    assert_eq!(run(), run(), "two runs from one seed diverged");
+}
+
+#[test]
+fn different_seeds_mean_different_reports() {
+    // Guards against the equality above passing vacuously (e.g. a
+    // constant report).
+    let run = |seed: u64| GuessSim::new(Config::small_test(seed)).expect("valid config").run();
+    assert_ne!(run(1), run(2), "seed is not reaching the simulation");
+}
+
+#[test]
+fn rendered_reports_are_identical_at_any_jobs_level() {
+    for name in ["fig6", "fig8"] {
+        let e = experiments::find(name).expect("known experiment");
+        let serial = (e.run)(&Ctx::new(Scale::Quick, 1)).render_text();
+        let parallel = (e.run)(&Ctx::new(Scale::Quick, 4)).render_text();
+        assert_eq!(serial, parallel, "{name} differs between --jobs 1 and --jobs 4");
+    }
+}

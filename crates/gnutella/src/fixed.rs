@@ -61,7 +61,7 @@ impl FixedExtentCurve {
     /// first answering peer ranks beyond `e`, or that nobody can answer).
     #[must_use]
     pub fn unsatisfaction_at(&self, e: usize) -> f64 {
-        let unsat = self.first_hit.iter().filter(|h| h.map_or(true, |r| r > e)).count();
+        let unsat = self.first_hit.iter().filter(|h| h.is_none_or(|r| r > e)).count();
         unsat as f64 / self.first_hit.len() as f64
     }
 

@@ -100,8 +100,8 @@ pub fn attack(
     }
     let mut sizes = vec![0usize; n];
     let mut largest = 0;
-    for u in 0..n {
-        if !down[u] {
+    for (u, &is_down) in down.iter().enumerate() {
+        if !is_down {
             let r = find(&mut parent, u as u32) as usize;
             sizes[r] += 1;
             largest = largest.max(sizes[r]);

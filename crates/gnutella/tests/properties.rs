@@ -1,6 +1,7 @@
-//! Property-based tests for the forwarding baselines.
-
-use proptest::prelude::*;
+//! Property-style tests for the forwarding baselines.
+//!
+//! Driven by `RngStream` instead of proptest (offline build environment):
+//! each test runs many randomized cases from a fixed seed.
 
 use gnutella::fixed::FixedExtentCurve;
 use gnutella::flood::flood;
@@ -14,84 +15,106 @@ fn small_catalog() -> CatalogParams {
     CatalogParams { items: 1500, ..CatalogParams::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Generated topologies have no self loops and symmetric adjacency.
-    #[test]
-    fn topologies_are_simple_and_symmetric(seed in any::<u64>(), n in 10usize..150, k in 1usize..6) {
-        prop_assume!(k < n);
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// Generated topologies have no self loops and symmetric adjacency.
+#[test]
+fn topologies_are_simple_and_symmetric() {
+    let mut gen = RngStream::from_seed(0x31, "cases");
+    for _ in 0..24 {
+        let n = 10 + gen.below(140);
+        let k = (1 + gen.below(5)).min(n - 1);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let t = Topology::random_regular(n, k, &mut rng);
         for u in 0..n {
             for &v in t.neighbors(u) {
-                prop_assert_ne!(v as usize, u, "self loop");
-                prop_assert!(t.neighbors(v as usize).contains(&(u as u32)), "asymmetric edge");
+                assert_ne!(v as usize, u, "self loop");
+                assert!(t.neighbors(v as usize).contains(&(u as u32)), "asymmetric edge");
             }
         }
     }
+}
 
-    /// BFS reach grows monotonically with TTL and never exceeds n.
-    #[test]
-    fn bfs_reach_monotone(seed in any::<u64>(), n in 10usize..200, src in 0usize..200) {
-        prop_assume!(src < n);
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// BFS reach grows monotonically with TTL and never exceeds n.
+#[test]
+fn bfs_reach_monotone() {
+    let mut gen = RngStream::from_seed(0x32, "cases");
+    for _ in 0..24 {
+        let n = 10 + gen.below(190);
+        let src = gen.below(n);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let t = Topology::random_regular(n, 3, &mut rng);
         let mut last = 0;
         for ttl in 0..10 {
             let reach = t.bfs_within(src, ttl).len();
-            prop_assert!(reach >= last);
-            prop_assert!(reach <= n);
+            assert!(reach >= last);
+            assert!(reach <= n);
             last = reach;
         }
     }
+}
 
-    /// Flood results are bounded by the target's replication, and message
-    /// count is at least the delivery count.
-    #[test]
-    fn flood_invariants(seed in any::<u64>(), n in 20usize..150, ttl in 0usize..8) {
+/// Flood results are bounded by the target's replication, and message
+/// count is at least the delivery count.
+#[test]
+fn flood_invariants() {
+    let mut gen = RngStream::from_seed(0x33, "cases");
+    for _ in 0..24 {
+        let n = 20 + gen.below(130);
+        let ttl = gen.below(8);
+        let seed = gen.next_u64();
         let mut rng = RngStream::from_seed(seed, "prop");
         let topo = Topology::random_regular(n, 3, &mut rng);
         let pop = Population::generate(n, small_catalog(), seed).unwrap();
         let target = pop.sample_target(&mut rng);
         let out = flood(&topo, &pop, 0, ttl, target);
-        prop_assert!(out.peers_reached < n);
-        prop_assert!(out.results <= pop.holders(target));
-        prop_assert!(out.messages >= out.peers_reached);
+        assert!(out.peers_reached < n);
+        assert!(out.results <= pop.holders(target));
+        assert!(out.messages >= out.peers_reached);
     }
+}
 
-    /// The fixed-extent unsatisfaction curve is non-increasing and ends at
-    /// the unsatisfiable floor.
-    #[test]
-    fn fixed_extent_curve_monotone(seed in any::<u64>(), n in 20usize..150) {
+/// The fixed-extent unsatisfaction curve is non-increasing and ends at the
+/// unsatisfiable floor.
+#[test]
+fn fixed_extent_curve_monotone() {
+    let mut gen = RngStream::from_seed(0x34, "cases");
+    for _ in 0..24 {
+        let n = 20 + gen.below(130);
+        let seed = gen.next_u64();
         let pop = Population::generate(n, small_catalog(), seed).unwrap();
         let mut rng = RngStream::from_seed(seed, "prop");
         let curve = FixedExtentCurve::evaluate(&pop, 150, &mut rng);
         let mut last = 1.0f64;
         for e in 0..=n {
             let u = curve.unsatisfaction_at(e);
-            prop_assert!(u <= last + 1e-12);
+            assert!(u <= last + 1e-12);
             last = u;
         }
-        prop_assert!((curve.unsatisfaction_at(n) - curve.unsatisfiable_fraction()).abs() < 1e-12);
+        assert!((curve.unsatisfaction_at(n) - curve.unsatisfiable_fraction()).abs() < 1e-12);
     }
+}
 
-    /// Iterative deepening never reports success without enough results,
-    /// and its cost is the sum of ring sizes up to the stopping iteration.
-    #[test]
-    fn deepening_accounting(seed in any::<u64>(), n in 20usize..120) {
+/// Iterative deepening never reports success without enough results, and
+/// its cost is the sum of ring sizes up to the stopping iteration.
+#[test]
+fn deepening_accounting() {
+    let mut gen = RngStream::from_seed(0x35, "cases");
+    for _ in 0..24 {
+        let n = 20 + gen.below(100);
+        let seed = gen.next_u64();
         let mut rng = RngStream::from_seed(seed, "prop");
         let topo = Topology::random_regular(n, 3, &mut rng);
         let pop = Population::generate(n, small_catalog(), seed).unwrap();
         let policy = DeepeningPolicy::new(vec![1, 2, 4]).unwrap();
         let target = pop.sample_target(&mut rng);
         let out = iterative_deepening(&topo, &pop, &policy, 0, target, 1);
-        prop_assert_eq!(out.satisfied, out.results >= 1);
+        assert_eq!(out.satisfied, out.results >= 1);
         let mut expected_cost = 0;
         for (i, &ttl) in policy.ttls().iter().enumerate() {
-            if i >= out.iterations { break; }
+            if i >= out.iterations {
+                break;
+            }
             expected_cost += topo.bfs_within(0, ttl).len() - 1;
         }
-        prop_assert_eq!(out.probe_cost, expected_cost);
+        assert_eq!(out.probe_cost, expected_cost);
     }
 }

@@ -381,6 +381,158 @@ impl Config {
         Ok(())
     }
 
+    // ---- builder-style setters -------------------------------------
+    //
+    // Experiments sweep one or two parameters at a time off a shared
+    // base config; these keep those call sites declarative instead of
+    // mutating nested fields inline.
+
+    /// Sets the master RNG seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.run.seed = seed;
+        self
+    }
+
+    /// Sets `NetworkSize` (Table 1).
+    #[must_use]
+    pub fn with_network_size(mut self, n: usize) -> Self {
+        self.system.network_size = n;
+        self
+    }
+
+    /// Sets `CacheSize` (Table 2).
+    #[must_use]
+    pub fn with_cache_size(mut self, n: usize) -> Self {
+        self.protocol.cache_size = n;
+        self
+    }
+
+    /// Sets `CacheSeedSize` (entries pre-seeded per initial peer).
+    #[must_use]
+    pub fn with_cache_seed_size(mut self, n: usize) -> Self {
+        self.run.cache_seed_size = n;
+        self
+    }
+
+    /// Sets `LifespanMultiplier` (Table 1).
+    #[must_use]
+    pub fn with_lifespan_multiplier(mut self, m: f64) -> Self {
+        self.system.lifespan_multiplier = m;
+        self
+    }
+
+    /// Sets `MaxProbesPerSecond`; `None` removes the capacity limit.
+    #[must_use]
+    pub fn with_max_probes_per_second(mut self, limit: Option<u32>) -> Self {
+        self.system.max_probes_per_second = limit;
+        self
+    }
+
+    /// Applies one policy to QueryProbe, QueryPong and CacheReplacement
+    /// (the §6.4 sweep combination); PingProbe/PingPong stay Random.
+    #[must_use]
+    pub fn with_uniform_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.protocol = self.protocol.with_uniform_policy(policy);
+        self
+    }
+
+    /// Sets the `QueryProbe` selection policy alone.
+    #[must_use]
+    pub fn with_query_probe(mut self, policy: SelectionPolicy) -> Self {
+        self.protocol.query_probe = policy;
+        self
+    }
+
+    /// Sets the `QueryPong` selection policy alone.
+    #[must_use]
+    pub fn with_query_pong(mut self, policy: SelectionPolicy) -> Self {
+        self.protocol.query_pong = policy;
+        self
+    }
+
+    /// Sets the `CacheReplacement` eviction policy alone.
+    #[must_use]
+    pub fn with_cache_replacement(mut self, policy: ReplacementPolicy) -> Self {
+        self.protocol.cache_replacement = policy;
+        self
+    }
+
+    /// Sets `PingInterval` (Table 2).
+    #[must_use]
+    pub fn with_ping_interval(mut self, interval: SimDuration) -> Self {
+        self.protocol.ping_interval = interval;
+        self
+    }
+
+    /// Sets the number of concurrent probes per query (§6.2 walks).
+    #[must_use]
+    pub fn with_parallel_probes(mut self, k: usize) -> Self {
+        self.protocol.parallel_probes = k;
+        self
+    }
+
+    /// Sets `ResetNumResults` (the MR\* variant).
+    #[must_use]
+    pub fn with_reset_num_results(mut self, reset: bool) -> Self {
+        self.protocol.reset_num_results = reset;
+        self
+    }
+
+    /// Enables or disables query generation; connectivity experiments
+    /// (Figs 6–7) turn it off to isolate ping-driven maintenance.
+    #[must_use]
+    pub fn with_queries(mut self, simulate: bool) -> Self {
+        self.run.simulate_queries = simulate;
+        self
+    }
+
+    /// Sets the malicious population: fraction of bad peers and what
+    /// their pongs advertise (§6.4).
+    #[must_use]
+    pub fn with_bad_peers(mut self, fraction: f64, behavior: BadPongBehavior) -> Self {
+        self.system.bad_peer_fraction = fraction;
+        self.system.bad_pong_behavior = behavior;
+        self
+    }
+
+    /// Sets the selfish population: fraction of free-riders and the
+    /// probe parallelism they use (§3.3).
+    #[must_use]
+    pub fn with_selfish(mut self, fraction: f64, parallelism: usize) -> Self {
+        self.system.selfish_fraction = fraction;
+        self.system.selfish_parallelism = parallelism;
+        self
+    }
+
+    /// Installs (or removes) the adaptive ping-interval controller.
+    #[must_use]
+    pub fn with_adaptive_ping(mut self, ap: Option<AdaptivePing>) -> Self {
+        self.protocol.adaptive_ping = ap;
+        self
+    }
+
+    /// Installs (or removes) adaptive walk widening.
+    #[must_use]
+    pub fn with_adaptive_parallelism(mut self, ak: Option<AdaptiveParallelism>) -> Self {
+        self.protocol.adaptive_parallelism = ak;
+        self
+    }
+
+    /// Enables or disables the pong-source reputation filter.
+    #[must_use]
+    pub fn with_distrust_pongs(mut self, distrust: bool) -> Self {
+        self.protocol.distrust_pongs = distrust;
+        self
+    }
+
+    /// Installs (or removes) the probe-payment economy (§3.3).
+    #[must_use]
+    pub fn with_probe_payments(mut self, pp: Option<crate::payments::PaymentParams>) -> Self {
+        self.protocol.probe_payments = pp;
+        self
+    }
+
     /// A config scaled down for fast tests: a small network, short run,
     /// and a proportionally smaller catalog.
     #[must_use]
@@ -524,6 +676,50 @@ mod tests {
     #[test]
     fn small_test_config_is_valid() {
         assert!(Config::small_test(1).validate().is_ok());
+    }
+
+    #[test]
+    fn builders_set_the_named_fields() {
+        let c = Config::default()
+            .with_seed(0xbeef)
+            .with_network_size(500)
+            .with_cache_size(30)
+            .with_cache_seed_size(5)
+            .with_lifespan_multiplier(0.2)
+            .with_max_probes_per_second(None)
+            .with_query_pong(SelectionPolicy::Mfs)
+            .with_ping_interval(SimDuration::from_secs(90.0))
+            .with_parallel_probes(3)
+            .with_reset_num_results(true)
+            .with_queries(false)
+            .with_bad_peers(0.1, BadPongBehavior::Bad)
+            .with_selfish(0.2, 4)
+            .with_distrust_pongs(true);
+        assert_eq!(c.run.seed, 0xbeef);
+        assert_eq!(c.system.network_size, 500);
+        assert_eq!(c.protocol.cache_size, 30);
+        assert_eq!(c.run.cache_seed_size, 5);
+        assert!((c.system.lifespan_multiplier - 0.2).abs() < 1e-12);
+        assert_eq!(c.system.max_probes_per_second, None);
+        assert_eq!(c.protocol.query_pong, SelectionPolicy::Mfs);
+        assert_eq!(c.protocol.ping_interval, SimDuration::from_secs(90.0));
+        assert_eq!(c.protocol.parallel_probes, 3);
+        assert!(c.protocol.reset_num_results);
+        assert!(!c.run.simulate_queries);
+        assert!((c.system.bad_peer_fraction - 0.1).abs() < 1e-12);
+        assert_eq!(c.system.bad_pong_behavior, BadPongBehavior::Bad);
+        assert!((c.system.selfish_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(c.system.selfish_parallelism, 4);
+        assert!(c.protocol.distrust_pongs);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn uniform_policy_builder_matches_protocol_level() {
+        let c = Config::default().with_uniform_policy(SelectionPolicy::Mr);
+        assert_eq!(c.protocol.query_probe, SelectionPolicy::Mr);
+        assert_eq!(c.protocol.query_pong, SelectionPolicy::Mr);
+        assert_eq!(c.protocol.cache_replacement, ReplacementPolicy::Lr);
     }
 
     #[test]

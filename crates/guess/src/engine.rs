@@ -630,16 +630,16 @@ impl GuessSim {
             self.peers[dst.index()].note_probe_received();
 
             let dst_behavior = self.peers[dst.index()].behavior();
-            if dst_behavior == Behavior::Good {
-                if self.peers[dst.index()].capacity_mut().admit(t_probe) == Admission::Refused {
-                    refused += 1;
-                    if !self.cfg.protocol.do_backoff {
-                        // A dropped probe times out; the prober assumes
-                        // death and evicts — the inherent throttle.
-                        self.peers[prober.index()].link_cache_mut().remove(dst);
-                    }
-                    continue;
+            if dst_behavior == Behavior::Good
+                && self.peers[dst.index()].capacity_mut().admit(t_probe) == Admission::Refused
+            {
+                refused += 1;
+                if !self.cfg.protocol.do_backoff {
+                    // A dropped probe times out; the prober assumes
+                    // death and evicts — the inherent throttle.
+                    self.peers[prober.index()].link_cache_mut().remove(dst);
                 }
+                continue;
             }
 
             good += 1;

@@ -59,7 +59,11 @@ pub mod peer;
 pub mod policy;
 pub mod reputation;
 
-pub use config::{BadPongBehavior, Config, ConfigError, ProtocolParams, RunParams, SystemParams};
+pub use config::{
+    AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config, ConfigError, ProtocolParams,
+    RunParams, SystemParams,
+};
 pub use engine::GuessSim;
-pub use metrics::RunReport;
+pub use metrics::{MetricsCollector, QueryOutcome, RunReport};
+pub use payments::PaymentParams;
 pub use policy::{ReplacementPolicy, SelectionPolicy};

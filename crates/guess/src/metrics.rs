@@ -30,7 +30,7 @@ impl QueryOutcome {
 /// Every figure in §6 of the paper reads off one or more of these fields;
 /// the experiment harness in `guess-bench` assembles them into the paper's
 /// tables and series.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Number of (post-warm-up) queries executed.
     pub queries: u64,

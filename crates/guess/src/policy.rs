@@ -108,7 +108,6 @@ fn ts_key(ts: SimTime) -> u64 {
 /// equal-key entries are treated symmetrically.
 #[must_use]
 pub fn selection_key(policy: SelectionPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
-    use rand::RngCore;
     let tie = rng.next_u64();
     let primary = match policy {
         SelectionPolicy::Random => 0,
@@ -124,7 +123,6 @@ pub fn selection_key(policy: SelectionPolicy, entry: &CacheEntry, rng: &mut RngS
 /// **smallest** key is the eviction victim.
 #[must_use]
 pub fn retention_key(policy: ReplacementPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
-    use rand::RngCore;
     let tie = rng.next_u64();
     let primary = match policy {
         ReplacementPolicy::Random => 0,
@@ -168,7 +166,7 @@ pub fn select_top_k(
     }
     let mut picked: Vec<((u64, u64), usize)> = heap.into_iter().map(|Reverse(x)| x).collect();
     // Preference order: highest key first.
-    picked.sort_by(|a, b| b.0.cmp(&a.0));
+    picked.sort_by_key(|&(key, _)| Reverse(key));
     picked.into_iter().map(|(_, i)| entries[i]).collect()
 }
 

@@ -1,6 +1,8 @@
-//! Property-based tests for GUESS protocol data structures.
-
-use proptest::prelude::*;
+//! Property-style tests for GUESS protocol data structures.
+//!
+//! Driven by `RngStream` instead of proptest (offline build environment):
+//! each test runs many randomized cases from a fixed seed, deterministic
+//! across runs and platforms.
 
 use guess::addr::AddrAllocator;
 use guess::capacity::{Admission, CapacityMeter};
@@ -13,24 +15,28 @@ use guess::policy::{
 use simkit::rng::RngStream;
 use simkit::time::SimTime;
 
-fn arb_selection() -> impl Strategy<Value = SelectionPolicy> {
-    prop_oneof![
-        Just(SelectionPolicy::Random),
-        Just(SelectionPolicy::Mru),
-        Just(SelectionPolicy::Lru),
-        Just(SelectionPolicy::Mfs),
-        Just(SelectionPolicy::Mr),
-    ]
-}
+const SELECTIONS: [SelectionPolicy; 5] = [
+    SelectionPolicy::Random,
+    SelectionPolicy::Mru,
+    SelectionPolicy::Lru,
+    SelectionPolicy::Mfs,
+    SelectionPolicy::Mr,
+];
 
-fn arb_replacement() -> impl Strategy<Value = ReplacementPolicy> {
-    prop_oneof![
-        Just(ReplacementPolicy::Random),
-        Just(ReplacementPolicy::Lru),
-        Just(ReplacementPolicy::Mru),
-        Just(ReplacementPolicy::Lfs),
-        Just(ReplacementPolicy::Lr),
-    ]
+const REPLACEMENTS: [ReplacementPolicy; 5] = [
+    ReplacementPolicy::Random,
+    ReplacementPolicy::Lru,
+    ReplacementPolicy::Mru,
+    ReplacementPolicy::Lfs,
+    ReplacementPolicy::Lr,
+];
+
+/// Random (ts, files, results) specs.
+fn gen_specs(rng: &mut RngStream, min: usize, max_extra: usize) -> Vec<(f64, u32, u32)> {
+    let n = min + rng.below(max_extra);
+    (0..n)
+        .map(|_| (rng.uniform(0.0, 1e4), rng.below(5000) as u32, rng.below(20) as u32))
+        .collect()
 }
 
 /// (ts, files, results) triples turned into entries with unique addresses.
@@ -48,108 +54,111 @@ fn entries_from(specs: &[(f64, u32, u32)]) -> Vec<CacheEntry> {
         .collect()
 }
 
-proptest! {
-    /// The cache never exceeds capacity, never holds duplicate addresses,
-    /// and every offer outcome is consistent with membership.
-    #[test]
-    fn link_cache_capacity_and_dedup(
-        seed in any::<u64>(),
-        capacity in 1usize..40,
-        policy in arb_replacement(),
-        specs in prop::collection::vec((0.0f64..1e4, 0u32..5000, 0u32..20), 1..200),
-    ) {
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// The cache never exceeds capacity, never holds duplicate addresses, and
+/// every offer outcome is consistent with membership.
+#[test]
+fn link_cache_capacity_and_dedup() {
+    let mut gen = RngStream::from_seed(0x21, "cases");
+    for case in 0..30 {
+        let capacity = 1 + gen.below(40);
+        let policy = REPLACEMENTS[case % REPLACEMENTS.len()];
+        let specs = gen_specs(&mut gen, 1, 200);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let mut cache = LinkCache::new(capacity);
         for e in entries_from(&specs) {
             let outcome = cache.offer(e, policy, &mut rng);
-            prop_assert!(cache.len() <= capacity);
+            assert!(cache.len() <= capacity);
             match outcome {
                 InsertOutcome::Inserted | InsertOutcome::Replaced(_) => {
-                    prop_assert!(cache.contains(e.addr()));
+                    assert!(cache.contains(e.addr()));
                 }
-                InsertOutcome::Rejected => prop_assert!(!cache.contains(e.addr())),
-                InsertOutcome::AlreadyPresent => prop_assert!(cache.contains(e.addr())),
+                InsertOutcome::Rejected => assert!(!cache.contains(e.addr())),
+                InsertOutcome::AlreadyPresent => assert!(cache.contains(e.addr())),
             }
             // No duplicates: every stored address maps back to one entry.
             let mut addrs: Vec<_> = cache.iter().map(|e| e.addr()).collect();
             let before = addrs.len();
             addrs.sort();
             addrs.dedup();
-            prop_assert_eq!(addrs.len(), before);
+            assert_eq!(addrs.len(), before);
         }
     }
+}
 
-    /// Offering to a cache with spare room always inserts.
-    #[test]
-    fn link_cache_never_rejects_with_space(
-        seed in any::<u64>(),
-        policy in arb_replacement(),
-        specs in prop::collection::vec((0.0f64..100.0, 0u32..100, 0u32..5), 1..30),
-    ) {
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// Offering to a cache with spare room always inserts.
+#[test]
+fn link_cache_never_rejects_with_space() {
+    let mut gen = RngStream::from_seed(0x22, "cases");
+    for case in 0..30 {
+        let policy = REPLACEMENTS[case % REPLACEMENTS.len()];
+        let specs = gen_specs(&mut gen, 1, 30);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let mut cache = LinkCache::new(specs.len());
         for e in entries_from(&specs) {
-            prop_assert_eq!(cache.offer(e, policy, &mut rng), InsertOutcome::Inserted);
+            assert_eq!(cache.offer(e, policy, &mut rng), InsertOutcome::Inserted);
         }
-        prop_assert_eq!(cache.len(), specs.len());
+        assert_eq!(cache.len(), specs.len());
     }
+}
 
-    /// `select_top_k` returns a duplicate-free subset of the input whose
-    /// size is `min(k, len)`, and for MFS it is exactly the k largest
-    /// file counts.
-    #[test]
-    fn select_top_k_is_a_subset(
-        seed in any::<u64>(),
-        policy in arb_selection(),
-        k in 0usize..20,
-        specs in prop::collection::vec((0.0f64..1e4, 0u32..5000, 0u32..20), 0..80),
-    ) {
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// `select_top_k` returns a duplicate-free subset of the input whose size
+/// is `min(k, len)`, and for MFS it is exactly the k largest file counts.
+#[test]
+fn select_top_k_is_a_subset() {
+    let mut gen = RngStream::from_seed(0x23, "cases");
+    for case in 0..50 {
+        let policy = SELECTIONS[case % SELECTIONS.len()];
+        let k = gen.below(20);
+        let specs = gen_specs(&mut gen, 0, 81);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let entries = entries_from(&specs);
         let picked = select_top_k(policy, &entries, k, &mut rng);
-        prop_assert_eq!(picked.len(), k.min(entries.len()));
+        assert_eq!(picked.len(), k.min(entries.len()));
         let mut addrs: Vec<_> = picked.iter().map(|e| e.addr()).collect();
         let before = addrs.len();
         addrs.sort();
         addrs.dedup();
-        prop_assert_eq!(addrs.len(), before, "no duplicates");
+        assert_eq!(addrs.len(), before, "no duplicates");
         for p in &picked {
-            prop_assert!(entries.iter().any(|e| e.addr() == p.addr()));
+            assert!(entries.iter().any(|e| e.addr() == p.addr()));
         }
         if policy == SelectionPolicy::Mfs && !picked.is_empty() {
             let mut files: Vec<u32> = entries.iter().map(CacheEntry::num_files).collect();
             files.sort_unstable_by(|a, b| b.cmp(a));
             let picked_files: Vec<u32> = picked.iter().map(CacheEntry::num_files).collect();
-            prop_assert_eq!(&picked_files[..], &files[..picked.len()]);
+            assert_eq!(&picked_files[..], &files[..picked.len()]);
         }
     }
+}
 
-    /// The eviction victim under LFS has the minimum file count; under
-    /// LRU the minimum timestamp.
-    #[test]
-    fn eviction_picks_extremes(
-        seed in any::<u64>(),
-        specs in prop::collection::vec((0.0f64..1e4, 0u32..5000, 0u32..20), 1..60),
-    ) {
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// The eviction victim under LFS has the minimum file count; under LRU the
+/// minimum timestamp.
+#[test]
+fn eviction_picks_extremes() {
+    let mut gen = RngStream::from_seed(0x24, "cases");
+    for _ in 0..50 {
+        let specs = gen_specs(&mut gen, 1, 60);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let entries = entries_from(&specs);
         let lfs = eviction_victim(ReplacementPolicy::Lfs, &entries, &mut rng).unwrap();
         let min_files = entries.iter().map(CacheEntry::num_files).min().unwrap();
-        prop_assert_eq!(entries[lfs].num_files(), min_files);
+        assert_eq!(entries[lfs].num_files(), min_files);
 
         let lru = eviction_victim(ReplacementPolicy::Lru, &entries, &mut rng).unwrap();
-        let min_ts = entries.iter().map(|e| e.ts()).fold(SimTime::from_secs(f64::MAX / 2.0), SimTime::min);
-        prop_assert_eq!(entries[lru].ts(), min_ts);
+        let min_ts =
+            entries.iter().map(|e| e.ts()).fold(SimTime::from_secs(f64::MAX / 2.0), SimTime::min);
+        assert_eq!(entries[lru].ts(), min_ts);
     }
+}
 
-    /// A probe queue pops every pushed entry exactly once, in
-    /// non-increasing key order for deterministic policies.
-    #[test]
-    fn probe_queue_pops_everything_in_order(
-        seed in any::<u64>(),
-        specs in prop::collection::vec((0.0f64..1e4, 0u32..5000, 0u32..20), 0..100),
-    ) {
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// A probe queue pops every pushed entry exactly once, in non-increasing
+/// key order for deterministic policies.
+#[test]
+fn probe_queue_pops_everything_in_order() {
+    let mut gen = RngStream::from_seed(0x25, "cases");
+    for _ in 0..50 {
+        let specs = gen_specs(&mut gen, 0, 101);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let entries = entries_from(&specs);
         let mut q = ProbeQueue::new(SelectionPolicy::Mfs);
         for e in &entries {
@@ -159,20 +168,23 @@ proptest! {
         while let Some(e) = q.pop() {
             popped.push(e);
         }
-        prop_assert_eq!(popped.len(), entries.len());
+        assert_eq!(popped.len(), entries.len());
         for w in popped.windows(2) {
-            prop_assert!(w[0].num_files() >= w[1].num_files());
+            assert!(w[0].num_files() >= w[1].num_files());
         }
     }
+}
 
-    /// Capacity meters admit at most `limit` probes per integer second
-    /// and reset across seconds.
-    #[test]
-    fn capacity_meter_bounds_admissions(
-        limit in 1u32..50,
-        offsets in prop::collection::vec(0.0f64..0.999, 1..120),
-        base in 0u32..1000,
-    ) {
+/// Capacity meters admit at most `limit` probes per integer second and
+/// reset across seconds.
+#[test]
+fn capacity_meter_bounds_admissions() {
+    let mut gen = RngStream::from_seed(0x26, "cases");
+    for _ in 0..50 {
+        let limit = 1 + gen.below(49) as u32;
+        let n = 1 + gen.below(120);
+        let offsets: Vec<f64> = (0..n).map(|_| gen.uniform(0.0, 0.999)).collect();
+        let base = gen.below(1000) as u32;
         let mut m = CapacityMeter::with_limit(Some(limit));
         let mut admitted = 0u32;
         for &off in &offsets {
@@ -180,20 +192,22 @@ proptest! {
                 admitted += 1;
             }
         }
-        prop_assert_eq!(admitted, (offsets.len() as u32).min(limit));
+        assert_eq!(admitted, (offsets.len() as u32).min(limit));
         // Next second opens fresh capacity.
-        prop_assert_eq!(m.admit(SimTime::from_secs(f64::from(base) + 1.0)), Admission::Accepted);
+        assert_eq!(m.admit(SimTime::from_secs(f64::from(base) + 1.0)), Admission::Accepted);
     }
+}
 
-    /// Union-find `largest_component` equals a BFS ground truth on random
-    /// graphs.
-    #[test]
-    fn union_find_matches_bfs(
-        n in 1usize..120,
-        edges in prop::collection::vec((0usize..120, 0usize..120), 0..300),
-    ) {
+/// Union-find `largest_component` equals a BFS ground truth on random
+/// graphs.
+#[test]
+fn union_find_matches_bfs() {
+    let mut gen = RngStream::from_seed(0x27, "cases");
+    for _ in 0..40 {
+        let n = 1 + gen.below(120);
+        let m = gen.below(300);
         let in_range: Vec<(usize, usize)> =
-            edges.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+            (0..m).map(|_| (gen.below(n), gen.below(n))).collect();
         let uf_answer = largest_component(n, in_range.iter().copied());
 
         let mut adj = vec![Vec::new(); n];
@@ -204,7 +218,9 @@ proptest! {
         let mut seen = vec![false; n];
         let mut best = 0;
         for s in 0..n {
-            if seen[s] { continue; }
+            if seen[s] {
+                continue;
+            }
             seen[s] = true;
             let mut stack = vec![s];
             let mut size = 0;
@@ -219,23 +235,25 @@ proptest! {
             }
             best = best.max(size);
         }
-        prop_assert_eq!(uf_answer, best);
+        assert_eq!(uf_answer, best);
     }
+}
 
-    /// Union is commutative/idempotent with respect to connectivity.
-    #[test]
-    fn union_find_connectivity_stable(
-        n in 2usize..60,
-        pairs in prop::collection::vec((0usize..60, 0usize..60), 1..100),
-    ) {
-        let pairs: Vec<(usize, usize)> = pairs.into_iter().filter(|&(a, b)| a < n && b < n).collect();
+/// Union is commutative/idempotent with respect to connectivity.
+#[test]
+fn union_find_connectivity_stable() {
+    let mut gen = RngStream::from_seed(0x28, "cases");
+    for _ in 0..40 {
+        let n = 2 + gen.below(58);
+        let m = 1 + gen.below(100);
+        let pairs: Vec<(usize, usize)> = (0..m).map(|_| (gen.below(n), gen.below(n))).collect();
         let mut uf = UnionFind::new(n);
         for &(a, b) in &pairs {
             uf.union(a, b);
         }
         for &(a, b) in &pairs {
-            prop_assert!(uf.connected(a, b));
-            prop_assert!(!uf.union(a, b), "re-union of connected nodes must be a no-op");
+            assert!(uf.connected(a, b));
+            assert!(!uf.union(a, b), "re-union of connected nodes must be a no-op");
         }
     }
 }

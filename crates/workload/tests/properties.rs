@@ -1,6 +1,7 @@
-//! Property-based tests for the workload models.
-
-use proptest::prelude::*;
+//! Property-style tests for the workload models.
+//!
+//! Driven by `RngStream` instead of proptest (offline build environment):
+//! each test runs many randomized cases from a fixed seed.
 
 use simkit::rng::RngStream;
 use workload::content::{Catalog, CatalogParams, ItemId, PeerLibrary};
@@ -8,51 +9,67 @@ use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
 
-proptest! {
-    /// Libraries never exceed the requested file count, and every item is
-    /// inside the catalog.
-    #[test]
-    fn library_bounds(seed in any::<u64>(), files in 0u32..500) {
-        let catalog = Catalog::new(CatalogParams { items: 2000, ..CatalogParams::default() }).unwrap();
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// Libraries never exceed the requested file count, and every item is
+/// inside the catalog.
+#[test]
+fn library_bounds() {
+    let mut gen = RngStream::from_seed(0x41, "cases");
+    let catalog = Catalog::new(CatalogParams { items: 2000, ..CatalogParams::default() }).unwrap();
+    for _ in 0..30 {
+        let files = gen.below(500) as u32;
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let lib = catalog.build_library(files, &mut rng);
-        prop_assert!(lib.len() <= files as usize);
+        assert!(lib.len() <= files as usize);
         for item in lib.iter() {
-            prop_assert!((item.0 as usize) < catalog.item_count());
+            assert!((item.0 as usize) < catalog.item_count());
         }
     }
+}
 
-    /// Library membership is consistent with the iterator view.
-    #[test]
-    fn library_contains_matches_iter(ids in prop::collection::vec(0u32..5000, 0..200)) {
+/// Library membership is consistent with the iterator view.
+#[test]
+fn library_contains_matches_iter() {
+    let mut gen = RngStream::from_seed(0x42, "cases");
+    for _ in 0..40 {
+        let n = gen.below(200);
+        let ids: Vec<u32> = (0..n).map(|_| gen.below(5000) as u32).collect();
         let lib: PeerLibrary = ids.iter().map(|&i| ItemId(i)).collect();
         for &i in &ids {
-            prop_assert!(lib.contains(ItemId(i)));
+            assert!(lib.contains(ItemId(i)));
         }
         let held: Vec<ItemId> = lib.iter().collect();
-        prop_assert_eq!(held.len(), lib.len());
+        assert_eq!(held.len(), lib.len());
         for item in held {
-            prop_assert!(ids.contains(&item.0));
+            assert!(ids.contains(&item.0));
         }
     }
+}
 
-    /// The query model answers exactly when the library holds the item.
-    #[test]
-    fn answers_iff_contains(seed in any::<u64>(), files in 1u32..300) {
-        let catalog = Catalog::new(CatalogParams { items: 3000, ..CatalogParams::default() }).unwrap();
-        let model = QueryModel::new(catalog);
-        let mut rng = RngStream::from_seed(seed, "prop");
+/// The query model answers exactly when the library holds the item.
+#[test]
+fn answers_iff_contains() {
+    let mut gen = RngStream::from_seed(0x43, "cases");
+    let catalog = Catalog::new(CatalogParams { items: 3000, ..CatalogParams::default() }).unwrap();
+    let model = QueryModel::new(catalog);
+    for _ in 0..30 {
+        let files = 1 + gen.below(299) as u32;
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         let lib = model.catalog().build_library(files, &mut rng);
         for _ in 0..50 {
             let t = model.sample_target(&mut rng);
-            prop_assert_eq!(model.answers(&lib, t), lib.contains(t.item));
+            assert_eq!(model.answers(&lib, t), lib.contains(t.item));
         }
     }
+}
 
-    /// Lifetimes are at least one second and scale linearly with the
-    /// multiplier (same seed, same draws).
-    #[test]
-    fn lifetimes_scale_with_multiplier(seed in any::<u64>(), mult in 0.05f64..5.0) {
+/// Lifetimes are at least one second and scale linearly with the
+/// multiplier (same seed, same draws).
+#[test]
+fn lifetimes_scale_with_multiplier() {
+    let mut gen = RngStream::from_seed(0x44, "cases");
+    for _ in 0..30 {
+        let seed = gen.next_u64();
+        let mult = gen.uniform(0.05, 5.0);
         let base = LifetimeModel::saroiu_like(1.0);
         let scaled = LifetimeModel::saroiu_like(mult);
         let mut r1 = RngStream::from_seed(seed, "prop");
@@ -60,34 +77,42 @@ proptest! {
         for _ in 0..50 {
             let a = base.sample_lifetime(&mut r1).as_secs();
             let b = scaled.sample_lifetime(&mut r2).as_secs();
-            prop_assert!(b >= 1.0);
+            assert!(b >= 1.0);
             // Clamping at 1s breaks exact proportionality only below it.
             if a * mult >= 1.0 {
-                prop_assert!((b - a * mult).abs() < 1e-9 * (1.0 + b));
+                assert!((b - a * mult).abs() < 1e-9 * (1.0 + b));
             }
         }
     }
+}
 
-    /// File counts respect the configured bounds.
-    #[test]
-    fn file_counts_bounded(seed in any::<u64>(), frac in 0.0f64..0.9) {
+/// File counts respect the configured bounds.
+#[test]
+fn file_counts_bounded() {
+    let mut gen = RngStream::from_seed(0x45, "cases");
+    for _ in 0..30 {
+        let frac = gen.uniform(0.0, 0.9);
         let model = FileCountModel::new(frac, 2.0, 100.0, 1.0).unwrap();
-        let mut rng = RngStream::from_seed(seed, "prop");
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         for _ in 0..200 {
             let c = model.sample_file_count(&mut rng);
-            prop_assert!(c == 0 || (2..=100).contains(&c));
+            assert!(c == 0 || (2..=100).contains(&c));
         }
     }
+}
 
-    /// Burst sizes stay in the protocol range and gaps are non-negative,
-    /// for any positive rate.
-    #[test]
-    fn workload_outputs_sane(seed in any::<u64>(), rate in 1e-5f64..1.0) {
+/// Burst sizes stay in the protocol range and gaps are non-negative, for
+/// any positive rate.
+#[test]
+fn workload_outputs_sane() {
+    let mut gen = RngStream::from_seed(0x46, "cases");
+    for _ in 0..30 {
+        let rate = gen.uniform(1e-5, 1.0);
         let wl = QueryWorkload::with_rate(rate).unwrap();
-        let mut rng = RngStream::from_seed(seed, "prop");
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
         for _ in 0..100 {
-            prop_assert!((1..=5).contains(&wl.sample_burst_size(&mut rng)));
-            prop_assert!(wl.sample_burst_gap(&mut rng).as_secs() >= 0.0);
+            assert!((1..=5).contains(&wl.sample_burst_size(&mut rng)));
+            assert!(wl.sample_burst_gap(&mut rng).as_secs() >= 0.0);
         }
     }
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI-style verification: build, test, then smoke-run the repro driver in
+# parallel with JSON output and check the artifacts exist and parse.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=/tmp/repro-ci
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo run --release -p guess-bench --bin repro -- \
+    table3 fig9 --quick --jobs 2 --json --out "$out"
+
+for name in table3 fig9; do
+    for ext in txt json; do
+        [ -s "$out/$name.$ext" ] || { echo "missing $out/$name.$ext" >&2; exit 1; }
+    done
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/$name.json"
+done
+echo "verify: OK"
