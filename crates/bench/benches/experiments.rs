@@ -8,11 +8,11 @@
 use std::hint::black_box;
 use std::time::Instant;
 
+use gnutella::population::Population;
+use gnutella::{FixedExtentCurve, Topology};
 use guess::config::Config;
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
-use gnutella::population::Population;
-use gnutella::{FixedExtentCurve, Topology};
 use simkit::rng::RngStream;
 use simkit::time::SimDuration;
 use workload::content::CatalogParams;

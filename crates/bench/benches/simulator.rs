@@ -98,7 +98,9 @@ fn main() {
 
     let z = Zipf::new(20_000, 1.2).expect("valid");
     let mut rng = RngStream::from_seed(4, "b");
-    bench("zipf_sample_20k_ranks", 100_000, || z.sample_index(&mut rng));
+    bench("zipf_sample_20k_ranks", 100_000, || {
+        z.sample_index(&mut rng)
+    });
 
     let mut rng = RngStream::from_seed(5, "b");
     let n = 1000;

@@ -4,13 +4,13 @@
 //! Accepts `--jobs N` (default: all cores); the four checks are
 //! independent work units and print in a fixed order regardless of N.
 
+use gnutella::population::Population;
+use gnutella::FixedExtentCurve;
 use guess::config::Config;
 use guess::engine::GuessSim;
 use guess::policy::SelectionPolicy;
 use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
-use gnutella::population::Population;
-use gnutella::FixedExtentCurve;
 use simkit::rng::RngStream;
 use workload::content::CatalogParams;
 

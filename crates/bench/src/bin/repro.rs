@@ -5,6 +5,7 @@
 //! ```text
 //! repro all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro --trace <path> [--quick]
 //! repro --list
 //! ```
 //!
@@ -18,6 +19,11 @@
 //! experiments and across the sweep points inside each one. Every sweep
 //! point carries its own RNG seed, so the reports are byte-identical at
 //! any `--jobs` level; only wall-clock time changes.
+//!
+//! `--trace <path>` runs one base-configuration GUESS simulation with
+//! the structured trace layer on, streaming every record to `<path>` as
+//! JSON Lines (schema in EXPERIMENTS.md), then reconciles the trace
+//! totals against the run's own report before exiting.
 
 use std::path::Path;
 use std::sync::mpsc;
@@ -40,7 +46,19 @@ fn main() {
         }
         return;
     }
-    let scale = if args.iter().any(|a| a == "--quick") { Scale::Quick } else { Scale::Full };
+    let scale = if args.iter().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let Some(path) = args.get(i + 1) else {
+            eprintln!("--trace needs a file path");
+            std::process::exit(2);
+        };
+        run_traced(Path::new(path), scale);
+        return;
+    }
     let json = args.iter().any(|a| a == "--json");
     let out_dir: Option<std::path::PathBuf> = args
         .iter()
@@ -75,7 +93,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" {
+        if a == "--out" || a == "--jobs" || a == "--trace" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -110,7 +128,14 @@ fn main() {
         for e in &selected {
             let started = Instant::now();
             let report = (e.run)(&ctx);
-            emit(e, &report, started.elapsed().as_secs_f64(), out_dir.as_deref(), json, scale);
+            emit(
+                e,
+                &report,
+                started.elapsed().as_secs_f64(),
+                out_dir.as_deref(),
+                json,
+                scale,
+            );
         }
     } else {
         // Parallel: one thread per experiment; each simulation inside
@@ -125,7 +150,8 @@ fn main() {
                     let started = Instant::now();
                     let report = (e.run)(ctx);
                     // The receiver outlives the scope; send cannot fail.
-                    tx.send((i, report, started.elapsed().as_secs_f64())).expect("main receiver");
+                    tx.send((i, report, started.elapsed().as_secs_f64()))
+                        .expect("main receiver");
                 });
             }
             drop(tx);
@@ -134,8 +160,17 @@ fn main() {
             for (i, report, secs) in rx {
                 ready[i] = Some((report, secs));
                 while next < ready.len() {
-                    let Some((report, secs)) = ready[next].take() else { break };
-                    emit(&selected[next], &report, secs, out_dir.as_deref(), json, scale);
+                    let Some((report, secs)) = ready[next].take() else {
+                        break;
+                    };
+                    emit(
+                        &selected[next],
+                        &report,
+                        secs,
+                        out_dir.as_deref(),
+                        json,
+                        scale,
+                    );
                     next += 1;
                 }
             }
@@ -151,7 +186,14 @@ fn main() {
 
 /// Prints one finished experiment in the standard frame and writes its
 /// `--out` artifacts.
-fn emit(e: &Experiment, report: &Report, secs: f64, out_dir: Option<&Path>, json: bool, scale: Scale) {
+fn emit(
+    e: &Experiment,
+    report: &Report,
+    secs: f64,
+    out_dir: Option<&Path>,
+    json: bool,
+    scale: Scale,
+) {
     println!("==============================================================");
     println!("== {} — {}", e.name, e.description);
     println!("==============================================================");
@@ -173,16 +215,119 @@ fn emit(e: &Experiment, report: &Report, secs: f64, out_dir: Option<&Path>, json
     }
 }
 
+/// Runs one base-configuration GUESS simulation with tracing on, writes
+/// the JSONL stream to `path`, and reconciles the trace totals against
+/// the run's report. Exits non-zero on I/O failure or mismatch.
+fn run_traced(path: &Path, scale: Scale) {
+    use guess::engine::GuessSim;
+    use guess_bench::scale::base_config;
+    use guess_bench::tracefile::JsonlSink;
+
+    let mut cfg = base_config(scale, 0x7Ace);
+    // Zero warm-up: the report then covers every query in the trace, so
+    // the reconciliation below must match exactly.
+    cfg.run.warmup = simkit::time::SimDuration::from_secs(0.0);
+    let sim = match GuessSim::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid trace config: {e}");
+            std::process::exit(1);
+        }
+    };
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let started = Instant::now();
+    let sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let (report, sink) = sim.run_traced(sink);
+    let (_, counts, io_error) = sink.finish();
+    if let Some(e) = io_error {
+        eprintln!("trace write to {} failed: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "traced GUESS run ({scale:?} scale) -> {} in {:.1}s",
+        path.display(),
+        started.elapsed().as_secs_f64()
+    );
+    println!("  records: {}", counts.total());
+
+    // Reconcile the trace against the run's own aggregates. The report's
+    // probe total comes back through a Welford running mean, so round —
+    // `sum()` is `mean * count`, exact only up to f64 rounding.
+    let probes_in_report = report.total_probes.sum().round() as u64;
+    let unsatisfied_in_trace = counts.query_ends - counts.satisfied;
+    let checks = [
+        (
+            "queries == query_end records",
+            report.queries,
+            counts.query_ends,
+        ),
+        (
+            "queries == query_start records",
+            report.queries,
+            counts.query_starts,
+        ),
+        (
+            "unsatisfied queries",
+            report.unsatisfied,
+            unsatisfied_in_trace,
+        ),
+        (
+            "total probes == probe records",
+            probes_in_report,
+            counts.query_probes,
+        ),
+        (
+            "total probes == query_end sums",
+            probes_in_report,
+            counts.query_end_probes,
+        ),
+        (
+            "births == join records",
+            report.counters.get("births"),
+            counts.joins,
+        ),
+        (
+            "deaths == death records",
+            report.counters.get("deaths"),
+            counts.deaths,
+        ),
+        (
+            "pings == ping probe records",
+            report.counters.get("pings_sent"),
+            counts.ping_probes,
+        ),
+    ];
+    let mut ok = true;
+    for (what, in_report, in_trace) in checks {
+        let mark = if in_report == in_trace { "ok " } else { "FAIL" };
+        println!("  [{mark}] {what}: report={in_report} trace={in_trace}");
+        ok &= in_report == in_trace;
+    }
+    if !ok {
+        eprintln!("trace does not reconcile with the run report");
+        std::process::exit(1);
+    }
+}
+
 fn print_usage() {
     println!(
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
          usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
-         repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  repro --list\n\n\
+         repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
+         repro --trace <path> [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \
          reports are byte-identical at any N\n\
          --out DIR also write each report to DIR/<name>.txt\n\
          --json    with --out, also write structured DIR/<name>.json\n\
+         --trace F run one traced GUESS simulation, write JSONL to F,\n          \
+         and reconcile the trace against the run report\n\
          default   full paper grids (several minutes)"
     );
 }

@@ -10,14 +10,14 @@
 //!   degree-limited overlays (a single sequential work unit: the attack
 //!   grid draws from one shared RNG stream in a fixed order).
 
+use gnutella::dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
+use gnutella::fragmentation::{attack, AttackStrategy};
+use gnutella::Topology;
 use guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior};
 use guess::engine::GuessSim;
 use guess::payments::PaymentParams;
 use guess::policy::SelectionPolicy;
 use guess::RunReport;
-use gnutella::dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
-use gnutella::fragmentation::{attack, AttackStrategy};
-use gnutella::Topology;
 use simkit::rng::RngStream;
 use simkit::time::SimDuration;
 
@@ -36,7 +36,11 @@ fn network_for(scale: Scale) -> usize {
 #[must_use]
 pub fn run_selfish(ctx: &Ctx) -> Report {
     let scale = ctx.scale();
-    let items: Vec<(usize, f64)> = [0.0f64, 0.1, 0.3, 0.5].iter().copied().enumerate().collect();
+    let items: Vec<(usize, f64)> = [0.0f64, 0.1, 0.3, 0.5]
+        .iter()
+        .copied()
+        .enumerate()
+        .collect();
     let rows = ctx.map(items, |(i, frac)| {
         // MR concentrates probes on productive peers, so capacity limits
         // actually bind — the regime where selfish volleys hurt others.
@@ -56,7 +60,13 @@ pub fn run_selfish(ctx: &Ctx) -> Report {
     });
     let mut table = TableBlock::new(
         "selfish",
-        vec!["% selfish", "refused/query", "unsatisfied", "mean response (s)", "top-peer load"],
+        vec![
+            "% selfish",
+            "refused/query",
+            "unsatisfied",
+            "mean response (s)",
+            "top-peer load",
+        ],
     );
     for row in rows {
         table.row(row);
@@ -98,8 +108,10 @@ pub fn run_adaptive(ctx: &Ctx) -> Report {
             Cell::float(report.largest_component.unwrap_or(f64::NAN), 0),
         ]
     });
-    let mut ping_table =
-        TableBlock::new("ping_adaptation", vec!["ping mode", "pings sent", "frac live", "LCC"]);
+    let mut ping_table = TableBlock::new(
+        "ping_adaptation",
+        vec!["ping mode", "pings sent", "frac live", "LCC"],
+    );
     for row in ping_rows {
         ping_table.row(row);
     }
@@ -108,7 +120,11 @@ pub fn run_adaptive(ctx: &Ctx) -> Report {
     let walk_modes: Vec<(&'static str, usize, Option<AdaptiveParallelism>)> = vec![
         ("serial k=1", 1usize, None),
         ("fixed k=5", 5, None),
-        ("adaptive (x2 after 10 dry)", 1, Some(AdaptiveParallelism::default())),
+        (
+            "adaptive (x2 after 10 dry)",
+            1,
+            Some(AdaptiveParallelism::default()),
+        ),
     ];
     let walk_rows = ctx.map(walk_modes, |(name, k, adaptive)| {
         let cfg = base_config(scale, 0xadb)
@@ -126,7 +142,12 @@ pub fn run_adaptive(ctx: &Ctx) -> Report {
     });
     let mut walk_table = TableBlock::new(
         "walk_widening",
-        vec!["walk mode", "probes/query", "response mean (s)", "response p95 (s)"],
+        vec![
+            "walk mode",
+            "probes/query",
+            "response mean (s)",
+            "response p95 (s)",
+        ],
     );
     for row in walk_rows {
         walk_table.row(row);
@@ -151,8 +172,9 @@ pub fn run_defense(ctx: &Ctx) -> Report {
     let scale = ctx.scale();
     let n = network_for(scale);
     let mut grid = Vec::new();
-    for (pi, (pname, policy)) in
-        [("MFS", SelectionPolicy::Mfs), ("MR", SelectionPolicy::Mr)].into_iter().enumerate()
+    for (pi, (pname, policy)) in [("MFS", SelectionPolicy::Mfs), ("MR", SelectionPolicy::Mr)]
+        .into_iter()
+        .enumerate()
     {
         for (fi, filter) in [false, true].into_iter().enumerate() {
             grid.push((pi, fi, pname, policy, filter));
@@ -176,7 +198,14 @@ pub fn run_defense(ctx: &Ctx) -> Report {
     });
     let mut table = TableBlock::new(
         "defense",
-        vec!["policy", "pong filter", "probes/query", "unsatisfied", "good entries", "blacklisted"],
+        vec![
+            "policy",
+            "pong filter",
+            "probes/query",
+            "unsatisfied",
+            "good entries",
+            "blacklisted",
+        ],
     );
     for row in rows {
         table.row(row);
@@ -208,8 +237,10 @@ pub fn run_fragmentation(ctx: &Ctx) -> Report {
             .iter()
             .map(|f| (f * n as f64) as usize)
             .collect();
-        let mut table =
-            TableBlock::new("fragmentation", vec!["topology", "strategy", "% removed", "cohesion"]);
+        let mut table = TableBlock::new(
+            "fragmentation",
+            vec!["topology", "strategy", "% removed", "cohesion"],
+        );
         for (tname, topo) in [("power-law", &power_law), ("degree-limited", &limited)] {
             for strategy in [AttackStrategy::HighestDegree, AttackStrategy::Random] {
                 for &v in &victims {
@@ -246,7 +277,10 @@ pub fn run_payments(ctx: &Ctx) -> Report {
     let n = network_for(scale);
     let mut grid = Vec::new();
     for (i, &selfish) in [0.0f64, 0.4].iter().enumerate() {
-        for (j, payments) in [None, Some(PaymentParams::default())].into_iter().enumerate() {
+        for (j, payments) in [None, Some(PaymentParams::default())]
+            .into_iter()
+            .enumerate()
+        {
             grid.push((i, j, selfish, payments));
         }
     }
@@ -269,7 +303,14 @@ pub fn run_payments(ctx: &Ctx) -> Report {
     });
     let mut table = TableBlock::new(
         "payments",
-        vec!["economy", "% selfish", "probes/query", "response (s)", "unsatisfied", "budget-outs"],
+        vec![
+            "economy",
+            "% selfish",
+            "probes/query",
+            "response (s)",
+            "unsatisfied",
+            "budget-outs",
+        ],
     );
     for row in rows {
         table.row(row);
@@ -309,7 +350,9 @@ pub fn run_forwarding(ctx: &Ctx) -> Report {
                 warmup: scale.warmup(),
                 ..GnutellaConfig::default()
             };
-            Side::Gnutella(Box::new(GnutellaSim::new(dyn_cfg).expect("valid config").run()))
+            Side::Gnutella(Box::new(
+                GnutellaSim::new(dyn_cfg).expect("valid config").run(),
+            ))
         }
     });
     let (Side::Guess(guess_report), Side::Gnutella(gnutella_report)) =
@@ -322,7 +365,12 @@ pub fn run_forwarding(ctx: &Ctx) -> Report {
 
     let mut table = TableBlock::new(
         "forwarding",
-        vec!["mechanism", "query cost (msgs)", "unsatisfied", "maintenance msgs"],
+        vec![
+            "mechanism",
+            "query cost (msgs)",
+            "unsatisfied",
+            "maintenance msgs",
+        ],
     );
     table.row(vec![
         Cell::text("GUESS (QueryPong=MFS)"),

@@ -42,8 +42,10 @@ pub fn run(ctx: &Ctx) -> Report {
         }
         let report = GuessSim::new(cfg).expect("valid config").run();
         let total: u64 = report.loads.iter().sum();
-        let ranked: Vec<u64> =
-            RANKS.iter().map(|&r| report.loads.get(r - 1).copied().unwrap_or(0)).collect();
+        let ranked: Vec<u64> = RANKS
+            .iter()
+            .map(|&r| report.loads.get(r - 1).copied().unwrap_or(0))
+            .collect();
         (name, total, ranked)
     });
 
@@ -59,8 +61,14 @@ pub fn run(ctx: &Ctx) -> Report {
         row.extend(ranked.iter().map(|&v| Cell::uint(v)));
         table.row(row);
     }
-    let random_total = totals.iter().find(|(n, _)| *n == "Random/Random").map_or(0.0, |t| t.1);
-    let mfs_total = totals.iter().find(|(n, _)| *n == "MFS/LFS").map_or(1.0, |t| t.1);
+    let random_total = totals
+        .iter()
+        .find(|(n, _)| *n == "Random/Random")
+        .map_or(0.0, |t| t.1);
+    let mfs_total = totals
+        .iter()
+        .find(|(n, _)| *n == "MFS/LFS")
+        .map_or(1.0, |t| t.1);
     Report::new()
         .text(
             "Figure 13 — ranked load (probes received) per policy combination\n\

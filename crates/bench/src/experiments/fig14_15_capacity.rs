@@ -80,7 +80,13 @@ pub fn run_fig14(ctx: &Ctx) -> Report {
     let pts = sweep(ctx);
     let mut table = TableBlock::new(
         "probe_breakdown",
-        vec!["NetworkSize", "MaxProbes/s", "good/query", "refused/query", "dead/query"],
+        vec![
+            "NetworkSize",
+            "MaxProbes/s",
+            "good/query",
+            "refused/query",
+            "dead/query",
+        ],
     );
     for p in pts.iter() {
         table.row(vec![
@@ -104,10 +110,16 @@ pub fn run_fig14(ctx: &Ctx) -> Report {
 #[must_use]
 pub fn run_fig15(ctx: &Ctx) -> Report {
     let pts = sweep(ctx);
-    let mut table =
-        TableBlock::new("unsat_vs_cap", vec!["NetworkSize", "MaxProbes/s", "unsatisfied"]);
+    let mut table = TableBlock::new(
+        "unsat_vs_cap",
+        vec!["NetworkSize", "MaxProbes/s", "unsatisfied"],
+    );
     for p in pts.iter() {
-        table.row(vec![Cell::size(p.network), Cell::uint(p.cap), Cell::float(p.unsat, 3)]);
+        table.row(vec![
+            Cell::size(p.network),
+            Cell::uint(p.cap),
+            Cell::float(p.unsat, 3),
+        ]);
     }
     Report::new()
         .text(
@@ -134,7 +146,12 @@ mod tests {
         let ctx = Ctx::new(Scale::Quick, 2);
         let pts = sweep(&ctx);
         let n = networks(Scale::Quick)[1];
-        let at = |cap: u32| pts.iter().find(|p| p.network == n && p.cap == cap).unwrap().refused;
+        let at = |cap: u32| {
+            pts.iter()
+                .find(|p| p.network == n && p.cap == cap)
+                .unwrap()
+                .refused
+        };
         assert!(
             at(1) >= at(50),
             "cap=1 should refuse at least as many probes as cap=50 ({} vs {})",

@@ -59,7 +59,11 @@ pub fn policies() -> Vec<(&'static str, SelectionPolicy, bool)> {
 /// `collusion` selects `BadPongBehavior::Bad` vs `Dead`.
 #[must_use]
 pub fn sweep(ctx: &Ctx, collusion: bool) -> Arc<Vec<Point>> {
-    let key = if collusion { "fig16_21/collusion" } else { "fig16_21/no_collusion" };
+    let key = if collusion {
+        "fig16_21/collusion"
+    } else {
+        "fig16_21/no_collusion"
+    };
     ctx.shared(key, |ctx| {
         let scale = ctx.scale();
         let fractions: Vec<f64> = match scale {
@@ -73,7 +77,11 @@ pub fn sweep(ctx: &Ctx, collusion: bool) -> Arc<Vec<Point>> {
             }
         }
         ctx.map(grid, |(pi, fi, name, policy, reset, bad)| {
-            let behavior = if collusion { BadPongBehavior::Bad } else { BadPongBehavior::Dead };
+            let behavior = if collusion {
+                BadPongBehavior::Bad
+            } else {
+                BadPongBehavior::Dead
+            };
             let mut cfg = base_config(scale, 0xf16 + (pi * 16 + fi) as u64)
                 .with_bad_peers(bad, behavior)
                 .with_uniform_policy(policy)
@@ -93,7 +101,13 @@ pub fn sweep(ctx: &Ctx, collusion: bool) -> Arc<Vec<Point>> {
     })
 }
 
-fn render(name: &str, points: &[Point], metric: fn(&Point) -> f64, col: &str, prec: usize) -> TableBlock {
+fn render(
+    name: &str,
+    points: &[Point],
+    metric: fn(&Point) -> f64,
+    col: &str,
+    prec: usize,
+) -> TableBlock {
     let mut table = TableBlock::new(name, vec!["policy", "% bad", col]);
     for p in points {
         table.row(vec![
@@ -114,7 +128,13 @@ pub fn run_fig16(ctx: &Ctx) -> Report {
             "Figure 16 — probes/query vs %bad (BadPong=Dead, no collusion)\n\
              Expected shape: MFS cost blows up with %bad; Random/MR/MR* stay flat-ish.\n\n",
         )
-        .table(render("probes_no_collusion", &pts, |p| p.probes, "probes/query", 1))
+        .table(render(
+            "probes_no_collusion",
+            &pts,
+            |p| p.probes,
+            "probes/query",
+            1,
+        ))
 }
 
 /// Figure 17: unsatisfaction, no collusion.
@@ -127,7 +147,13 @@ pub fn run_fig17(ctx: &Ctx) -> Report {
              Expected shape: MFS degrades toward total failure by 20% bad;\n\
              MR keeps the best cost/robustness tradeoff; MR* and Random robust.\n\n",
         )
-        .table(render("unsat_no_collusion", &pts, |p| p.unsat, "unsatisfied", 3))
+        .table(render(
+            "unsat_no_collusion",
+            &pts,
+            |p| p.unsat,
+            "unsatisfied",
+            3,
+        ))
 }
 
 /// Figure 18: good cache entries, no collusion.
@@ -139,7 +165,13 @@ pub fn run_fig18(ctx: &Ctx) -> Report {
             "Figure 18 — unpoisoned link-cache entries vs %bad (BadPong=Dead)\n\
              Expected shape: good entries collapse for MFS only.\n\n",
         )
-        .table(render("good_entries_no_collusion", &pts, |p| p.good_entries, "good entries", 1))
+        .table(render(
+            "good_entries_no_collusion",
+            &pts,
+            |p| p.good_entries,
+            "good entries",
+            1,
+        ))
 }
 
 /// Figure 19: probes/query, collusion.
@@ -152,7 +184,13 @@ pub fn run_fig19(ctx: &Ctx) -> Report {
              Expected shape: both MFS and MR degrade; Random and MR* stay usable,\n\
              with MR* cheaper than Random.\n\n",
         )
-        .table(render("probes_collusion", &pts, |p| p.probes, "probes/query", 1))
+        .table(render(
+            "probes_collusion",
+            &pts,
+            |p| p.probes,
+            "probes/query",
+            1,
+        ))
 }
 
 /// Figure 20: unsatisfaction, collusion.
@@ -165,7 +203,13 @@ pub fn run_fig20(ctx: &Ctx) -> Report {
              Expected shape: MFS and MR head toward 100% unsatisfied at 20% bad;\n\
              MR* and Random stay robust.\n\n",
         )
-        .table(render("unsat_collusion", &pts, |p| p.unsat, "unsatisfied", 3))
+        .table(render(
+            "unsat_collusion",
+            &pts,
+            |p| p.unsat,
+            "unsatisfied",
+            3,
+        ))
 }
 
 /// Figure 21: good cache entries, collusion.
@@ -178,7 +222,13 @@ pub fn run_fig21(ctx: &Ctx) -> Report {
              Expected shape: caches poison heavily for both MR and MFS;\n\
              Random and MR* retain good entries.\n\n",
         )
-        .table(render("good_entries_collusion", &pts, |p| p.good_entries, "good entries", 1))
+        .table(render(
+            "good_entries_collusion",
+            &pts,
+            |p| p.good_entries,
+            "good entries",
+            1,
+        ))
 }
 
 #[cfg(test)]
@@ -199,8 +249,14 @@ mod tests {
     fn mfs_degrades_under_poisoning() {
         let ctx = Ctx::new(Scale::Quick, 2);
         let pts = sweep(&ctx, false);
-        let mfs_clean = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.0).unwrap();
-        let mfs_poisoned = pts.iter().find(|p| p.policy == "MFS" && p.bad == 0.20).unwrap();
+        let mfs_clean = pts
+            .iter()
+            .find(|p| p.policy == "MFS" && p.bad == 0.0)
+            .unwrap();
+        let mfs_poisoned = pts
+            .iter()
+            .find(|p| p.policy == "MFS" && p.bad == 0.20)
+            .unwrap();
         assert!(
             mfs_poisoned.unsat > mfs_clean.unsat,
             "MFS unsat should rise under poisoning: {} -> {}",
@@ -216,7 +272,9 @@ mod tests {
     #[test]
     fn reports_render() {
         let ctx = Ctx::new(Scale::Quick, 2);
-        for f in [run_fig16, run_fig17, run_fig18, run_fig19, run_fig20, run_fig21] {
+        for f in [
+            run_fig16, run_fig17, run_fig18, run_fig19, run_fig20, run_fig21,
+        ] {
             let out = f(&ctx).render_text();
             assert!(out.contains("MR*"));
         }

@@ -62,7 +62,12 @@ pub fn sweep(ctx: &Ctx) -> Arc<Vec<Point>> {
             }
         }
         ctx.map(grid, |(network, cache)| {
-            let cfg = strained_config(scale, network, cache, 0xf135 + (network * 31 + cache) as u64);
+            let cfg = strained_config(
+                scale,
+                network,
+                cache,
+                0xf135 + (network * 31 + cache) as u64,
+            );
             let report = GuessSim::new(cfg).expect("valid config").run();
             Point {
                 network,
@@ -80,9 +85,16 @@ pub fn sweep(ctx: &Ctx) -> Arc<Vec<Point>> {
 #[must_use]
 pub fn run_fig3(ctx: &Ctx) -> Report {
     let points = sweep(ctx);
-    let mut table = TableBlock::new("probes_vs_cache", vec!["NetworkSize", "CacheSize", "probes/query"]);
+    let mut table = TableBlock::new(
+        "probes_vs_cache",
+        vec!["NetworkSize", "CacheSize", "probes/query"],
+    );
     for p in points.iter() {
-        table.row(vec![Cell::size(p.network), Cell::size(p.cache), Cell::float(p.probes, 1)]);
+        table.row(vec![
+            Cell::size(p.network),
+            Cell::size(p.cache),
+            Cell::float(p.probes, 1),
+        ]);
     }
     Report::new()
         .text(
@@ -96,9 +108,16 @@ pub fn run_fig3(ctx: &Ctx) -> Report {
 #[must_use]
 pub fn run_fig4(ctx: &Ctx) -> Report {
     let points = sweep(ctx);
-    let mut table = TableBlock::new("unsat_vs_cache", vec!["NetworkSize", "CacheSize", "unsatisfied"]);
+    let mut table = TableBlock::new(
+        "unsat_vs_cache",
+        vec!["NetworkSize", "CacheSize", "unsatisfied"],
+    );
     for p in points.iter() {
-        table.row(vec![Cell::size(p.network), Cell::size(p.cache), Cell::float(p.unsat, 3)]);
+        table.row(vec![
+            Cell::size(p.network),
+            Cell::size(p.cache),
+            Cell::float(p.unsat, 3),
+        ]);
     }
     Report::new()
         .text(
@@ -113,10 +132,21 @@ pub fn run_fig4(ctx: &Ctx) -> Report {
 #[must_use]
 pub fn run_fig5(ctx: &Ctx) -> Report {
     let points = sweep(ctx);
-    let slice_network = if points.iter().any(|p| p.network == 1000) { 1000 } else { 500 };
-    let mut table = TableBlock::new("probe_breakdown", vec!["CacheSize", "good/query", "dead/query"]);
+    let slice_network = if points.iter().any(|p| p.network == 1000) {
+        1000
+    } else {
+        500
+    };
+    let mut table = TableBlock::new(
+        "probe_breakdown",
+        vec!["CacheSize", "good/query", "dead/query"],
+    );
     for p in points.iter().filter(|p| p.network == slice_network) {
-        table.row(vec![Cell::size(p.cache), Cell::float(p.good, 1), Cell::float(p.dead, 1)]);
+        table.row(vec![
+            Cell::size(p.cache),
+            Cell::float(p.good, 1),
+            Cell::float(p.dead, 1),
+        ]);
     }
     Report::new()
         .text(format!(
@@ -137,7 +167,10 @@ mod tests {
             for c in cache_grid(n, Scale::Full) {
                 assert!(c <= n, "cache {c} exceeds network {n}");
             }
-            assert!(cache_grid(n, Scale::Full).contains(&n), "full-network cache included");
+            assert!(
+                cache_grid(n, Scale::Full).contains(&n),
+                "full-network cache included"
+            );
         }
     }
 
@@ -151,7 +184,10 @@ mod tests {
         // Sharing: a second call returns the same computed data.
         let again = sweep(&ctx);
         assert_eq!(pts.len(), again.len());
-        assert!(Arc::ptr_eq(&pts, &again), "second call shares the first sweep");
+        assert!(
+            Arc::ptr_eq(&pts, &again),
+            "second call shares the first sweep"
+        );
     }
 
     #[test]

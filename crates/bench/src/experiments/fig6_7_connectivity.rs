@@ -53,7 +53,11 @@ pub fn run_fig6(ctx: &Ctx) -> Report {
     }
     let rows = ctx.map(grid, |(cache, interval)| {
         let lcc = lcc_for(scale, network, cache, interval, 0xf16 + cache as u64);
-        vec![Cell::size(cache), Cell::float(interval, 0), Cell::float(lcc, 0)]
+        vec![
+            Cell::size(cache),
+            Cell::float(interval, 0),
+            Cell::float(lcc, 0),
+        ]
     });
     let mut table = TableBlock::new("lcc_vs_interval", vec!["CacheSize", "PingInterval", "LCC"]);
     for row in rows {
@@ -118,7 +122,10 @@ mod tests {
     #[test]
     fn tight_pinging_keeps_network_connected() {
         let lcc = lcc_for(Scale::Quick, 200, 20, 10.0, 1);
-        assert!(lcc > 160.0, "10s pings should keep a 200-peer overlay connected, got {lcc}");
+        assert!(
+            lcc > 160.0,
+            "10s pings should keep a 200-peer overlay connected, got {lcc}"
+        );
     }
 
     #[test]

@@ -44,10 +44,16 @@ fn gnutella_piece(scale: Scale, n: usize, seed: u64) -> Piece {
     let mut rng = RngStream::from_seed(seed, "fig8");
     let curve = FixedExtentCurve::evaluate(&pop, scale.curve_queries(), &mut rng);
     let mut fixed = TableBlock::new("fixed_extent", vec!["extent (probes)", "unsatisfied"]);
-    let extents: Vec<usize> =
-        [1, 2, 5, 10, 17, 50, 99, 200, 540, 1000].iter().copied().filter(|&e| e <= n).collect();
+    let extents: Vec<usize> = [1, 2, 5, 10, 17, 50, 99, 200, 540, 1000]
+        .iter()
+        .copied()
+        .filter(|&e| e <= n)
+        .collect();
     for &e in &extents {
-        fixed.row(vec![Cell::size(e), Cell::float(curve.unsatisfaction_at(e), 3)]);
+        fixed.row(vec![
+            Cell::size(e),
+            Cell::float(curve.unsatisfaction_at(e), 3),
+        ]);
     }
     let mut notes = format!(
         "unsatisfiable floor (whole network): {:.3}\n",
@@ -55,10 +61,14 @@ fn gnutella_piece(scale: Scale, n: usize, seed: u64) -> Piece {
     );
     let floor = curve.unsatisfiable_fraction();
     if let Some(e) = curve.extent_for_unsatisfaction(floor + 0.005) {
-        notes.push_str(&format!("fixed extent needed to reach floor+0.5%: {e} probes\n"));
+        notes.push_str(&format!(
+            "fixed extent needed to reach floor+0.5%: {e} probes\n"
+        ));
     }
     if let Some(e) = curve.extent_for_unsatisfaction(floor + 0.02) {
-        notes.push_str(&format!("fixed extent needed to reach floor+2%:   {e} probes\n"));
+        notes.push_str(&format!(
+            "fixed extent needed to reach floor+2%:   {e} probes\n"
+        ));
     }
     notes.push('\n');
 
@@ -69,14 +79,25 @@ fn gnutella_piece(scale: Scale, n: usize, seed: u64) -> Piece {
         ("ttl 1;2;3;4;5;7", vec![1, 2, 3, 4, 5, 7]),
         ("ttl 3;7", vec![3, 7]),
     ];
-    let mut deepening = TableBlock::new("iterative_deepening", vec!["schedule", "mean cost", "unsatisfied"]);
+    let mut deepening = TableBlock::new(
+        "iterative_deepening",
+        vec!["schedule", "mean cost", "unsatisfied"],
+    );
     for (name, ttls) in schedules {
         let policy = DeepeningPolicy::new(ttls).expect("valid schedule");
         let (cost, unsat) =
             iterative_evaluate(&topo, &pop, &policy, scale.curve_queries() / 4, 1, &mut rng);
-        deepening.row(vec![Cell::text(name), Cell::float(cost, 1), Cell::float(unsat, 3)]);
+        deepening.row(vec![
+            Cell::text(name),
+            Cell::float(cost, 1),
+            Cell::float(unsat, 3),
+        ]);
     }
-    Piece::Gnutella { fixed, notes, deepening }
+    Piece::Gnutella {
+        fixed,
+        notes,
+        deepening,
+    }
 }
 
 /// Runs the Figure 8 reproduction.
@@ -105,15 +126,28 @@ pub fn run(ctx: &Ctx) -> Report {
             .run(),
         ),
     });
-    let (Piece::Gnutella { fixed, notes, deepening }, Piece::Guess(random), Piece::Guess(mfs)) =
-        (pieces.remove(0), pieces.remove(0), pieces.remove(0))
+    let (
+        Piece::Gnutella {
+            fixed,
+            notes,
+            deepening,
+        },
+        Piece::Guess(random),
+        Piece::Guess(mfs),
+    ) = (pieces.remove(0), pieces.remove(0), pieces.remove(0))
     else {
         unreachable!("map preserves item order");
     };
 
     let mut guess_table = TableBlock::new(
         "guess",
-        vec!["config", "probes/query", "unsatisfied", "paper probes", "paper unsat"],
+        vec![
+            "config",
+            "probes/query",
+            "unsatisfied",
+            "paper probes",
+            "paper unsat",
+        ],
     );
     guess_table.row(vec![
         Cell::text("GUESS Random (o)"),

@@ -122,8 +122,10 @@ pub fn sweep(ctx: &Ctx, knob: Knob) -> Arc<Vec<Point>> {
 }
 
 fn probes_table(points: &[Point]) -> TableBlock {
-    let mut table =
-        TableBlock::new("probes_by_policy", vec!["policy", "good/query", "deadIPs/query", "total"]);
+    let mut table = TableBlock::new(
+        "probes_by_policy",
+        vec!["policy", "good/query", "deadIPs/query", "total"],
+    );
     for p in points {
         table.row(vec![
             Cell::text(p.policy.clone()),

@@ -35,7 +35,9 @@ pub struct Experiment {
 
 impl std::fmt::Debug for Experiment {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Experiment").field("name", &self.name).finish()
+        f.debug_struct("Experiment")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -75,7 +77,8 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment {
             name: "fig8",
-            description: "Figure 8: cost/quality tradeoff — fixed extent vs iterative deepening vs GUESS",
+            description:
+                "Figure 8: cost/quality tradeoff — fixed extent vs iterative deepening vs GUESS",
             run: fig8_tradeoff::run,
         },
         Experiment {
@@ -175,7 +178,8 @@ pub fn all() -> Vec<Experiment> {
         },
         Experiment {
             name: "forwarding",
-            description: "EXTENSION §3.2/§3.3: GUESS vs churn-aware Gnutella (cost, state, amplification)",
+            description:
+                "EXTENSION §3.2/§3.3: GUESS vs churn-aware Gnutella (cost, state, amplification)",
             run: extensions::run_forwarding,
         },
     ]
@@ -195,9 +199,31 @@ mod tests {
     fn registry_has_every_table_and_figure() {
         let names: Vec<&str> = all().iter().map(|e| e.name).collect();
         for expected in [
-            "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-            "fig21", "response", "selfish", "adaptive", "defense", "fragmentation",
+            "table3",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "fig20",
+            "fig21",
+            "response",
+            "selfish",
+            "adaptive",
+            "defense",
+            "fragmentation",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -38,7 +38,12 @@ pub fn run(ctx: &Ctx) -> Report {
     });
     let mut table = TableBlock::new(
         "parallel_walks",
-        vec!["k (parallel probes)", "probes/query", "response (s)", "unsatisfied"],
+        vec![
+            "k (parallel probes)",
+            "probes/query",
+            "response (s)",
+            "unsatisfied",
+        ],
     );
     for row in rows {
         table.row(row);
@@ -61,7 +66,9 @@ mod tests {
         let ctx = Ctx::new(Scale::Quick, 2);
         let out = run(&ctx).render_text();
         for k in WALKS {
-            assert!(out.lines().any(|l| l.trim_start().starts_with(&k.to_string())));
+            assert!(out
+                .lines()
+                .any(|l| l.trim_start().starts_with(&k.to_string())));
         }
     }
 }

@@ -38,7 +38,13 @@ pub fn run(ctx: &Ctx) -> Report {
     });
     let mut table = TableBlock::new(
         "live_entries",
-        vec!["CacheSize", "frac live", "abs live", "paper frac", "paper abs"],
+        vec![
+            "CacheSize",
+            "frac live",
+            "abs live",
+            "paper frac",
+            "paper abs",
+        ],
     );
     for row in rows {
         table.row(row);
@@ -62,7 +68,10 @@ mod tests {
         let out = run(&ctx).render_text();
         assert!(out.contains("CacheSize"));
         // Six data rows, one per paper cache size.
-        let data_lines = out.lines().filter(|l| l.trim_start().starts_with(char::is_numeric)).count();
+        let data_lines = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
         assert_eq!(data_lines, 6);
     }
 }

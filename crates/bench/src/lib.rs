@@ -26,6 +26,7 @@ pub mod report;
 pub mod runner;
 pub mod scale;
 pub mod table;
+pub mod tracefile;
 
 /// Reads `--jobs N` from the process arguments, defaulting to the
 /// machine's available parallelism — the shared knob of the scratch

@@ -114,7 +114,11 @@ impl TableBlock {
     #[must_use]
     pub fn with_columns(name: impl Into<String>, columns: Vec<String>) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        TableBlock { name: name.into(), columns, rows: Vec::new() }
+        TableBlock {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row.
@@ -123,7 +127,11 @@ impl TableBlock {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<Cell>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 
@@ -282,7 +290,8 @@ impl Report {
 }
 
 /// Appends `s` to `out` as a JSON string literal (RFC 8259 escaping).
-fn json_string(s: &str, out: &mut String) {
+/// Shared with the JSONL trace sink ([`crate::tracefile`]).
+pub(crate) fn json_string(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -306,8 +315,16 @@ mod tests {
 
     fn sample() -> Report {
         let mut t = TableBlock::new("probes", vec!["policy", "count", "mean"]);
-        t.row(vec![Cell::text("Ran"), Cell::uint(12u64), Cell::float(3.456, 1)]);
-        t.row(vec![Cell::text("MFS"), Cell::uint(3u64), Cell::float(f64::NAN, 1)]);
+        t.row(vec![
+            Cell::text("Ran"),
+            Cell::uint(12u64),
+            Cell::float(3.456, 1),
+        ]);
+        t.row(vec![
+            Cell::text("MFS"),
+            Cell::uint(3u64),
+            Cell::float(f64::NAN, 1),
+        ]);
         Report::new().text("Header line\n\n").table(t)
     }
 

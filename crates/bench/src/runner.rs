@@ -35,7 +35,10 @@ struct Permit<'a>(&'a Semaphore);
 
 impl Semaphore {
     fn new(permits: usize) -> Self {
-        Semaphore { permits: Mutex::new(permits), cv: Condvar::new() }
+        Semaphore {
+            permits: Mutex::new(permits),
+            cv: Condvar::new(),
+        }
     }
 
     fn acquire(&self) -> Permit<'_> {
@@ -81,7 +84,12 @@ impl Ctx {
     #[must_use]
     pub fn new(scale: Scale, jobs: usize) -> Self {
         let jobs = jobs.max(1);
-        Ctx { scale, jobs, sem: Semaphore::new(jobs), shared: Mutex::new(HashMap::new()) }
+        Ctx {
+            scale,
+            jobs,
+            sem: Semaphore::new(jobs),
+            shared: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The run's scale.
@@ -134,7 +142,11 @@ impl Ctx {
                     if i >= work.len() {
                         break;
                     }
-                    let item = work[i].lock().expect("work item").take().expect("taken once");
+                    let item = work[i]
+                        .lock()
+                        .expect("work item")
+                        .take()
+                        .expect("taken once");
                     let _permit = self.sem.acquire();
                     let result = f(item);
                     drop(_permit);
@@ -144,7 +156,11 @@ impl Ctx {
         });
         slots
             .into_iter()
-            .map(|m| m.into_inner().expect("result slot").expect("worker filled slot"))
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot")
+                    .expect("worker filled slot")
+            })
             .collect()
     }
 
@@ -169,7 +185,9 @@ impl Ctx {
             Arc::clone(map.entry(key.to_string()).or_default())
         };
         let value = slot.get_or_init(|| Arc::new(init(self)) as Arc<dyn Any + Send + Sync>);
-        Arc::clone(value).downcast::<T>().expect("shared key reused with a different type")
+        Arc::clone(value)
+            .downcast::<T>()
+            .expect("shared key reused with a different type")
     }
 }
 
@@ -183,7 +201,11 @@ mod tests {
         for jobs in [1, 2, 8] {
             let ctx = Ctx::new(Scale::Quick, jobs);
             let out = ctx.map((0u64..40).collect(), |i| i * i);
-            assert_eq!(out, (0u64..40).map(|i| i * i).collect::<Vec<_>>(), "jobs={jobs}");
+            assert_eq!(
+                out,
+                (0u64..40).map(|i| i * i).collect::<Vec<_>>(),
+                "jobs={jobs}"
+            );
         }
     }
 
@@ -249,7 +271,9 @@ mod tests {
             .collect();
         for jobs in [2, 5] {
             let ctx = Ctx::new(Scale::Quick, jobs);
-            let par = ctx.map((0..20).collect(), |i| simkit::rng::derive_seed(0xabc, "runner-test", i));
+            let par = ctx.map((0..20).collect(), |i| {
+                simkit::rng::derive_seed(0xabc, "runner-test", i)
+            });
             assert_eq!(par, serial);
         }
     }

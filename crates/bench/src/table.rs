@@ -29,7 +29,10 @@ impl Table {
     #[must_use]
     pub fn new(header: Vec<&str>) -> Self {
         assert!(!header.is_empty(), "a table needs at least one column");
-        Table { header: header.into_iter().map(String::from).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a data row.
@@ -38,7 +41,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
         self.rows.push(cells);
     }
 

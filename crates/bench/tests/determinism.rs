@@ -5,22 +5,55 @@
 //! [`guess::RunReport`] bit-for-bit, and a report rendered at `--jobs 4`
 //! must equal the one rendered at `--jobs 1`.
 
+use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
 use guess::{Config, GuessSim};
 use guess_bench::experiments;
 use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
+use simkit::time::SimDuration;
 
 #[test]
 fn same_seed_means_identical_run_report() {
-    let run = || GuessSim::new(Config::small_test(42)).expect("valid config").run();
+    let run = || {
+        GuessSim::new(Config::small_test(42))
+            .expect("valid config")
+            .run()
+    };
     assert_eq!(run(), run(), "two runs from one seed diverged");
+}
+
+#[test]
+fn same_seed_means_identical_gnutella_report() {
+    let cfg = |seed: u64| GnutellaConfig {
+        network_size: 150,
+        duration: SimDuration::from_secs(400.0),
+        warmup: SimDuration::from_secs(100.0),
+        lifespan_multiplier: 0.2, // enough churn to exercise repairs
+        seed,
+        ..GnutellaConfig::default()
+    };
+    let run = |seed: u64| GnutellaSim::new(cfg(seed)).expect("valid config").run();
+    assert_eq!(
+        run(42),
+        run(42),
+        "two dynamic Gnutella runs from one seed diverged"
+    );
+    assert_ne!(
+        run(1),
+        run(2),
+        "seed is not reaching the Gnutella simulation"
+    );
 }
 
 #[test]
 fn different_seeds_mean_different_reports() {
     // Guards against the equality above passing vacuously (e.g. a
     // constant report).
-    let run = |seed: u64| GuessSim::new(Config::small_test(seed)).expect("valid config").run();
+    let run = |seed: u64| {
+        GuessSim::new(Config::small_test(seed))
+            .expect("valid config")
+            .run()
+    };
     assert_ne!(run(1), run(2), "seed is not reaching the simulation");
 }
 
@@ -30,6 +63,9 @@ fn rendered_reports_are_identical_at_any_jobs_level() {
         let e = experiments::find(name).expect("known experiment");
         let serial = (e.run)(&Ctx::new(Scale::Quick, 1)).render_text();
         let parallel = (e.run)(&Ctx::new(Scale::Quick, 4)).render_text();
-        assert_eq!(serial, parallel, "{name} differs between --jobs 1 and --jobs 4");
+        assert_eq!(
+            serial, parallel,
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
     }
 }

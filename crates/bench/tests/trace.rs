@@ -1,0 +1,157 @@
+//! Trace-layer reconciliation: the structured trace of a run must agree
+//! with the aggregates in the run's own report, and turning tracing on
+//! must not change the simulation itself.
+
+use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use guess::{Config, GuessSim};
+use guess_bench::tracefile::JsonlSink;
+use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{CountingSink, RecordingSink, TraceRecord};
+
+fn guess_cfg(seed: u64) -> Config {
+    let mut cfg = Config::small_test(seed);
+    cfg.run.duration = SimDuration::from_secs(400.0);
+    cfg.run.warmup = SimDuration::from_secs(100.0);
+    cfg
+}
+
+#[test]
+fn tracing_does_not_change_the_guess_run() {
+    let untraced = GuessSim::new(guess_cfg(5)).unwrap().run();
+    let (traced, _) = GuessSim::new(guess_cfg(5))
+        .unwrap()
+        .run_traced(CountingSink::new());
+    assert_eq!(untraced, traced, "attaching a sink changed the simulation");
+}
+
+#[test]
+fn guess_trace_reconciles_with_run_report() {
+    let cfg = guess_cfg(6);
+    let warmup_end = SimTime::ZERO + cfg.run.warmup;
+    let (report, sink) = GuessSim::new(cfg).unwrap().run_traced(RecordingSink::new());
+
+    // The report only covers post-warm-up queries; filter the trace the
+    // same way before comparing.
+    let mut ends = 0u64;
+    let mut unsatisfied = 0u64;
+    let mut probes = 0u64;
+    for (at, rec) in sink.select(|r| matches!(r, TraceRecord::QueryEnd { .. })) {
+        if *at < warmup_end {
+            continue;
+        }
+        let TraceRecord::QueryEnd {
+            satisfied,
+            probes: p,
+            ..
+        } = rec
+        else {
+            unreachable!()
+        };
+        ends += 1;
+        if !satisfied {
+            unsatisfied += 1;
+        }
+        probes += u64::from(*p);
+    }
+    assert!(ends > 0, "no queries ended after warm-up");
+    assert_eq!(report.queries, ends);
+    assert_eq!(report.unsatisfied, unsatisfied);
+    assert_eq!(report.total_probes.sum().round() as u64, probes);
+    assert_eq!(report.total_probes.count(), ends);
+
+    // Whole-run totals (births, deaths, pings) are not warm-up gated.
+    let joins = sink
+        .select(|r| matches!(r, TraceRecord::PeerJoin { .. }))
+        .count() as u64;
+    let deaths = sink
+        .select(|r| matches!(r, TraceRecord::PeerDeath { .. }))
+        .count() as u64;
+    assert_eq!(report.counters.get("births"), joins);
+    assert_eq!(report.counters.get("deaths"), deaths);
+}
+
+#[test]
+fn guess_query_probe_records_match_query_end_sums() {
+    // Every query probe record belongs to exactly one query, so the sum
+    // of the per-query `probes` fields equals the probe record count —
+    // over the whole run, warm-up included.
+    let (_, sink) = GuessSim::new(guess_cfg(7))
+        .unwrap()
+        .run_traced(CountingSink::new());
+    assert!(sink.query_probes > 0);
+    assert_eq!(sink.query_probes, sink.query_end_probes);
+    assert_eq!(
+        sink.query_starts, sink.query_ends,
+        "atomic queries always end"
+    );
+}
+
+#[test]
+fn gnutella_trace_reconciles_with_run_report() {
+    let cfg = GnutellaConfig {
+        network_size: 150,
+        duration: SimDuration::from_secs(400.0),
+        warmup: SimDuration::from_secs(100.0),
+        seed: 9,
+        ..GnutellaConfig::default()
+    };
+    let warmup_end = SimTime::ZERO + cfg.warmup;
+    let (report, sink) = GnutellaSim::new(cfg)
+        .unwrap()
+        .run_traced(RecordingSink::new());
+    let mut ends = 0u64;
+    let mut messages = 0u64;
+    for (at, rec) in sink.select(|r| matches!(r, TraceRecord::QueryEnd { .. })) {
+        if *at < warmup_end {
+            continue;
+        }
+        let TraceRecord::QueryEnd { probes, .. } = rec else {
+            unreachable!()
+        };
+        ends += 1;
+        messages += u64::from(*probes);
+    }
+    assert!(ends > 0);
+    assert_eq!(report.queries, ends);
+    assert_eq!(report.messages.sum().round() as u64, messages);
+    // Flood probe records cover every transmission, warm-up included.
+    let floods = sink
+        .select(|r| matches!(r, TraceRecord::Probe { .. }))
+        .count() as u64;
+    let all_query_probes: u64 = sink
+        .select(|r| matches!(r, TraceRecord::QueryEnd { .. }))
+        .map(|(_, r)| {
+            let TraceRecord::QueryEnd { probes, .. } = r else {
+                unreachable!()
+            };
+            u64::from(*probes)
+        })
+        .sum();
+    assert_eq!(floods, all_query_probes);
+}
+
+#[test]
+fn jsonl_sink_writes_one_wellformed_line_per_record() {
+    let mut cfg = guess_cfg(8);
+    cfg.run.duration = SimDuration::from_secs(150.0);
+    cfg.run.warmup = SimDuration::from_secs(0.0);
+    let sink = JsonlSink::new(Vec::new());
+    let (_, sink) = GuessSim::new(cfg).unwrap().run_traced(sink);
+    let lines_written = sink.lines;
+    let (buf, counts, io_error) = sink.finish();
+    assert!(io_error.is_none());
+    let text = String::from_utf8(buf).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len() as u64, lines_written);
+    assert_eq!(lines.len() as u64, counts.total());
+    assert!(!lines.is_empty());
+    for l in &lines {
+        assert!(
+            l.starts_with("{\"t\": "),
+            "line does not open a JSON object: {l}"
+        );
+        assert!(l.ends_with('}'), "line does not close its object: {l}");
+        assert!(l.contains("\"type\": \""), "line has no type field: {l}");
+        assert!(!l.contains('\n'));
+    }
+}

@@ -15,117 +15,26 @@
 
 use std::collections::HashSet;
 
-use simkit::event::EventQueue;
 use simkit::rng::RngStream;
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 use simkit::stats::{CounterSet, Summary};
 use simkit::time::{SimDuration, SimTime};
+use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
 use workload::content::{Catalog, CatalogParams, PeerLibrary};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
 
-/// Configuration of a dynamic Gnutella run.
-#[derive(Debug, Clone, PartialEq)]
-pub struct GnutellaConfig {
-    /// Live peers at all times.
-    pub network_size: usize,
-    /// Connections each peer tries to keep open.
-    pub target_degree: usize,
-    /// Query TTL (flood radius).
-    pub ttl: usize,
-    /// Results needed to satisfy a query.
-    pub desired_results: usize,
-    /// Per-user query rate (queries/second), bursty as in the paper.
-    pub query_rate: f64,
-    /// Lifespan multiplier for the shared lifetime model.
-    pub lifespan_multiplier: f64,
-    /// Content universe parameters (shared with GUESS).
-    pub catalog: CatalogParams,
-    /// Simulated duration.
-    pub duration: SimDuration,
-    /// Warm-up excluded from query metrics.
-    pub warmup: SimDuration,
-    /// Master seed.
-    pub seed: u64,
-}
+mod flood;
+mod types;
 
-impl Default for GnutellaConfig {
-    fn default() -> Self {
-        GnutellaConfig {
-            network_size: 1000,
-            target_degree: 4,
-            ttl: 7,
-            desired_results: 1,
-            query_rate: 9.26e-3,
-            lifespan_multiplier: 1.0,
-            catalog: CatalogParams::default(),
-            duration: SimDuration::from_secs(2400.0),
-            warmup: SimDuration::from_secs(600.0),
-            seed: 0x67u64,
-        }
-    }
-}
+pub use types::{GnutellaConfig, GnutellaReport, InvalidGnutellaConfig};
 
-/// Error constructing a [`GnutellaSim`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct InvalidGnutellaConfig;
-
-impl std::fmt::Display for InvalidGnutellaConfig {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "gnutella config requires n > degree > 0, ttl > 0, positive rates")
-    }
-}
-
-impl std::error::Error for InvalidGnutellaConfig {}
-
-/// Aggregated results of a dynamic Gnutella run.
-#[derive(Debug, Clone, Default)]
-pub struct GnutellaReport {
-    /// Queries executed after warm-up.
-    pub queries: u64,
-    /// Queries that found fewer than the desired results.
-    pub unsatisfied: u64,
-    /// Per-query messages transmitted (deliveries + duplicate arrivals).
-    pub messages: Summary,
-    /// Per-query count of distinct peers reached.
-    pub peers_reached: Summary,
-    /// Event counters (connections made, repairs, deaths, …).
-    pub counters: CounterSet,
-}
-
-impl GnutellaReport {
-    /// Fraction of queries that went unsatisfied.
-    #[must_use]
-    pub fn unsatisfaction(&self) -> f64 {
-        if self.queries == 0 {
-            0.0
-        } else {
-            self.unsatisfied as f64 / self.queries as f64
-        }
-    }
-
-    /// Mean messages per query — the flooding cost that corresponds to
-    /// GUESS's probes/query.
-    #[must_use]
-    pub fn messages_per_query(&self) -> f64 {
-        self.messages.mean()
-    }
-
-    /// The amplification factor: network messages caused per query
-    /// message the originator itself sends (its own degree).
-    #[must_use]
-    pub fn amplification(&self) -> f64 {
-        let reached = self.peers_reached.mean();
-        if reached > 0.0 {
-            self.messages_per_query() / (self.messages_per_query() / reached).max(1.0)
-        } else {
-            0.0
-        }
-    }
-}
-
+/// The engine's event alphabet (public because it is the
+/// [`Simulation::Event`] associated type).
 #[derive(Debug, Clone, Copy)]
-enum Event {
+#[allow(missing_docs)]
+pub enum Event {
     Burst { slot: usize, incarnation: u64 },
     Death { slot: usize, incarnation: u64 },
 }
@@ -149,11 +58,10 @@ struct Node {
 /// ```
 pub struct GnutellaSim {
     cfg: GnutellaConfig,
-    queue: EventQueue<Event>,
     nodes: Vec<Node>,
     qmodel: QueryModel,
     files: FileCountModel,
-    lifetimes: LifetimeModel,
+    churn: ChurnDriver<LifetimeModel>,
     workload: QueryWorkload,
     rng: RngStream,
     queries: u64,
@@ -161,9 +69,8 @@ pub struct GnutellaSim {
     messages: Summary,
     peers_reached: Summary,
     counters: CounterSet,
-    warmup_end: SimTime,
-    end: SimTime,
     next_incarnation: u64,
+    next_query: u64,
 }
 
 impl GnutellaSim {
@@ -188,26 +95,23 @@ impl GnutellaSim {
         let qmodel = QueryModel::new(catalog);
         let files = FileCountModel::gnutella_like();
         let lifetimes = LifetimeModel::saroiu_like(cfg.lifespan_multiplier);
-        let workload = QueryWorkload::with_rate(cfg.query_rate).map_err(|_| InvalidGnutellaConfig)?;
-        let warmup_end = SimTime::ZERO + cfg.warmup;
-        let end = SimTime::ZERO + cfg.duration;
+        let workload =
+            QueryWorkload::with_rate(cfg.query_rate).map_err(|_| InvalidGnutellaConfig)?;
         let mut sim = GnutellaSim {
             rng: RngStream::from_seed(cfg.seed, "gnutella"),
             cfg,
-            queue: EventQueue::new(),
             nodes: Vec::new(),
             qmodel,
             files,
-            lifetimes,
+            churn: ChurnDriver::new(lifetimes),
             workload,
             queries: 0,
             unsatisfied: 0,
             messages: Summary::new(),
             peers_reached: Summary::new(),
             counters: CounterSet::new(),
-            warmup_end,
-            end,
             next_incarnation: 0,
+            next_query: 0,
         };
         sim.populate();
         Ok(sim)
@@ -218,24 +122,43 @@ impl GnutellaSim {
         self.qmodel.catalog().build_library(count, &mut self.rng)
     }
 
+    /// Creates the initial population and wires the overlay. Event
+    /// scheduling happens in [`GnutellaSim::schedule_initial`], once the
+    /// kernel exists; the RNG draw order across both phases is unchanged,
+    /// so runs stay byte-identical.
     fn populate(&mut self) {
         let n = self.cfg.network_size;
         for _ in 0..n {
             let library = self.fresh_library();
             let incarnation = self.next_incarnation;
             self.next_incarnation += 1;
-            self.nodes.push(Node { incarnation, library, neighbors: Vec::new() });
+            self.nodes.push(Node {
+                incarnation,
+                library,
+                neighbors: Vec::new(),
+            });
         }
         // Initial wiring: every peer opens target_degree connections.
         for slot in 0..n {
             self.top_up_connections(slot);
         }
-        for slot in 0..n {
+    }
+
+    /// Schedules every initial peer's death and burst into the kernel's
+    /// queue. The lifetime draw happens inside [`ChurnDriver::spawn`],
+    /// at the same position in the stream it always occupied.
+    fn schedule_initial<T: TraceSink>(&mut self, ctx: &mut SimCtx<'_, Event, T>) {
+        for slot in 0..self.nodes.len() {
             let incarnation = self.nodes[slot].incarnation;
-            let life = self.lifetimes.sample_lifetime(&mut self.rng);
-            self.queue.schedule(SimTime::ZERO + life, Event::Death { slot, incarnation });
+            self.churn.spawn(
+                ctx,
+                &mut self.rng,
+                SimTime::ZERO,
+                incarnation,
+                Event::Death { slot, incarnation },
+            );
             let gap = self.workload.sample_burst_gap(&mut self.rng);
-            self.queue.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
+            ctx.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
         }
     }
 
@@ -258,29 +181,42 @@ impl GnutellaSim {
 
     /// Runs to completion.
     #[must_use]
-    pub fn run(mut self) -> GnutellaReport {
-        while let Some((now, event)) = self.queue.pop() {
-            if now > self.end {
-                break;
-            }
-            match event {
-                Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now),
-                Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now),
-            }
+    pub fn run(self) -> GnutellaReport {
+        self.run_traced(NullSink).0
+    }
+
+    /// Runs with a caller-provided trace sink, returning both the report
+    /// and the sink. With [`NullSink`] this monomorphizes to exactly the
+    /// untraced loop.
+    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (GnutellaReport, T) {
+        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
+        if let Some(interval) = self.cfg.sample_interval {
+            params = params.with_sampling(interval);
         }
-        GnutellaReport {
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
+        let report = GnutellaReport {
             queries: self.queries,
             unsatisfied: self.unsatisfied,
             messages: self.messages,
             peers_reached: self.peers_reached,
             counters: self.counters,
-        }
+        };
+        (report, kernel.into_sink())
     }
 
-    fn on_death(&mut self, slot: usize, incarnation: u64, now: SimTime) {
+    fn on_death<T: TraceSink>(
+        &mut self,
+        slot: usize,
+        incarnation: u64,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if self.nodes[slot].incarnation != incarnation {
             return;
         }
+        self.churn.died(ctx, now, incarnation);
         self.counters.incr("deaths");
         // The departing peer's connections drop; every ex-neighbor
         // notices (open TCP connections fail fast) and repairs.
@@ -298,62 +234,59 @@ impl GnutellaSim {
             self.top_up_connections(nb);
         }
         let new_inc = self.nodes[slot].incarnation;
-        let life = self.lifetimes.sample_lifetime(&mut self.rng);
-        self.queue.schedule(now + life, Event::Death { slot, incarnation: new_inc });
+        self.churn.spawn(
+            ctx,
+            &mut self.rng,
+            now,
+            new_inc,
+            Event::Death {
+                slot,
+                incarnation: new_inc,
+            },
+        );
         let gap = self.workload.sample_burst_gap(&mut self.rng);
-        self.queue.schedule(now + gap, Event::Burst { slot, incarnation: new_inc });
+        ctx.schedule(
+            now + gap,
+            Event::Burst {
+                slot,
+                incarnation: new_inc,
+            },
+        );
     }
 
-    fn on_burst(&mut self, slot: usize, incarnation: u64, now: SimTime) {
+    fn on_burst<T: TraceSink>(
+        &mut self,
+        slot: usize,
+        incarnation: u64,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if self.nodes[slot].incarnation != incarnation {
             return;
         }
         let burst = self.workload.sample_burst_size(&mut self.rng);
         for _ in 0..burst {
-            self.flood_query(slot, now);
+            self.flood_query(slot, now, ctx);
         }
         let gap = self.workload.sample_burst_gap(&mut self.rng);
-        self.queue.schedule(now + gap, Event::Burst { slot, incarnation });
+        ctx.schedule(now + gap, Event::Burst { slot, incarnation });
+    }
+}
+
+impl<T: TraceSink> Simulation<T> for GnutellaSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, ctx: &mut SimCtx<'_, Event, T>) {
+        match event {
+            Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now, ctx),
+            Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now, ctx),
+        }
     }
 
-    /// Floods one query from `src` with the configured TTL, counting every
-    /// transmission (including duplicates that are then suppressed).
-    fn flood_query(&mut self, src: usize, now: SimTime) {
-        let target = self.qmodel.sample_target(&mut self.rng);
-        let mut visited: HashSet<usize> = HashSet::new();
-        visited.insert(src);
-        let mut frontier = vec![src];
-        let mut messages = 0u64;
-        let mut results = 0usize;
-        for _hop in 0..self.cfg.ttl {
-            let mut next = Vec::new();
-            for &u in &frontier {
-                // Forward to all neighbors; each transmission is a message
-                // whether or not the receiver has seen the query.
-                let neighbors = self.nodes[u].neighbors.clone();
-                for v in neighbors {
-                    messages += 1;
-                    if visited.insert(v) {
-                        if self.qmodel.answers(&self.nodes[v].library, target) {
-                            results += 1;
-                        }
-                        next.push(v);
-                    }
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
-            }
-        }
-        if now >= self.warmup_end {
-            self.queries += 1;
-            if results < self.cfg.desired_results {
-                self.unsatisfied += 1;
-            }
-            self.messages.record(messages as f64);
-            self.peers_reached.record(visited.len() as f64 - 1.0);
-        }
+    fn live_peers(&self) -> u64 {
+        // Rebirth is in place and immediate, so every slot always holds
+        // a live peer — the constant-population invariant.
+        self.nodes.len() as u64
     }
 }
 
@@ -366,7 +299,10 @@ mod tests {
             network_size: 150,
             duration: SimDuration::from_secs(400.0),
             warmup: SimDuration::from_secs(100.0),
-            catalog: CatalogParams { items: 4000, ..CatalogParams::default() },
+            catalog: CatalogParams {
+                items: 4000,
+                ..CatalogParams::default()
+            },
             ..GnutellaConfig::default()
         }
     }

@@ -1,0 +1,90 @@
+//! TTL flooding over the live overlay — the query-execution half of the
+//! dynamic simulator, split out so overlay maintenance and search can be
+//! read independently (a child module sees the engine's private state).
+
+use super::*;
+
+impl GnutellaSim {
+    /// Floods one query from `src` with the configured TTL, counting every
+    /// transmission (including duplicates that are then suppressed).
+    pub(super) fn flood_query<T: TraceSink>(
+        &mut self,
+        src: usize,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let qid = self.next_query;
+        self.next_query += 1;
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::QueryStart {
+                    query: qid,
+                    origin: self.nodes[src].incarnation,
+                },
+            );
+        }
+        let target = self.qmodel.sample_target(&mut self.rng);
+        let mut visited: HashSet<usize> = HashSet::new();
+        visited.insert(src);
+        let mut frontier = vec![src];
+        let mut messages = 0u64;
+        let mut results = 0usize;
+        for _hop in 0..self.cfg.ttl {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                // Forward to all neighbors; each transmission is a message
+                // whether or not the receiver has seen the query.
+                let neighbors = self.nodes[u].neighbors.clone();
+                for v in neighbors {
+                    messages += 1;
+                    let first_visit = visited.insert(v);
+                    if ctx.tracing() {
+                        ctx.emit(
+                            now,
+                            TraceRecord::Probe {
+                                query: qid,
+                                target: self.nodes[v].incarnation,
+                                kind: ProbeKind::Flood,
+                                outcome: if first_visit {
+                                    ProbeOutcome::Good
+                                } else {
+                                    ProbeOutcome::Duplicate
+                                },
+                            },
+                        );
+                    }
+                    if first_visit {
+                        if self.qmodel.answers(&self.nodes[v].library, target) {
+                            results += 1;
+                        }
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::QueryEnd {
+                    query: qid,
+                    satisfied: results >= self.cfg.desired_results,
+                    probes: u32::try_from(messages).unwrap_or(u32::MAX),
+                    results: results as u32,
+                },
+            );
+        }
+        if ctx.after_warmup(now) {
+            self.queries += 1;
+            if results < self.cfg.desired_results {
+                self.unsatisfied += 1;
+            }
+            self.messages.record(messages as f64);
+            self.peers_reached.record(visited.len() as f64 - 1.0);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Configuration and report types for the dynamic Gnutella simulator.
+
+use super::*;
+
+/// Configuration of a dynamic Gnutella run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnutellaConfig {
+    /// Live peers at all times.
+    pub network_size: usize,
+    /// Connections each peer tries to keep open.
+    pub target_degree: usize,
+    /// Query TTL (flood radius).
+    pub ttl: usize,
+    /// Results needed to satisfy a query.
+    pub desired_results: usize,
+    /// Per-user query rate (queries/second), bursty as in the paper.
+    pub query_rate: f64,
+    /// Lifespan multiplier for the shared lifetime model.
+    pub lifespan_multiplier: f64,
+    /// Content universe parameters (shared with GUESS).
+    pub catalog: CatalogParams,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Warm-up excluded from query metrics.
+    pub warmup: SimDuration,
+    /// Master seed.
+    pub seed: u64,
+    /// Cadence of the kernel's sample tick (live-peer snapshots in the
+    /// trace). `None` — the default — schedules no tick events at all,
+    /// keeping existing runs byte-identical.
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl Default for GnutellaConfig {
+    fn default() -> Self {
+        GnutellaConfig {
+            network_size: 1000,
+            target_degree: 4,
+            ttl: 7,
+            desired_results: 1,
+            query_rate: 9.26e-3,
+            lifespan_multiplier: 1.0,
+            catalog: CatalogParams::default(),
+            duration: SimDuration::from_secs(2400.0),
+            warmup: SimDuration::from_secs(600.0),
+            seed: 0x67u64,
+            sample_interval: None,
+        }
+    }
+}
+
+/// Error constructing a [`GnutellaSim`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidGnutellaConfig;
+
+impl std::fmt::Display for InvalidGnutellaConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gnutella config requires n > degree > 0, ttl > 0, positive rates"
+        )
+    }
+}
+
+impl std::error::Error for InvalidGnutellaConfig {}
+
+/// Aggregated results of a dynamic Gnutella run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GnutellaReport {
+    /// Queries executed after warm-up.
+    pub queries: u64,
+    /// Queries that found fewer than the desired results.
+    pub unsatisfied: u64,
+    /// Per-query messages transmitted (deliveries + duplicate arrivals).
+    pub messages: Summary,
+    /// Per-query count of distinct peers reached.
+    pub peers_reached: Summary,
+    /// Event counters (connections made, repairs, deaths, …).
+    pub counters: CounterSet,
+}
+
+impl GnutellaReport {
+    /// Fraction of queries that went unsatisfied.
+    #[must_use]
+    pub fn unsatisfaction(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.unsatisfied as f64 / self.queries as f64
+        }
+    }
+
+    /// Mean messages per query — the flooding cost that corresponds to
+    /// GUESS's probes/query.
+    #[must_use]
+    pub fn messages_per_query(&self) -> f64 {
+        self.messages.mean()
+    }
+
+    /// The amplification factor: network messages caused per query
+    /// message the originator itself sends (its own degree).
+    #[must_use]
+    pub fn amplification(&self) -> f64 {
+        let reached = self.peers_reached.mean();
+        if reached > 0.0 {
+            self.messages_per_query() / (self.messages_per_query() / reached).max(1.0)
+        } else {
+            0.0
+        }
+    }
+}

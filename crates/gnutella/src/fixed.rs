@@ -39,10 +39,16 @@ impl FixedExtentCurve {
         for _ in 0..queries {
             let target = pop.sample_target(rng);
             rng.shuffle(&mut order);
-            let hit = order.iter().position(|&i| pop.answers(i, target)).map(|p| p + 1);
+            let hit = order
+                .iter()
+                .position(|&i| pop.answers(i, target))
+                .map(|p| p + 1);
             first_hit.push(hit);
         }
-        FixedExtentCurve { first_hit, population: n }
+        FixedExtentCurve {
+            first_hit,
+            population: n,
+        }
     }
 
     /// Number of evaluated queries.
@@ -61,7 +67,11 @@ impl FixedExtentCurve {
     /// first answering peer ranks beyond `e`, or that nobody can answer).
     #[must_use]
     pub fn unsatisfaction_at(&self, e: usize) -> f64 {
-        let unsat = self.first_hit.iter().filter(|h| h.is_none_or(|r| r > e)).count();
+        let unsat = self
+            .first_hit
+            .iter()
+            .filter(|h| h.is_none_or(|r| r > e))
+            .count();
         unsat as f64 / self.first_hit.len() as f64
     }
 
@@ -75,7 +85,10 @@ impl FixedExtentCurve {
     /// The `(extent, unsatisfaction)` series for the given extents.
     #[must_use]
     pub fn curve(&self, extents: &[usize]) -> Vec<(usize, f64)> {
-        extents.iter().map(|&e| (e, self.unsatisfaction_at(e))).collect()
+        extents
+            .iter()
+            .map(|&e| (e, self.unsatisfaction_at(e)))
+            .collect()
     }
 
     /// The smallest extent achieving `target_unsat` or better, if any.
@@ -117,7 +130,10 @@ mod tests {
     fn extent_one_is_nearly_hopeless_for_rare_content() {
         let c = curve(300, 400);
         assert!(c.unsatisfaction_at(1) > c.unsatisfaction_at(300));
-        assert!(c.unsatisfaction_at(1) > 0.3, "a single probe rarely satisfies");
+        assert!(
+            c.unsatisfaction_at(1) > 0.3,
+            "a single probe rarely satisfies"
+        );
     }
 
     #[test]
@@ -134,10 +150,15 @@ mod tests {
     fn extent_for_unsatisfaction_finds_threshold() {
         let c = curve(300, 400);
         let floor = c.unsatisfiable_fraction();
-        let e = c.extent_for_unsatisfaction(floor + 0.02).expect("reachable");
+        let e = c
+            .extent_for_unsatisfaction(floor + 0.02)
+            .expect("reachable");
         assert!(e <= 300);
         assert!(c.unsatisfaction_at(e) <= floor + 0.02);
-        assert!(c.extent_for_unsatisfaction(-1.0).is_none(), "impossible target");
+        assert!(
+            c.extent_for_unsatisfaction(-1.0).is_none(),
+            "impossible target"
+        );
     }
 
     #[test]

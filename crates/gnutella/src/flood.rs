@@ -58,7 +58,11 @@ pub fn flood(
             messages += topo.degree(u);
         }
     }
-    FloodOutcome { peers_reached: reached.len().saturating_sub(1), messages, results }
+    FloodOutcome {
+        peers_reached: reached.len().saturating_sub(1),
+        messages,
+        results,
+    }
 }
 
 #[cfg(test)]
@@ -103,7 +107,12 @@ mod tests {
         let (topo, pop, mut rng) = setup(200);
         let t = pop.sample_target(&mut rng);
         let out = flood(&topo, &pop, 0, 5, t);
-        assert!(out.messages >= out.peers_reached, "{} < {}", out.messages, out.peers_reached);
+        assert!(
+            out.messages >= out.peers_reached,
+            "{} < {}",
+            out.messages,
+            out.peers_reached
+        );
     }
 
     #[test]

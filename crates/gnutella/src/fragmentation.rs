@@ -107,7 +107,11 @@ pub fn attack(
             largest = largest.max(sizes[r]);
         }
     }
-    AttackOutcome { removed: count, survivors: n - count, largest_component: largest }
+    AttackOutcome {
+        removed: count,
+        survivors: n - count,
+        largest_component: largest,
+    }
 }
 
 /// Sweeps an attack over increasing victim counts, returning one outcome
@@ -119,7 +123,10 @@ pub fn attack_sweep(
     counts: &[usize],
     rng: &mut RngStream,
 ) -> Vec<AttackOutcome> {
-    counts.iter().map(|&c| attack(topo, strategy, c, rng)).collect()
+    counts
+        .iter()
+        .map(|&c| attack(topo, strategy, c, rng))
+        .collect()
 }
 
 #[cfg(test)]

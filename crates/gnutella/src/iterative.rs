@@ -111,12 +111,25 @@ pub fn iterative_deepening(
         // Every delivery in this iteration is charged, including peers the
         // previous iteration already covered — that is the coarseness.
         cost += reached.len().saturating_sub(1);
-        results = reached.iter().filter(|&&(u, _)| u != src && pop.answers(u, target)).count();
+        results = reached
+            .iter()
+            .filter(|&&(u, _)| u != src && pop.answers(u, target))
+            .count();
         if results >= desired {
-            return DeepeningOutcome { probe_cost: cost, iterations, results, satisfied: true };
+            return DeepeningOutcome {
+                probe_cost: cost,
+                iterations,
+                results,
+                satisfied: true,
+            };
         }
     }
-    DeepeningOutcome { probe_cost: cost, iterations, results, satisfied: false }
+    DeepeningOutcome {
+        probe_cost: cost,
+        iterations,
+        results,
+        satisfied: false,
+    }
 }
 
 /// Convenience: evaluates `queries` random queries from random sources and
@@ -147,7 +160,10 @@ pub fn evaluate(
             unsat += 1;
         }
     }
-    (cost_sum as f64 / queries as f64, unsat as f64 / queries as f64)
+    (
+        cost_sum as f64 / queries as f64,
+        unsat as f64 / queries as f64,
+    )
 }
 
 #[cfg(test)]
@@ -164,9 +180,18 @@ mod tests {
 
     #[test]
     fn policy_validation() {
-        assert_eq!(DeepeningPolicy::new(vec![]).unwrap_err(), BadPolicyError::Empty);
-        assert_eq!(DeepeningPolicy::new(vec![2, 2]).unwrap_err(), BadPolicyError::NotIncreasing);
-        assert_eq!(DeepeningPolicy::new(vec![3, 1]).unwrap_err(), BadPolicyError::NotIncreasing);
+        assert_eq!(
+            DeepeningPolicy::new(vec![]).unwrap_err(),
+            BadPolicyError::Empty
+        );
+        assert_eq!(
+            DeepeningPolicy::new(vec![2, 2]).unwrap_err(),
+            BadPolicyError::NotIncreasing
+        );
+        assert_eq!(
+            DeepeningPolicy::new(vec![3, 1]).unwrap_err(),
+            BadPolicyError::NotIncreasing
+        );
         assert!(DeepeningPolicy::new(vec![1, 3, 5]).is_ok());
     }
 

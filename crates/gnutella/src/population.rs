@@ -71,7 +71,10 @@ impl Population {
                 catalog.build_library(count, &mut rng)
             })
             .collect();
-        Ok(Population { libraries, model: QueryModel::new(catalog) })
+        Ok(Population {
+            libraries,
+            model: QueryModel::new(catalog),
+        })
     }
 
     /// Number of peers.
@@ -161,7 +164,9 @@ mod tests {
         use workload::content::ItemId;
         use workload::query::QueryTarget;
         let head = pop.holders(QueryTarget { item: ItemId(0) });
-        let tail = pop.holders(QueryTarget { item: ItemId(30_000) });
+        let tail = pop.holders(QueryTarget {
+            item: ItemId(30_000),
+        });
         assert!(head > tail, "head item holders {head} vs tail {tail}");
     }
 }

@@ -211,7 +211,10 @@ mod tests {
         // Each node initiated ~4, receives ~4 on average.
         let avg: f64 = (0..500).map(|u| t.degree(u) as f64).sum::<f64>() / 500.0;
         assert!((7.0..9.0).contains(&avg), "average degree {avg}");
-        assert!(t.is_connected(), "k=4 random graph on 500 nodes should connect");
+        assert!(
+            t.is_connected(),
+            "k=4 random graph on 500 nodes should connect"
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ use simkit::rng::RngStream;
 use workload::content::CatalogParams;
 
 fn small_catalog() -> CatalogParams {
-    CatalogParams { items: 1500, ..CatalogParams::default() }
+    CatalogParams {
+        items: 1500,
+        ..CatalogParams::default()
+    }
 }
 
 /// Generated topologies have no self loops and symmetric adjacency.
@@ -27,7 +30,10 @@ fn topologies_are_simple_and_symmetric() {
         for u in 0..n {
             for &v in t.neighbors(u) {
                 assert_ne!(v as usize, u, "self loop");
-                assert!(t.neighbors(v as usize).contains(&(u as u32)), "asymmetric edge");
+                assert!(
+                    t.neighbors(v as usize).contains(&(u as u32)),
+                    "asymmetric edge"
+                );
             }
         }
     }

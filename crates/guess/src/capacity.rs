@@ -51,9 +51,16 @@ impl CapacityMeter {
     #[must_use]
     pub fn with_limit(limit: Option<u32>) -> Self {
         if let Some(l) = limit {
-            assert!(l > 0, "MaxProbesPerSecond must be positive; use a dead peer for zero");
+            assert!(
+                l > 0,
+                "MaxProbesPerSecond must be positive; use a dead peer for zero"
+            );
         }
-        CapacityMeter { limit, bucket: 0, count: 0 }
+        CapacityMeter {
+            limit,
+            bucket: 0,
+            count: 0,
+        }
     }
 
     /// The configured per-second limit.
@@ -126,7 +133,11 @@ mod tests {
         assert_eq!(m.admit(t(1.0)), Admission::Accepted);
         assert_eq!(m.admit(t(1.5)), Admission::Refused);
         assert_eq!(m.admit(t(2.0)), Admission::Accepted);
-        assert_eq!(m.admit(t(7.0)), Admission::Accepted, "skipping seconds still resets");
+        assert_eq!(
+            m.admit(t(7.0)),
+            Admission::Accepted,
+            "skipping seconds still resets"
+        );
     }
 
     #[test]

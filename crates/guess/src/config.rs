@@ -113,7 +113,10 @@ pub struct AdaptiveParallelism {
 
 impl Default for AdaptiveParallelism {
     fn default() -> Self {
-        AdaptiveParallelism { escalate_after: 10, max_k: 32 }
+        AdaptiveParallelism {
+            escalate_after: 10,
+            max_k: 32,
+        }
     }
 }
 
@@ -373,8 +376,15 @@ impl Config {
             }
         }
         if let Some(pp) = self.protocol.probe_payments {
-            let vals = [pp.initial_balance, pp.allowance_per_sec, pp.max_balance, pp.earn_per_answer];
-            if vals.iter().any(|v| !v.is_finite() || *v < 0.0) || pp.initial_balance > pp.max_balance {
+            let vals = [
+                pp.initial_balance,
+                pp.allowance_per_sec,
+                pp.max_balance,
+                pp.earn_per_answer,
+            ];
+            if vals.iter().any(|v| !v.is_finite() || *v < 0.0)
+                || pp.initial_balance > pp.max_balance
+            {
                 return Err(ConfigError::BadPaymentParams);
             }
         }
@@ -538,8 +548,14 @@ impl Config {
     #[must_use]
     pub fn small_test(seed: u64) -> Config {
         Config {
-            system: SystemParams { network_size: 120, ..SystemParams::default() },
-            protocol: ProtocolParams { cache_size: 30, ..ProtocolParams::default() },
+            system: SystemParams {
+                network_size: 120,
+                ..SystemParams::default()
+            },
+            protocol: ProtocolParams {
+                cache_size: 30,
+                ..ProtocolParams::default()
+            },
             run: RunParams {
                 duration: SimDuration::from_secs(400.0),
                 warmup: SimDuration::from_secs(100.0),
@@ -548,7 +564,10 @@ impl Config {
                 seed,
                 simulate_queries: true,
             },
-            catalog: CatalogParams { items: 4000, ..CatalogParams::default() },
+            catalog: CatalogParams {
+                items: 4000,
+                ..CatalogParams::default()
+            },
         }
     }
 }
@@ -584,7 +603,11 @@ mod tests {
         assert_eq!(p.query_probe, SelectionPolicy::Mfs);
         assert_eq!(p.query_pong, SelectionPolicy::Mfs);
         assert_eq!(p.cache_replacement, ReplacementPolicy::Lfs);
-        assert_eq!(p.ping_probe, SelectionPolicy::Random, "ping policies untouched");
+        assert_eq!(
+            p.ping_probe,
+            SelectionPolicy::Random,
+            "ping policies untouched"
+        );
     }
 
     #[test]
@@ -650,12 +673,17 @@ mod tests {
         assert_eq!(c.validate(), Err(ConfigError::BadAdaptivePing));
 
         let mut c = Config::default();
-        c.protocol.adaptive_ping = Some(AdaptivePing { on_alive: 0.5, ..AdaptivePing::default() });
+        c.protocol.adaptive_ping = Some(AdaptivePing {
+            on_alive: 0.5,
+            ..AdaptivePing::default()
+        });
         assert_eq!(c.validate(), Err(ConfigError::BadAdaptivePing));
 
         let mut c = Config::default();
-        c.protocol.adaptive_parallelism =
-            Some(AdaptiveParallelism { escalate_after: 0, ..AdaptiveParallelism::default() });
+        c.protocol.adaptive_parallelism = Some(AdaptiveParallelism {
+            escalate_after: 0,
+            ..AdaptiveParallelism::default()
+        });
         assert_eq!(c.validate(), Err(ConfigError::BadAdaptiveParallelism));
     }
 

@@ -18,9 +18,10 @@
 
 use std::collections::{HashMap, HashSet};
 
-use simkit::event::EventQueue;
 use simkit::rng::RngStream;
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 use simkit::time::SimTime;
+use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
 use workload::content::Catalog;
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
@@ -31,10 +32,14 @@ use crate::capacity::Admission;
 use crate::config::{BadPongBehavior, Config, ConfigError};
 use crate::entry::CacheEntry;
 use crate::graph::UnionFind;
+use crate::link_cache::InsertOutcome;
 use crate::message::Pong;
 use crate::metrics::{MetricsCollector, QueryOutcome, RunReport};
 use crate::peer::{Behavior, PeerState};
 use crate::policy::{select_top_k, ProbeQueue};
+
+mod query_exec;
+mod sampling;
 
 /// Number of distinct fabricated dead addresses each malicious peer cycles
 /// through in its poisoned pongs.
@@ -44,12 +49,15 @@ const FABRICATED_POOL_SIZE: usize = 40;
 /// results-trusting policies rank them first.
 const POISON_NUM_RES: u32 = 50;
 
+/// The engine's event alphabet (public because it is the
+/// [`Simulation::Event`] associated type). The periodic metrics snapshot
+/// that used to be a fourth variant is now the kernel's own sample tick.
 #[derive(Debug, Clone, Copy)]
-enum Event {
+#[allow(missing_docs)]
+pub enum Event {
     Burst { slot: SlotId, addr: PeerAddr },
     Ping { slot: SlotId, addr: PeerAddr },
     Death { slot: SlotId, addr: PeerAddr },
-    Sample,
 }
 
 /// A complete GUESS network simulation.
@@ -68,14 +76,13 @@ enum Event {
 #[derive(Debug)]
 pub struct GuessSim {
     cfg: Config,
-    queue: EventQueue<Event>,
     peers: Vec<PeerState>,
     slots: Vec<PeerAddr>,
     alloc: AddrAllocator,
     live_bad: Vec<PeerAddr>,
     live_bad_pos: HashMap<PeerAddr, usize>,
     fabricated: HashMap<PeerAddr, Vec<PeerAddr>>,
-    lifetimes: LifetimeModel,
+    churn: ChurnDriver<LifetimeModel>,
     files: FileCountModel,
     qmodel: QueryModel,
     workload: QueryWorkload,
@@ -84,8 +91,7 @@ pub struct GuessSim {
     rng_policy: RngStream,
     rng_intro: RngStream,
     metrics: MetricsCollector,
-    end: SimTime,
-    warmup_end: SimTime,
+    next_query: u64,
 }
 
 impl GuessSim {
@@ -101,21 +107,18 @@ impl GuessSim {
         let files = FileCountModel::gnutella_like();
         let catalog = Catalog::new(cfg.catalog).map_err(|_| ConfigError::EmptyNetwork)?;
         let qmodel = QueryModel::new(catalog);
-        let workload =
-            QueryWorkload::with_rate(cfg.system.query_rate).map_err(|_| ConfigError::BadQueryRate)?;
-        let end = SimTime::ZERO + cfg.run.duration;
-        let warmup_end = SimTime::ZERO + cfg.run.warmup;
+        let workload = QueryWorkload::with_rate(cfg.system.query_rate)
+            .map_err(|_| ConfigError::BadQueryRate)?;
 
         let mut sim = GuessSim {
             cfg,
-            queue: EventQueue::new(),
             peers: Vec::new(),
             slots: Vec::new(),
             alloc: AddrAllocator::new(),
             live_bad: Vec::new(),
             live_bad_pos: HashMap::new(),
             fabricated: HashMap::new(),
-            lifetimes,
+            churn: ChurnDriver::new(lifetimes),
             files,
             qmodel,
             workload,
@@ -124,8 +127,7 @@ impl GuessSim {
             rng_policy: RngStream::from_seed(seed, "policy"),
             rng_intro: RngStream::from_seed(seed, "intro"),
             metrics: MetricsCollector::new(),
-            end,
-            warmup_end,
+            next_query: 0,
         };
         sim.populate();
         Ok(sim)
@@ -149,7 +151,10 @@ impl GuessSim {
         &self.slots
     }
 
-    /// Creates the initial population and schedules its events.
+    /// Creates the initial population and seeds its link caches. Event
+    /// scheduling happens later, in [`GuessSim::schedule_initial`], once
+    /// the kernel exists — the RNG draw order across both phases is
+    /// unchanged, so runs stay byte-identical.
     fn populate(&mut self) {
         let n = self.cfg.system.network_size;
         for s in 0..n {
@@ -178,13 +183,15 @@ impl GuessSim {
                 );
             }
         }
-        // Per-peer event schedules.
-        for s in 0..n {
+    }
+
+    /// Schedules every initial peer's events into the kernel's queue.
+    fn schedule_initial<T: TraceSink>(&mut self, ctx: &mut SimCtx<'_, Event, T>) {
+        for s in 0..self.slots.len() {
             let slot = SlotId(s as u32);
             let addr = self.slots[s];
-            self.schedule_peer_events(slot, addr, SimTime::ZERO, true);
+            self.schedule_peer_events(slot, addr, SimTime::ZERO, true, ctx);
         }
-        self.queue.schedule(SimTime::ZERO + self.cfg.run.sample_interval, Event::Sample);
     }
 
     /// Creates one peer instance (without installing it in a slot).
@@ -195,10 +202,17 @@ impl GuessSim {
         let (behavior, advertised, library) = if bad {
             // Malicious peers advertise the largest plausible library to
             // game metadata-trusting policies, but hold nothing.
-            (Behavior::Malicious, self.files.max_files(), workload::content::PeerLibrary::empty())
+            (
+                Behavior::Malicious,
+                self.files.max_files(),
+                workload::content::PeerLibrary::empty(),
+            )
         } else {
             let count = self.files.sample_file_count(&mut self.rng_churn);
-            let library = self.qmodel.catalog().build_library(count, &mut self.rng_churn);
+            let library = self
+                .qmodel
+                .catalog()
+                .build_library(count, &mut self.rng_churn);
             (Behavior::Good, count, library)
         };
         let mut peer = PeerState::new(
@@ -229,9 +243,23 @@ impl GuessSim {
     }
 
     /// Schedules death / ping / burst events for a (newly born) peer.
-    fn schedule_peer_events(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime, initial: bool) {
-        let life = self.lifetimes.sample_lifetime(&mut self.rng_churn);
-        self.queue.schedule(now + life, Event::Death { slot, addr });
+    /// The lifetime draw happens inside [`ChurnDriver::spawn`], at the
+    /// same position in the churn stream it always occupied.
+    fn schedule_peer_events<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        initial: bool,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        self.churn.spawn(
+            ctx,
+            &mut self.rng_churn,
+            now,
+            addr.index() as u64,
+            Event::Death { slot, addr },
+        );
         // Stagger the first ping uniformly within one interval so the
         // network's pings do not arrive in lockstep.
         let ping_phase = if initial {
@@ -239,27 +267,29 @@ impl GuessSim {
         } else {
             self.cfg.protocol.ping_interval
         };
-        self.queue.schedule(now + ping_phase, Event::Ping { slot, addr });
+        ctx.schedule(now + ping_phase, Event::Ping { slot, addr });
         if self.cfg.run.simulate_queries && self.peers[addr.index()].behavior() == Behavior::Good {
             let gap = self.workload.sample_burst_gap(&mut self.rng_query);
-            self.queue.schedule(now + gap, Event::Burst { slot, addr });
+            ctx.schedule(now + gap, Event::Burst { slot, addr });
         }
     }
 
     /// Runs the simulation to completion and returns the aggregated report.
     #[must_use]
-    pub fn run(mut self) -> RunReport {
-        while let Some((now, event)) = self.queue.pop() {
-            if now > self.end {
-                break;
-            }
-            match event {
-                Event::Death { slot, addr } => self.on_death(slot, addr, now),
-                Event::Ping { slot, addr } => self.on_ping(slot, addr, now),
-                Event::Burst { slot, addr } => self.on_burst(slot, addr, now),
-                Event::Sample => self.on_sample(now),
-            }
-        }
+    pub fn run(self) -> RunReport {
+        self.run_traced(NullSink).0
+    }
+
+    /// Runs the simulation with a caller-provided trace sink, returning
+    /// both the report and the sink. With [`NullSink`] this monomorphizes
+    /// to exactly the untraced loop.
+    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (RunReport, T) {
+        let params = KernelParams::new(self.cfg.run.duration)
+            .with_warmup(self.cfg.run.warmup)
+            .with_sampling(self.cfg.run.sample_interval);
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
         // Loads of peers still alive at the end of the run.
         for &addr in &self.slots {
             let p = &self.peers[addr.index()];
@@ -267,7 +297,7 @@ impl GuessSim {
                 self.metrics.record_load(p.probes_received());
             }
         }
-        self.metrics.finish()
+        (self.metrics.finish(), kernel.into_sink())
     }
 
     /// True if the event's subject still occupies its slot.
@@ -279,10 +309,17 @@ impl GuessSim {
     // Churn
     // ------------------------------------------------------------------
 
-    fn on_death(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+    fn on_death<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if !self.is_current(slot, addr) {
             return;
         }
+        self.churn.died(ctx, now, addr.index() as u64);
         self.metrics.counters_mut().incr("deaths");
         let load = {
             let p = &mut self.peers[addr.index()];
@@ -310,15 +347,39 @@ impl GuessSim {
             let policy = self.cfg.protocol.cache_replacement;
             for e in entries {
                 if e.addr() != newborn {
-                    let _ = self.peers[newborn.index()].link_cache_mut().offer(
+                    let outcome = self.peers[newborn.index()].link_cache_mut().offer(
                         e,
                         policy,
                         &mut self.rng_policy,
                     );
+                    self.trace_eviction(ctx, now, newborn, outcome);
                 }
             }
         }
-        self.schedule_peer_events(slot, newborn, now, false);
+        self.schedule_peer_events(slot, newborn, now, false, ctx);
+    }
+
+    /// Emits a [`TraceRecord::CacheEvict`] when a cache offer displaced
+    /// an incumbent. Free for untraced runs: the outcome is computed
+    /// anyway and the guard folds to `false`.
+    fn trace_eviction<T: TraceSink>(
+        &self,
+        ctx: &mut SimCtx<'_, Event, T>,
+        now: SimTime,
+        owner: PeerAddr,
+        outcome: InsertOutcome,
+    ) {
+        if ctx.tracing() {
+            if let InsertOutcome::Replaced(victim) = outcome {
+                ctx.emit(
+                    now,
+                    TraceRecord::CacheEvict {
+                        owner: owner.index() as u64,
+                        evicted: victim.index() as u64,
+                    },
+                );
+            }
+        }
     }
 
     /// A uniformly random live peer, excluding `not` if given.
@@ -340,31 +401,58 @@ impl GuessSim {
     // Maintenance pings
     // ------------------------------------------------------------------
 
-    fn on_ping(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+    fn on_ping<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if !self.is_current(slot, addr) {
             return;
         }
         if self.peers[addr.index()].behavior() == Behavior::Malicious {
-            self.malicious_ping(addr, now);
+            self.malicious_ping(addr, now, ctx);
         } else {
-            let outcome = self.good_ping(addr, now);
+            let outcome = self.good_ping(addr, now, ctx);
             self.adapt_ping_interval(addr, outcome);
         }
         let interval = self.peers[addr.index()].ping_interval();
-        self.queue.schedule(now + interval, Event::Ping { slot, addr });
+        ctx.schedule(now + interval, Event::Ping { slot, addr });
     }
 
     /// An honest peer pings one cached neighbor chosen by `PingProbe`.
     /// Returns whether the neighbor was found alive.
-    fn good_ping(&mut self, pinger: PeerAddr, now: SimTime) -> Option<bool> {
+    fn good_ping<T: TraceSink>(
+        &mut self,
+        pinger: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) -> Option<bool> {
         let picked = {
             let cache = self.peers[pinger.index()].link_cache();
-            select_top_k(self.cfg.protocol.ping_probe, cache.entries(), 1, &mut self.rng_policy)
+            select_top_k(
+                self.cfg.protocol.ping_probe,
+                cache.entries(),
+                1,
+                &mut self.rng_policy,
+            )
         };
         let entry = picked.first().copied()?; // empty cache: nothing to maintain
         let dst = entry.addr();
         self.metrics.counters_mut().incr("pings_sent");
         if !self.peers[dst.index()].is_alive() {
+            if ctx.tracing() {
+                ctx.emit(
+                    now,
+                    TraceRecord::Probe {
+                        query: NO_QUERY,
+                        target: dst.index() as u64,
+                        kind: ProbeKind::Ping,
+                        outcome: ProbeOutcome::Dead,
+                    },
+                );
+            }
             self.peers[pinger.index()].link_cache_mut().remove(dst);
             if self.cfg.protocol.distrust_pongs {
                 self.note_dead_entry(pinger, dst);
@@ -372,15 +460,26 @@ impl GuessSim {
             self.metrics.counters_mut().incr("pings_dead");
             return Some(false);
         }
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::Probe {
+                    query: NO_QUERY,
+                    target: dst.index() as u64,
+                    kind: ProbeKind::Ping,
+                    outcome: ProbeOutcome::Good,
+                },
+            );
+        }
         // The neighbor answers: refresh our TS for it and absorb its pong.
         self.peers[pinger.index()].link_cache_mut().touch(dst, now);
         if self.cfg.protocol.distrust_pongs {
             self.peers[pinger.index()].reputation_mut().note_alive(dst);
         }
-        self.apply_introduction(dst, pinger, now);
+        self.apply_introduction(dst, pinger, now, ctx);
         self.peers[dst.index()].link_cache_mut().touch(pinger, now);
         let pong = self.build_pong(dst, self.cfg.protocol.ping_pong, now);
-        self.absorb_pong(pinger, dst, &pong);
+        self.absorb_pong(pinger, dst, &pong, now, ctx);
         self.metrics.counters_mut().incr("pings_answered");
         Some(true)
     }
@@ -395,7 +494,11 @@ impl GuessSim {
             return;
         };
         let peer = &mut self.peers[addr.index()];
-        let factor = if alive { params.on_alive } else { params.on_dead };
+        let factor = if alive {
+            params.on_alive
+        } else {
+            params.on_dead
+        };
         let next = (peer.ping_interval().as_secs() * factor)
             .clamp(params.min_interval.as_secs(), params.max_interval.as_secs());
         peer.set_ping_interval(simkit::time::SimDuration::from_secs(next));
@@ -406,7 +509,9 @@ impl GuessSim {
     /// evicted from `owner`'s link cache on the spot.
     fn note_dead_entry(&mut self, owner: PeerAddr, subject: PeerAddr) {
         let before = self.peers[owner.index()].reputation().blacklisted_count();
-        let source = self.peers[owner.index()].reputation_mut().note_dead(subject);
+        let source = self.peers[owner.index()]
+            .reputation_mut()
+            .note_dead(subject);
         if self.peers[owner.index()].reputation().blacklisted_count() > before {
             self.metrics.counters_mut().incr("sources_blacklisted");
             if let Some(source) = source {
@@ -417,18 +522,29 @@ impl GuessSim {
 
     /// A malicious peer pings a random live victim purely to trigger the
     /// introduction rule and worm its way into caches.
-    fn malicious_ping(&mut self, pinger: PeerAddr, now: SimTime) {
+    fn malicious_ping<T: TraceSink>(
+        &mut self,
+        pinger: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         let Some(dst) = self.random_live_peer(Some(pinger)) else {
             return;
         };
         if self.peers[dst.index()].behavior() == Behavior::Good {
-            self.apply_introduction(dst, pinger, now);
+            self.apply_introduction(dst, pinger, now, ctx);
         }
     }
 
     /// The probed/pinged peer `dst` adds the initiator to its own cache
     /// with probability `IntroProb` (§2.2).
-    fn apply_introduction(&mut self, dst: PeerAddr, initiator: PeerAddr, now: SimTime) {
+    fn apply_introduction<T: TraceSink>(
+        &mut self,
+        dst: PeerAddr,
+        initiator: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if !self.rng_intro.chance(self.cfg.protocol.intro_prob) {
             return;
         }
@@ -438,18 +554,32 @@ impl GuessSim {
         let advertised = self.peers[initiator.index()].advertised_files();
         let entry = CacheEntry::new(initiator, now, advertised);
         let policy = self.cfg.protocol.cache_replacement;
-        let _ = self.peers[dst.index()].link_cache_mut().offer(entry, policy, &mut self.rng_policy);
+        let outcome =
+            self.peers[dst.index()]
+                .link_cache_mut()
+                .offer(entry, policy, &mut self.rng_policy);
+        self.trace_eviction(ctx, now, dst, outcome);
         self.metrics.counters_mut().incr("introductions");
     }
 
     /// Builds the pong `responder` attaches to a reply, honest or poisoned.
-    fn build_pong(&mut self, responder: PeerAddr, policy: crate::policy::SelectionPolicy, now: SimTime) -> Pong {
+    fn build_pong(
+        &mut self,
+        responder: PeerAddr,
+        policy: crate::policy::SelectionPolicy,
+        now: SimTime,
+    ) -> Pong {
         if self.peers[responder.index()].behavior() == Behavior::Malicious {
             return self.build_poison_pong(responder, now);
         }
         let entries = {
             let cache = self.peers[responder.index()].link_cache();
-            select_top_k(policy, cache.entries(), self.cfg.protocol.pong_size, &mut self.rng_policy)
+            select_top_k(
+                policy,
+                cache.entries(),
+                self.cfg.protocol.pong_size,
+                &mut self.rng_policy,
+            )
         };
         Pong { entries }
     }
@@ -466,7 +596,12 @@ impl GuessSim {
                 self.ensure_fabricated_pool(attacker, now);
                 let pool = &self.fabricated[&attacker];
                 for i in self.rng_churn.sample_indices(pool.len(), k) {
-                    entries.push(CacheEntry::from_pong(pool[i], now, inflated_files, POISON_NUM_RES));
+                    entries.push(CacheEntry::from_pong(
+                        pool[i],
+                        now,
+                        inflated_files,
+                        POISON_NUM_RES,
+                    ));
                 }
             }
             BadPongBehavior::Bad => {
@@ -485,7 +620,12 @@ impl GuessSim {
             BadPongBehavior::Good => {
                 for _ in 0..k {
                     if let Some(p) = self.random_live_peer(Some(attacker)) {
-                        entries.push(CacheEntry::from_pong(p, now, inflated_files, POISON_NUM_RES));
+                        entries.push(CacheEntry::from_pong(
+                            p,
+                            now,
+                            inflated_files,
+                            POISON_NUM_RES,
+                        ));
                     }
                 }
             }
@@ -510,9 +650,18 @@ impl GuessSim {
     /// The receiver of a pong merges its entries into the link cache,
     /// honouring `ResetNumResults` (MR\*) and the pong-source reputation
     /// filter (entries from blacklisted sources are dropped unseen).
-    fn absorb_pong(&mut self, receiver: PeerAddr, source: PeerAddr, pong: &Pong) {
+    fn absorb_pong<T: TraceSink>(
+        &mut self,
+        receiver: PeerAddr,
+        source: PeerAddr,
+        pong: &Pong,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if self.cfg.protocol.distrust_pongs
-            && self.peers[receiver.index()].reputation().is_blacklisted(source)
+            && self.peers[receiver.index()]
+                .reputation()
+                .is_blacklisted(source)
         {
             self.metrics.counters_mut().incr("pongs_filtered");
             return;
@@ -527,16 +676,22 @@ impl GuessSim {
                 entry.reset_num_res();
             }
             if self.cfg.protocol.distrust_pongs {
-                if self.peers[receiver.index()].reputation().is_blacklisted(entry.addr()) {
+                if self.peers[receiver.index()]
+                    .reputation()
+                    .is_blacklisted(entry.addr())
+                {
                     continue; // never re-admit a known liar
                 }
-                self.peers[receiver.index()].reputation_mut().note_shared(source, entry.addr());
+                self.peers[receiver.index()]
+                    .reputation_mut()
+                    .note_shared(source, entry.addr());
             }
-            let _ = self.peers[receiver.index()].link_cache_mut().offer(
+            let outcome = self.peers[receiver.index()].link_cache_mut().offer(
                 entry,
                 policy,
                 &mut self.rng_policy,
             );
+            self.trace_eviction(ctx, now, receiver, outcome);
         }
     }
 
@@ -544,270 +699,46 @@ impl GuessSim {
     // Queries
     // ------------------------------------------------------------------
 
-    fn on_burst(&mut self, slot: SlotId, addr: PeerAddr, now: SimTime) {
+    fn on_burst<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
         if !self.is_current(slot, addr) {
             return;
         }
         let burst = self.workload.sample_burst_size(&mut self.rng_query);
         for _ in 0..burst {
-            self.execute_query(addr, now);
+            self.execute_query(addr, now, ctx);
         }
         let gap = self.workload.sample_burst_gap(&mut self.rng_query);
-        self.queue.schedule(now + gap, Event::Burst { slot, addr });
+        ctx.schedule(now + gap, Event::Burst { slot, addr });
     }
+}
 
-    /// Executes one query end-to-end: iterative (or k-parallel) probing of
-    /// link-cache and query-cache candidates until `NumDesiredResults`
-    /// results arrive or the candidate pool runs dry.
-    fn execute_query(&mut self, prober: PeerAddr, now: SimTime) {
-        let want = self.qmodel.sample_target(&mut self.rng_query);
-        let desired = self.cfg.system.num_desired_results;
-        let probe_gap = self.cfg.protocol.probe_interval;
-        let distrust = self.cfg.protocol.distrust_pongs;
+impl<T: TraceSink> Simulation<T> for GuessSim {
+    type Event = Event;
 
-        // Selfish peers blast wide volleys regardless of the protocol's
-        // configured walk width (§3.3); honest peers start at the
-        // configured k and may widen it adaptively (§6.2 future work).
-        let selfish = self.peers[prober.index()].is_selfish();
-        let mut k = if selfish {
-            self.cfg.system.selfish_parallelism
-        } else {
-            self.cfg.protocol.parallel_probes
-        };
-        let mut resultless_streak = 0u32;
-
-        // The probe pool: link-cache entries first, then everything the
-        // query cache accumulates from pongs. `seen` holds every address
-        // ever added, enforcing at-most-one probe per address per query.
-        let mut pool = ProbeQueue::new(self.cfg.protocol.query_probe);
-        let mut seen: HashSet<PeerAddr> = HashSet::new();
-        seen.insert(prober);
-        for e in self.peers[prober.index()].link_cache().entries().to_vec() {
-            if seen.insert(e.addr()) {
-                pool.push(e, &mut self.rng_policy);
-            }
-        }
-
-        let mut results = 0u32;
-        let mut good = 0u32;
-        let mut dead = 0u32;
-        let mut refused = 0u32;
-        // Wall-clock rounds elapsed: each probe occupies 1/k of a round.
-        let mut rounds = 0.0f64;
-
-        while results < desired {
-            let Some(entry) = pool.pop() else {
-                break;
-            };
-            let dst = entry.addr();
-            // Serial probes go out one timeout apart; k-parallel walks
-            // share each time slot.
-            let t_probe = now + probe_gap * rounds;
-            // Probe payments: a peer that cannot afford the probe must
-            // stop searching until its allowance refills (§3.3).
-            if self.cfg.protocol.probe_payments.is_some() {
-                let broke = self.peers[prober.index()]
-                    .account_mut()
-                    .expect("accounts exist when payments are on")
-                    .pay_probe(t_probe)
-                    .is_err();
-                if broke {
-                    self.metrics.counters_mut().incr("probe_budget_exhausted");
-                    break;
-                }
-            }
-            rounds += 1.0 / k as f64;
-
-            if !self.peers[dst.index()].is_alive() {
-                dead += 1;
-                self.peers[prober.index()].link_cache_mut().remove(dst);
-                if distrust {
-                    self.note_dead_entry(prober, dst);
-                }
-                continue;
-            }
-
-            self.peers[dst.index()].note_probe_received();
-
-            let dst_behavior = self.peers[dst.index()].behavior();
-            if dst_behavior == Behavior::Good
-                && self.peers[dst.index()].capacity_mut().admit(t_probe) == Admission::Refused
-            {
-                refused += 1;
-                if !self.cfg.protocol.do_backoff {
-                    // A dropped probe times out; the prober assumes
-                    // death and evicts — the inherent throttle.
-                    self.peers[prober.index()].link_cache_mut().remove(dst);
-                }
-                continue;
-            }
-
-            good += 1;
-            if distrust {
-                self.peers[prober.index()].reputation_mut().note_alive(dst);
-            }
-            if self.cfg.protocol.probe_payments.is_some() {
-                if let Some(acct) = self.peers[dst.index()].account_mut() {
-                    acct.earn_answer(t_probe);
-                }
-            }
-            let res = if dst_behavior == Behavior::Good
-                && self.qmodel.answers(self.peers[dst.index()].library(), want)
-            {
-                1u32
-            } else {
-                0u32
-            };
-            results += res;
-
-            // Adaptive walk widening: double k after a run of resultless
-            // probes (only honest, non-selfish queriers bother).
-            if let Some(ak) = self.cfg.protocol.adaptive_parallelism {
-                if !selfish {
-                    if res == 0 {
-                        resultless_streak += 1;
-                        if resultless_streak >= ak.escalate_after {
-                            k = (k * 2).min(ak.max_k);
-                            resultless_streak = 0;
-                        }
-                    } else {
-                        resultless_streak = 0;
-                    }
-                }
-            }
-
-            // Both sides record the interaction (§2.1): the prober resets
-            // NumRes for the target; the target refreshes TS for the
-            // prober if cached, and may add the prober (introduction).
-            if !self.peers[prober.index()].link_cache_mut().record_results(dst, now, res) {
-                // Probed from the query cache: the entry is not in the
-                // link cache; nothing to update.
-            }
-            self.peers[dst.index()].link_cache_mut().touch(prober, now);
-            self.apply_introduction(dst, prober, now);
-
-            // The reply's pong feeds both the query cache (the probe pool)
-            // and, subject to replacement policy, the link cache. Pongs
-            // from blacklisted sources are dropped wholesale.
-            if distrust && self.peers[prober.index()].reputation().is_blacklisted(dst) {
-                self.metrics.counters_mut().incr("pongs_filtered");
-                continue;
-            }
-            let pong = self.build_pong(dst, self.cfg.protocol.query_pong, now);
-            for e in &pong.entries {
-                if e.addr() == prober {
-                    continue;
-                }
-                let mut entry = *e;
-                if self.cfg.protocol.reset_num_results {
-                    entry.reset_num_res();
-                }
-                if distrust {
-                    if self.peers[prober.index()].reputation().is_blacklisted(entry.addr()) {
-                        continue; // never re-admit a known liar
-                    }
-                    self.peers[prober.index()].reputation_mut().note_shared(dst, entry.addr());
-                }
-                if seen.insert(entry.addr()) {
-                    pool.push(entry, &mut self.rng_policy);
-                }
-                let policy = self.cfg.protocol.cache_replacement;
-                let _ = self.peers[prober.index()].link_cache_mut().offer(
-                    entry,
-                    policy,
-                    &mut self.rng_policy,
-                );
-            }
-        }
-
-        if now >= self.warmup_end {
-            self.metrics.record_query(QueryOutcome {
-                good_probes: good,
-                dead_probes: dead,
-                refused_probes: refused,
-                satisfied: results >= desired,
-                response_secs: rounds.ceil() * probe_gap.as_secs(),
-            });
-            if selfish {
-                self.metrics.counters_mut().incr("selfish_queries");
-            }
+    fn handle(&mut self, now: SimTime, event: Event, ctx: &mut SimCtx<'_, Event, T>) {
+        match event {
+            Event::Death { slot, addr } => self.on_death(slot, addr, now, ctx),
+            Event::Ping { slot, addr } => self.on_ping(slot, addr, now, ctx),
+            Event::Burst { slot, addr } => self.on_burst(slot, addr, now, ctx),
         }
     }
 
-    // ------------------------------------------------------------------
-    // Snapshots
-    // ------------------------------------------------------------------
-
-    fn on_sample(&mut self, now: SimTime) {
-        if now >= self.warmup_end {
-            self.sample_cache_health();
-            self.sample_connectivity();
-        }
-        self.queue.schedule(now + self.cfg.run.sample_interval, Event::Sample);
+    fn sample(&mut self, _now: SimTime) {
+        self.sample_cache_health();
+        self.sample_connectivity();
     }
 
-    fn sample_cache_health(&mut self) {
-        let mut frac_sum = 0.0;
-        let mut frac_n = 0usize;
-        let mut live_sum = 0.0;
-        let mut good_sum = 0.0;
-        let mut peers_n = 0usize;
-        for &addr in &self.slots {
-            let p = &self.peers[addr.index()];
-            if !p.is_good() {
-                continue;
-            }
-            peers_n += 1;
-            let total = p.link_cache().len();
-            let mut live = 0usize;
-            let mut good_entries = 0usize;
-            for e in p.link_cache().iter() {
-                let t = &self.peers[e.addr().index()];
-                if t.is_alive() {
-                    live += 1;
-                    if t.behavior() == Behavior::Good {
-                        good_entries += 1;
-                    }
-                }
-            }
-            if total > 0 {
-                frac_sum += live as f64 / total as f64;
-                frac_n += 1;
-            }
-            live_sum += live as f64;
-            good_sum += good_entries as f64;
-        }
-        if peers_n > 0 {
-            let frac = if frac_n > 0 { frac_sum / frac_n as f64 } else { 0.0 };
-            self.metrics.record_cache_health(
-                frac,
-                live_sum / peers_n as f64,
-                good_sum / peers_n as f64,
-            );
-        }
-    }
-
-    fn sample_connectivity(&mut self) {
-        let n = self.slots.len();
-        let mut dense: HashMap<PeerAddr, usize> = HashMap::with_capacity(n);
-        for (i, &addr) in self.slots.iter().enumerate() {
-            dense.insert(addr, i);
-        }
-        let mut uf = UnionFind::new(n);
-        for (i, &addr) in self.slots.iter().enumerate() {
-            let p = &self.peers[addr.index()];
-            if !p.is_alive() {
-                continue;
-            }
-            for e in p.link_cache().iter() {
-                if let Some(&j) = dense.get(&e.addr()) {
-                    if self.peers[e.addr().index()].is_alive() {
-                        uf.union(i, j);
-                    }
-                }
-            }
-        }
-        self.metrics.record_lcc(uf.largest_component());
+    fn live_peers(&self) -> u64 {
+        self.slots
+            .iter()
+            .filter(|a| self.peers[a.index()].is_alive())
+            .count() as u64
     }
 }
 
@@ -860,7 +791,10 @@ mod tests {
         let sim = GuessSim::new(cfg.clone()).unwrap();
         let n = cfg.system.network_size;
         let report = sim.run();
-        assert!(report.counters.get("deaths") > 0, "peers must die under churn");
+        assert!(
+            report.counters.get("deaths") > 0,
+            "peers must die under churn"
+        );
         assert_eq!(
             report.counters.get("births"),
             report.counters.get("deaths") + n as u64,
@@ -874,7 +808,10 @@ mod tests {
         cfg.run.simulate_queries = false;
         let report = GuessSim::new(cfg).unwrap().run();
         assert_eq!(report.queries, 0);
-        assert!(report.counters.get("pings_sent") > 0, "maintenance continues");
+        assert!(
+            report.counters.get("pings_sent") > 0,
+            "maintenance continues"
+        );
         assert!(report.largest_component.is_some());
     }
 

@@ -1,0 +1,256 @@
+//! Query execution: the iterative (or k-parallel) probe loop.
+//!
+//! Split out of the main engine module so the event handlers and the
+//! probing algorithm can be read independently; this is still the same
+//! `GuessSim` — a child module sees the engine's private state.
+
+use super::*;
+
+impl GuessSim {
+    /// Executes one query end-to-end: iterative (or k-parallel) probing of
+    /// link-cache and query-cache candidates until `NumDesiredResults`
+    /// results arrive or the candidate pool runs dry.
+    pub(super) fn execute_query<T: TraceSink>(
+        &mut self,
+        prober: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let qid = self.next_query;
+        self.next_query += 1;
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::QueryStart {
+                    query: qid,
+                    origin: prober.index() as u64,
+                },
+            );
+        }
+        let want = self.qmodel.sample_target(&mut self.rng_query);
+        let desired = self.cfg.system.num_desired_results;
+        let probe_gap = self.cfg.protocol.probe_interval;
+        let distrust = self.cfg.protocol.distrust_pongs;
+
+        // Selfish peers blast wide volleys regardless of the protocol's
+        // configured walk width (§3.3); honest peers start at the
+        // configured k and may widen it adaptively (§6.2 future work).
+        let selfish = self.peers[prober.index()].is_selfish();
+        let mut k = if selfish {
+            self.cfg.system.selfish_parallelism
+        } else {
+            self.cfg.protocol.parallel_probes
+        };
+        let mut resultless_streak = 0u32;
+
+        // The probe pool: link-cache entries first, then everything the
+        // query cache accumulates from pongs. `seen` holds every address
+        // ever added, enforcing at-most-one probe per address per query.
+        let mut pool = ProbeQueue::new(self.cfg.protocol.query_probe);
+        let mut seen: HashSet<PeerAddr> = HashSet::new();
+        seen.insert(prober);
+        for e in self.peers[prober.index()].link_cache().entries().to_vec() {
+            if seen.insert(e.addr()) {
+                pool.push(e, &mut self.rng_policy);
+            }
+        }
+
+        let mut results = 0u32;
+        let mut good = 0u32;
+        let mut dead = 0u32;
+        let mut refused = 0u32;
+        // Wall-clock rounds elapsed: each probe occupies 1/k of a round.
+        let mut rounds = 0.0f64;
+
+        while results < desired {
+            let Some(entry) = pool.pop() else {
+                break;
+            };
+            let dst = entry.addr();
+            // Serial probes go out one timeout apart; k-parallel walks
+            // share each time slot.
+            let t_probe = now + probe_gap * rounds;
+            // Probe payments: a peer that cannot afford the probe must
+            // stop searching until its allowance refills (§3.3).
+            if self.cfg.protocol.probe_payments.is_some() {
+                let broke = self.peers[prober.index()]
+                    .account_mut()
+                    .expect("accounts exist when payments are on")
+                    .pay_probe(t_probe)
+                    .is_err();
+                if broke {
+                    self.metrics.counters_mut().incr("probe_budget_exhausted");
+                    break;
+                }
+            }
+            rounds += 1.0 / k as f64;
+
+            if !self.peers[dst.index()].is_alive() {
+                dead += 1;
+                if ctx.tracing() {
+                    ctx.emit(
+                        t_probe,
+                        TraceRecord::Probe {
+                            query: qid,
+                            target: dst.index() as u64,
+                            kind: ProbeKind::Query,
+                            outcome: ProbeOutcome::Dead,
+                        },
+                    );
+                }
+                self.peers[prober.index()].link_cache_mut().remove(dst);
+                if distrust {
+                    self.note_dead_entry(prober, dst);
+                }
+                continue;
+            }
+
+            self.peers[dst.index()].note_probe_received();
+
+            let dst_behavior = self.peers[dst.index()].behavior();
+            if dst_behavior == Behavior::Good
+                && self.peers[dst.index()].capacity_mut().admit(t_probe) == Admission::Refused
+            {
+                refused += 1;
+                if ctx.tracing() {
+                    ctx.emit(
+                        t_probe,
+                        TraceRecord::Probe {
+                            query: qid,
+                            target: dst.index() as u64,
+                            kind: ProbeKind::Query,
+                            outcome: ProbeOutcome::Refused,
+                        },
+                    );
+                }
+                if !self.cfg.protocol.do_backoff {
+                    // A dropped probe times out; the prober assumes
+                    // death and evicts — the inherent throttle.
+                    self.peers[prober.index()].link_cache_mut().remove(dst);
+                }
+                continue;
+            }
+
+            good += 1;
+            if ctx.tracing() {
+                ctx.emit(
+                    t_probe,
+                    TraceRecord::Probe {
+                        query: qid,
+                        target: dst.index() as u64,
+                        kind: ProbeKind::Query,
+                        outcome: ProbeOutcome::Good,
+                    },
+                );
+            }
+            if distrust {
+                self.peers[prober.index()].reputation_mut().note_alive(dst);
+            }
+            if self.cfg.protocol.probe_payments.is_some() {
+                if let Some(acct) = self.peers[dst.index()].account_mut() {
+                    acct.earn_answer(t_probe);
+                }
+            }
+            let res = if dst_behavior == Behavior::Good
+                && self.qmodel.answers(self.peers[dst.index()].library(), want)
+            {
+                1u32
+            } else {
+                0u32
+            };
+            results += res;
+
+            // Adaptive walk widening: double k after a run of resultless
+            // probes (only honest, non-selfish queriers bother).
+            if let Some(ak) = self.cfg.protocol.adaptive_parallelism {
+                if !selfish {
+                    if res == 0 {
+                        resultless_streak += 1;
+                        if resultless_streak >= ak.escalate_after {
+                            k = (k * 2).min(ak.max_k);
+                            resultless_streak = 0;
+                        }
+                    } else {
+                        resultless_streak = 0;
+                    }
+                }
+            }
+
+            // Both sides record the interaction (§2.1): the prober resets
+            // NumRes for the target; the target refreshes TS for the
+            // prober if cached, and may add the prober (introduction).
+            if !self.peers[prober.index()]
+                .link_cache_mut()
+                .record_results(dst, now, res)
+            {
+                // Probed from the query cache: the entry is not in the
+                // link cache; nothing to update.
+            }
+            self.peers[dst.index()].link_cache_mut().touch(prober, now);
+            self.apply_introduction(dst, prober, now, ctx);
+
+            // The reply's pong feeds both the query cache (the probe pool)
+            // and, subject to replacement policy, the link cache. Pongs
+            // from blacklisted sources are dropped wholesale.
+            if distrust && self.peers[prober.index()].reputation().is_blacklisted(dst) {
+                self.metrics.counters_mut().incr("pongs_filtered");
+                continue;
+            }
+            let pong = self.build_pong(dst, self.cfg.protocol.query_pong, now);
+            for e in &pong.entries {
+                if e.addr() == prober {
+                    continue;
+                }
+                let mut entry = *e;
+                if self.cfg.protocol.reset_num_results {
+                    entry.reset_num_res();
+                }
+                if distrust {
+                    if self.peers[prober.index()]
+                        .reputation()
+                        .is_blacklisted(entry.addr())
+                    {
+                        continue; // never re-admit a known liar
+                    }
+                    self.peers[prober.index()]
+                        .reputation_mut()
+                        .note_shared(dst, entry.addr());
+                }
+                if seen.insert(entry.addr()) {
+                    pool.push(entry, &mut self.rng_policy);
+                }
+                let policy = self.cfg.protocol.cache_replacement;
+                let outcome = self.peers[prober.index()].link_cache_mut().offer(
+                    entry,
+                    policy,
+                    &mut self.rng_policy,
+                );
+                self.trace_eviction(ctx, now, prober, outcome);
+            }
+        }
+
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::QueryEnd {
+                    query: qid,
+                    satisfied: results >= desired,
+                    probes: good + dead + refused,
+                    results,
+                },
+            );
+        }
+        if ctx.after_warmup(now) {
+            self.metrics.record_query(QueryOutcome {
+                good_probes: good,
+                dead_probes: dead,
+                refused_probes: refused,
+                satisfied: results >= desired,
+                response_secs: rounds.ceil() * probe_gap.as_secs(),
+            });
+            if selfish {
+                self.metrics.counters_mut().incr("selfish_queries");
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Periodic measurement snapshots, driven by the kernel's sample tick
+//! (see [`simkit::sim::KernelParams::with_sampling`]).
+
+use super::*;
+
+impl GuessSim {
+    pub(super) fn sample_cache_health(&mut self) {
+        let mut frac_sum = 0.0;
+        let mut frac_n = 0usize;
+        let mut live_sum = 0.0;
+        let mut good_sum = 0.0;
+        let mut peers_n = 0usize;
+        for &addr in &self.slots {
+            let p = &self.peers[addr.index()];
+            if !p.is_good() {
+                continue;
+            }
+            peers_n += 1;
+            let total = p.link_cache().len();
+            let mut live = 0usize;
+            let mut good_entries = 0usize;
+            for e in p.link_cache().iter() {
+                let t = &self.peers[e.addr().index()];
+                if t.is_alive() {
+                    live += 1;
+                    if t.behavior() == Behavior::Good {
+                        good_entries += 1;
+                    }
+                }
+            }
+            if total > 0 {
+                frac_sum += live as f64 / total as f64;
+                frac_n += 1;
+            }
+            live_sum += live as f64;
+            good_sum += good_entries as f64;
+        }
+        if peers_n > 0 {
+            let frac = if frac_n > 0 {
+                frac_sum / frac_n as f64
+            } else {
+                0.0
+            };
+            self.metrics.record_cache_health(
+                frac,
+                live_sum / peers_n as f64,
+                good_sum / peers_n as f64,
+            );
+        }
+    }
+
+    pub(super) fn sample_connectivity(&mut self) {
+        let n = self.slots.len();
+        let mut dense: HashMap<PeerAddr, usize> = HashMap::with_capacity(n);
+        for (i, &addr) in self.slots.iter().enumerate() {
+            dense.insert(addr, i);
+        }
+        let mut uf = UnionFind::new(n);
+        for (i, &addr) in self.slots.iter().enumerate() {
+            let p = &self.peers[addr.index()];
+            if !p.is_alive() {
+                continue;
+            }
+            for e in p.link_cache().iter() {
+                if let Some(&j) = dense.get(&e.addr()) {
+                    if self.peers[e.addr().index()].is_alive() {
+                        uf.union(i, j);
+                    }
+                }
+            }
+        }
+        self.metrics.record_lcc(uf.largest_component());
+    }
+}

@@ -43,7 +43,12 @@ impl CacheEntry {
     /// `num_files` shared files and no result history.
     #[must_use]
     pub fn new(addr: PeerAddr, ts: SimTime, num_files: u32) -> Self {
-        CacheEntry { addr, ts, num_files, num_res: 0 }
+        CacheEntry {
+            addr,
+            ts,
+            num_files,
+            num_res: 0,
+        }
     }
 
     /// Creates an entry with explicit metadata, as carried inside a Pong.
@@ -51,7 +56,12 @@ impl CacheEntry {
     /// so this constructor preserves whatever the sender claimed.
     #[must_use]
     pub fn from_pong(addr: PeerAddr, ts: SimTime, num_files: u32, num_res: u32) -> Self {
-        CacheEntry { addr, ts, num_files, num_res }
+        CacheEntry {
+            addr,
+            ts,
+            num_files,
+            num_res,
+        }
     }
 
     /// The peer this entry points to.

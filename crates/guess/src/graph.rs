@@ -29,7 +29,10 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Number of elements.
@@ -165,8 +168,7 @@ mod tests {
         use simkit::rng::RngStream;
         let mut rng = RngStream::from_seed(11, "graph");
         let n = 200;
-        let edges: Vec<(usize, usize)> =
-            (0..150).map(|_| (rng.below(n), rng.below(n))).collect();
+        let edges: Vec<(usize, usize)> = (0..150).map(|_| (rng.below(n), rng.below(n))).collect();
 
         let uf_answer = largest_component(n, edges.iter().copied());
 

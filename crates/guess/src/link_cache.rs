@@ -66,7 +66,11 @@ impl LinkCache {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "link cache capacity must be positive");
-        LinkCache { capacity, entries: Vec::with_capacity(capacity), index: HashMap::new() }
+        LinkCache {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::new(),
+        }
     }
 
     /// The configured capacity.
@@ -243,8 +247,15 @@ mod tests {
         let e = entry(&mut alloc, 10, 0.0);
         c.offer(e, ReplacementPolicy::Random, &mut r);
         let dup = CacheEntry::from_pong(e.addr(), SimTime::from_secs(9.0), 9999, 50);
-        assert_eq!(c.offer(dup, ReplacementPolicy::Random, &mut r), InsertOutcome::AlreadyPresent);
-        assert_eq!(c.get(e.addr()).unwrap().num_files(), 10, "metadata not overwritten");
+        assert_eq!(
+            c.offer(dup, ReplacementPolicy::Random, &mut r),
+            InsertOutcome::AlreadyPresent
+        );
+        assert_eq!(
+            c.get(e.addr()).unwrap().num_files(),
+            10,
+            "metadata not overwritten"
+        );
         assert_eq!(c.len(), 1);
     }
 
@@ -272,7 +283,10 @@ mod tests {
         c.offer(entry(&mut alloc, 100, 0.0), ReplacementPolicy::Lfs, &mut r);
         c.offer(entry(&mut alloc, 200, 0.0), ReplacementPolicy::Lfs, &mut r);
         let tiny = entry(&mut alloc, 1, 0.0);
-        assert_eq!(c.offer(tiny, ReplacementPolicy::Lfs, &mut r), InsertOutcome::Rejected);
+        assert_eq!(
+            c.offer(tiny, ReplacementPolicy::Lfs, &mut r),
+            InsertOutcome::Rejected
+        );
         assert!(!c.contains(tiny.addr()));
         assert_eq!(c.len(), 2);
     }
@@ -287,7 +301,10 @@ mod tests {
         c.offer(stale, ReplacementPolicy::Lru, &mut r);
         c.offer(fresh, ReplacementPolicy::Lru, &mut r);
         let newer = CacheEntry::new(alloc.allocate(), SimTime::from_secs(50.0), 1);
-        assert_eq!(c.offer(newer, ReplacementPolicy::Lru, &mut r), InsertOutcome::Replaced(stale.addr()));
+        assert_eq!(
+            c.offer(newer, ReplacementPolicy::Lru, &mut r),
+            InsertOutcome::Replaced(stale.addr())
+        );
     }
 
     #[test]
@@ -348,7 +365,10 @@ mod tests {
                 other => panic!("unexpected outcome {other:?}"),
             }
         }
-        assert!(admitted > 50, "random replacement admitted only {admitted}/100");
+        assert!(
+            admitted > 50,
+            "random replacement admitted only {admitted}/100"
+        );
         assert_eq!(c.len(), 4, "capacity invariant holds");
     }
 }

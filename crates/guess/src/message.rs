@@ -21,7 +21,9 @@ impl Pong {
     /// An empty pong (e.g. from a peer with an empty cache).
     #[must_use]
     pub fn empty() -> Self {
-        Pong { entries: Vec::new() }
+        Pong {
+            entries: Vec::new(),
+        }
     }
 }
 
@@ -82,7 +84,10 @@ mod tests {
 
     #[test]
     fn answered_predicate() {
-        let answered = ProbeReply::Answered { results: 1, pong: Pong::empty() };
+        let answered = ProbeReply::Answered {
+            results: 1,
+            pong: Pong::empty(),
+        };
         assert!(answered.is_answered());
         assert!(!ProbeReply::TimedOutDead.is_answered());
         assert!(!ProbeReply::Refused.is_answered());
@@ -90,7 +95,9 @@ mod tests {
 
     #[test]
     fn probe_carries_target() {
-        let p = QueryProbe { target: QueryTarget { item: ItemId(7) } };
+        let p = QueryProbe {
+            target: QueryTarget { item: ItemId(7) },
+        };
         assert_eq!(p.target.item, ItemId(7));
     }
 

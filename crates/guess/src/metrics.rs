@@ -155,7 +155,12 @@ impl MetricsCollector {
     }
 
     /// Records one cache-health snapshot.
-    pub fn record_cache_health(&mut self, live_fraction: f64, live_absolute: f64, good_entries: f64) {
+    pub fn record_cache_health(
+        &mut self,
+        live_fraction: f64,
+        live_absolute: f64,
+        good_entries: f64,
+    ) {
         self.live_fraction_samples.record(live_fraction);
         self.live_absolute_samples.record(live_absolute);
         self.good_entry_samples.record(good_entries);
@@ -290,7 +295,11 @@ mod tests {
         }
         c.record_query(outcome(500, 0, 0, false)); // 100s straggler
         let r = c.finish();
-        assert_eq!(r.response_p95, Some(0.2), "p95 sits below the single straggler");
+        assert_eq!(
+            r.response_p95,
+            Some(0.2),
+            "p95 sits below the single straggler"
+        );
         assert!(r.response_time.max().unwrap() > 99.0);
     }
 

@@ -78,13 +78,17 @@ impl ProbeAccount {
     /// Opens an account at `now` with the configured starting balance.
     #[must_use]
     pub fn new(params: PaymentParams, now: SimTime) -> Self {
-        ProbeAccount { params, balance: params.initial_balance, last_accrual: now }
+        ProbeAccount {
+            params,
+            balance: params.initial_balance,
+            last_accrual: now,
+        }
     }
 
     fn accrue(&mut self, now: SimTime) {
         let dt = now.saturating_since(self.last_accrual).as_secs();
-        self.balance = (self.balance + dt * self.params.allowance_per_sec)
-            .min(self.params.max_balance);
+        self.balance =
+            (self.balance + dt * self.params.allowance_per_sec).min(self.params.max_balance);
         self.last_accrual = self.last_accrual.max(now);
     }
 
@@ -132,7 +136,11 @@ mod tests {
 
     #[test]
     fn probes_cost_one_credit() {
-        let params = PaymentParams { initial_balance: 3.0, allowance_per_sec: 0.0, ..PaymentParams::default() };
+        let params = PaymentParams {
+            initial_balance: 3.0,
+            allowance_per_sec: 0.0,
+            ..PaymentParams::default()
+        };
         let mut a = ProbeAccount::new(params, t(0.0));
         assert!(a.pay_probe(t(0.0)).is_ok());
         assert!(a.pay_probe(t(0.0)).is_ok());

@@ -302,7 +302,11 @@ mod tests {
         let subj = alloc.allocate();
         p.reputation_mut().note_shared(src, subj);
         p.reputation_mut().note_dead(subj);
-        assert_eq!(p.reputation().blacklisted_count(), 0, "one strike is not enough");
+        assert_eq!(
+            p.reputation().blacklisted_count(),
+            0,
+            "one strike is not enough"
+        );
     }
 
     #[test]

@@ -107,7 +107,11 @@ fn ts_key(ts: SimTime) -> u64 {
 /// (probed/pong'd first, evicted last). Ties are broken by a random draw so
 /// equal-key entries are treated symmetrically.
 #[must_use]
-pub fn selection_key(policy: SelectionPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
+pub fn selection_key(
+    policy: SelectionPolicy,
+    entry: &CacheEntry,
+    rng: &mut RngStream,
+) -> (u64, u64) {
     let tie = rng.next_u64();
     let primary = match policy {
         SelectionPolicy::Random => 0,
@@ -122,7 +126,11 @@ pub fn selection_key(policy: SelectionPolicy, entry: &CacheEntry, rng: &mut RngS
 /// Retention key for `entry` under an eviction policy: the entry with the
 /// **smallest** key is the eviction victim.
 #[must_use]
-pub fn retention_key(policy: ReplacementPolicy, entry: &CacheEntry, rng: &mut RngStream) -> (u64, u64) {
+pub fn retention_key(
+    policy: ReplacementPolicy,
+    entry: &CacheEntry,
+    rng: &mut RngStream,
+) -> (u64, u64) {
     let tie = rng.next_u64();
     let primary = match policy {
         ReplacementPolicy::Random => 0,
@@ -151,7 +159,11 @@ pub fn select_top_k(
         return Vec::new();
     }
     if policy == SelectionPolicy::Random {
-        return rng.sample_indices(entries.len(), k).into_iter().map(|i| entries[i]).collect();
+        return rng
+            .sample_indices(entries.len(), k)
+            .into_iter()
+            .map(|i| entries[i])
+            .collect();
     }
     // Keep the k best seen so far in a small min-heap (by key).
     use std::cmp::Reverse;
@@ -257,7 +269,10 @@ impl ProbeQueue {
     /// Creates an empty queue ordering by `policy`.
     #[must_use]
     pub fn new(policy: SelectionPolicy) -> Self {
-        ProbeQueue { policy, heap: std::collections::BinaryHeap::new() }
+        ProbeQueue {
+            policy,
+            heap: std::collections::BinaryHeap::new(),
+        }
     }
 
     /// The queue's ordering policy.
@@ -423,7 +438,10 @@ mod tests {
         }
         let mut last = u32::MAX;
         while let Some(e) = q.pop() {
-            assert!(e.num_files() <= last, "queue must pop in descending NumFiles");
+            assert!(
+                e.num_files() <= last,
+                "queue must pop in descending NumFiles"
+            );
             last = e.num_files();
         }
     }
@@ -461,11 +479,26 @@ mod tests {
 
     #[test]
     fn mirror_replacement_matches_paper_table() {
-        assert_eq!(SelectionPolicy::Mfs.mirror_replacement(), ReplacementPolicy::Lfs);
-        assert_eq!(SelectionPolicy::Mr.mirror_replacement(), ReplacementPolicy::Lr);
-        assert_eq!(SelectionPolicy::Mru.mirror_replacement(), ReplacementPolicy::Lru);
-        assert_eq!(SelectionPolicy::Lru.mirror_replacement(), ReplacementPolicy::Mru);
-        assert_eq!(SelectionPolicy::Random.mirror_replacement(), ReplacementPolicy::Random);
+        assert_eq!(
+            SelectionPolicy::Mfs.mirror_replacement(),
+            ReplacementPolicy::Lfs
+        );
+        assert_eq!(
+            SelectionPolicy::Mr.mirror_replacement(),
+            ReplacementPolicy::Lr
+        );
+        assert_eq!(
+            SelectionPolicy::Mru.mirror_replacement(),
+            ReplacementPolicy::Lru
+        );
+        assert_eq!(
+            SelectionPolicy::Lru.mirror_replacement(),
+            ReplacementPolicy::Mru
+        );
+        assert_eq!(
+            SelectionPolicy::Random.mirror_replacement(),
+            ReplacementPolicy::Random
+        );
     }
 
     #[test]

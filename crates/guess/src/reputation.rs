@@ -41,7 +41,11 @@ pub struct ReputationParams {
 
 impl Default for ReputationParams {
     fn default() -> Self {
-        ReputationParams { min_samples: 6, dead_ratio_threshold: 0.7, provenance_capacity: 1024 }
+        ReputationParams {
+            min_samples: 6,
+            dead_ratio_threshold: 0.7,
+            provenance_capacity: 1024,
+        }
     }
 }
 
@@ -172,7 +176,10 @@ mod tests {
     use crate::addr::AddrAllocator;
 
     fn tracker() -> (ReputationTracker, AddrAllocator) {
-        (ReputationTracker::new(ReputationParams::default()), AddrAllocator::new())
+        (
+            ReputationTracker::new(ReputationParams::default()),
+            AddrAllocator::new(),
+        )
     }
 
     #[test]
@@ -247,7 +254,10 @@ mod tests {
 
     #[test]
     fn provenance_is_bounded() {
-        let params = ReputationParams { provenance_capacity: 4, ..ReputationParams::default() };
+        let params = ReputationParams {
+            provenance_capacity: 4,
+            ..ReputationParams::default()
+        };
         let mut rep = ReputationTracker::new(params);
         let mut alloc = AddrAllocator::new();
         let source = alloc.allocate();

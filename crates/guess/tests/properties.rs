@@ -35,7 +35,13 @@ const REPLACEMENTS: [ReplacementPolicy; 5] = [
 fn gen_specs(rng: &mut RngStream, min: usize, max_extra: usize) -> Vec<(f64, u32, u32)> {
     let n = min + rng.below(max_extra);
     (0..n)
-        .map(|_| (rng.uniform(0.0, 1e4), rng.below(5000) as u32, rng.below(20) as u32))
+        .map(|_| {
+            (
+                rng.uniform(0.0, 1e4),
+                rng.below(5000) as u32,
+                rng.below(20) as u32,
+            )
+        })
         .collect()
 }
 
@@ -145,8 +151,10 @@ fn eviction_picks_extremes() {
         assert_eq!(entries[lfs].num_files(), min_files);
 
         let lru = eviction_victim(ReplacementPolicy::Lru, &entries, &mut rng).unwrap();
-        let min_ts =
-            entries.iter().map(|e| e.ts()).fold(SimTime::from_secs(f64::MAX / 2.0), SimTime::min);
+        let min_ts = entries
+            .iter()
+            .map(|e| e.ts())
+            .fold(SimTime::from_secs(f64::MAX / 2.0), SimTime::min);
         assert_eq!(entries[lru].ts(), min_ts);
     }
 }
@@ -194,7 +202,10 @@ fn capacity_meter_bounds_admissions() {
         }
         assert_eq!(admitted, (offsets.len() as u32).min(limit));
         // Next second opens fresh capacity.
-        assert_eq!(m.admit(SimTime::from_secs(f64::from(base) + 1.0)), Admission::Accepted);
+        assert_eq!(
+            m.admit(SimTime::from_secs(f64::from(base) + 1.0)),
+            Admission::Accepted
+        );
     }
 }
 
@@ -206,8 +217,7 @@ fn union_find_matches_bfs() {
     for _ in 0..40 {
         let n = 1 + gen.below(120);
         let m = gen.below(300);
-        let in_range: Vec<(usize, usize)> =
-            (0..m).map(|_| (gen.below(n), gen.below(n))).collect();
+        let in_range: Vec<(usize, usize)> = (0..m).map(|_| (gen.below(n), gen.below(n))).collect();
         let uf_answer = largest_component(n, in_range.iter().copied());
 
         let mut adj = vec![Vec::new(); n];
@@ -253,7 +263,10 @@ fn union_find_connectivity_stable() {
         }
         for &(a, b) in &pairs {
             assert!(uf.connected(a, b));
-            assert!(!uf.union(a, b), "re-union of connected nodes must be a no-op");
+            assert!(
+                !uf.union(a, b),
+                "re-union of connected nodes must be a no-op"
+            );
         }
     }
 }

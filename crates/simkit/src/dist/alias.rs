@@ -139,7 +139,10 @@ mod tests {
             AliasTable::new(&[0.0, f64::NAN]).unwrap_err(),
             BuildAliasError::InvalidWeight { index: 1 }
         );
-        assert_eq!(AliasTable::new(&[0.0, 0.0]).unwrap_err(), BuildAliasError::ZeroMass);
+        assert_eq!(
+            AliasTable::new(&[0.0, 0.0]).unwrap_err(),
+            BuildAliasError::ZeroMass
+        );
     }
 
     #[test]

@@ -36,7 +36,9 @@ impl std::fmt::Display for BuildEmpiricalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BuildEmpiricalError::Empty => write!(f, "empirical sample is empty"),
-            BuildEmpiricalError::NonFinite => write!(f, "empirical sample contains non-finite values"),
+            BuildEmpiricalError::NonFinite => {
+                write!(f, "empirical sample contains non-finite values")
+            }
         }
     }
 }
@@ -97,7 +99,10 @@ impl EmpiricalDist {
     /// Panics if `factor` is non-finite or negative.
     #[must_use]
     pub fn scaled(&self, factor: f64) -> EmpiricalDist {
-        assert!(factor.is_finite() && factor >= 0.0, "scale factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and >= 0"
+        );
         EmpiricalDist {
             sample: self.sample.iter().map(|x| x * factor).collect(),
             sorted: self.sorted.iter().map(|x| x * factor).collect(),
@@ -121,7 +126,10 @@ mod tests {
 
     #[test]
     fn rejects_bad_samples() {
-        assert_eq!(EmpiricalDist::from_sample(vec![]).unwrap_err(), BuildEmpiricalError::Empty);
+        assert_eq!(
+            EmpiricalDist::from_sample(vec![]).unwrap_err(),
+            BuildEmpiricalError::Empty
+        );
         assert_eq!(
             EmpiricalDist::from_sample(vec![1.0, f64::NAN]).unwrap_err(),
             BuildEmpiricalError::NonFinite

@@ -118,6 +118,9 @@ mod tests {
         let n = 200_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / f64::from(n);
         let analytic = d.mean().unwrap();
-        assert!((mean / analytic - 1.0).abs() < 0.03, "mean {mean:.3} vs {analytic:.3}");
+        assert!(
+            (mean / analytic - 1.0).abs() < 0.03,
+            "mean {mean:.3} vs {analytic:.3}"
+        );
     }
 }

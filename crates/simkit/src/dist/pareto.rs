@@ -33,7 +33,10 @@ pub struct InvalidParetoError;
 
 impl std::fmt::Display for InvalidParetoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bounded pareto requires 0 < lo < hi and finite alpha > 0")
+        write!(
+            f,
+            "bounded pareto requires 0 < lo < hi and finite alpha > 0"
+        )
     }
 }
 

@@ -62,7 +62,9 @@ impl Zipf {
         if !exponent.is_finite() || exponent < 0.0 {
             return Err(BuildZipfError::InvalidExponent);
         }
-        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(exponent)).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|r| 1.0 / ((r + 1) as f64).powf(exponent))
+            .collect();
         let table = AliasTable::new(&weights).expect("zipf weights are positive and finite");
         Ok(Zipf { table, exponent })
     }
@@ -79,7 +81,9 @@ impl Zipf {
         if r >= self.len() {
             return None;
         }
-        let h: f64 = (0..self.len()).map(|k| 1.0 / ((k + 1) as f64).powf(self.exponent)).sum();
+        let h: f64 = (0..self.len())
+            .map(|k| 1.0 / ((k + 1) as f64).powf(self.exponent))
+            .sum();
         Some(1.0 / ((r + 1) as f64).powf(self.exponent) / h)
     }
 }
@@ -101,8 +105,14 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         assert_eq!(Zipf::new(0, 1.0).unwrap_err(), BuildZipfError::Empty);
-        assert_eq!(Zipf::new(5, -1.0).unwrap_err(), BuildZipfError::InvalidExponent);
-        assert_eq!(Zipf::new(5, f64::INFINITY).unwrap_err(), BuildZipfError::InvalidExponent);
+        assert_eq!(
+            Zipf::new(5, -1.0).unwrap_err(),
+            BuildZipfError::InvalidExponent
+        );
+        assert_eq!(
+            Zipf::new(5, f64::INFINITY).unwrap_err(),
+            BuildZipfError::InvalidExponent
+        );
     }
 
     #[test]
@@ -120,7 +130,10 @@ mod tests {
                 tail += 1;
             }
         }
-        assert!(rank0 > tail, "head should outweigh the entire tail half: {rank0} vs {tail}");
+        assert!(
+            rank0 > tail,
+            "head should outweigh the entire tail half: {rank0} vs {tail}"
+        );
     }
 
     #[test]
@@ -132,7 +145,10 @@ mod tests {
             counts[z.sample_index(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((8500..11500).contains(&c), "uniform bucket out of range: {c}");
+            assert!(
+                (8500..11500).contains(&c),
+                "uniform bucket out of range: {c}"
+            );
         }
     }
 
@@ -152,6 +168,9 @@ mod tests {
         let hits = (0..n).filter(|_| z.sample_index(&mut rng) == 0).count();
         let expected = z.probability(0).unwrap();
         let observed = hits as f64 / n as f64;
-        assert!((observed - expected).abs() < 0.01, "observed {observed:.4} vs {expected:.4}");
+        assert!(
+            (observed - expected).abs() < 0.01,
+            "observed {observed:.4} vs {expected:.4}"
+        );
     }
 }

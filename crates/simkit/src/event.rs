@@ -65,7 +65,12 @@ impl<E> Ord for Scheduled<E> {
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
-    cancelled: HashSet<u64>,
+    /// Seqs scheduled but neither fired nor cancelled — the authority on
+    /// liveness. A heap entry whose seq is absent here was cancelled and
+    /// is reclaimed lazily on pop; a handle whose seq is absent refers to
+    /// an event that already fired (or was already cancelled) and cannot
+    /// be cancelled again.
+    pending: HashSet<u64>,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -77,7 +82,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            pending: HashSet::new(),
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -100,7 +105,7 @@ impl<E> EventQueue<E> {
     /// Number of live (non-cancelled) events still pending.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.pending.len()
     }
 
     /// Returns true if no live events remain.
@@ -117,9 +122,14 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is earlier than the current clock — scheduling into
     /// the past would silently reorder causality.
     pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.pending.insert(seq);
         self.heap.push(Scheduled { at, seq, event });
         EventHandle(seq)
     }
@@ -127,13 +137,11 @@ impl<E> EventQueue<E> {
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the handle referred to an event that had not yet
-    /// fired or been cancelled. Cancellation is O(1); the slot is reclaimed
-    /// lazily on pop.
+    /// fired or been cancelled; a handle for an event that already fired
+    /// is rejected (`false`) and leaves the queue untouched. Cancellation
+    /// is O(1); the heap slot is reclaimed lazily on pop.
     pub fn cancel(&mut self, handle: EventHandle) -> bool {
-        if handle.0 >= self.next_seq {
-            return false;
-        }
-        self.cancelled.insert(handle.0)
+        self.pending.remove(&handle.0)
     }
 
     /// Pops the earliest live event, advancing the clock to its timestamp.
@@ -141,8 +149,8 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         while let Some(s) = self.heap.pop() {
-            if self.cancelled.remove(&s.seq) {
-                continue;
+            if !self.pending.remove(&s.seq) {
+                continue; // cancelled; reclaim lazily
             }
             self.now = s.at;
             self.popped += 1;
@@ -155,13 +163,10 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop leading cancelled entries so the peek is accurate.
         while let Some(s) = self.heap.peek() {
-            if self.cancelled.contains(&s.seq) {
-                let seq = s.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if self.pending.contains(&s.seq) {
                 return Some(s.at);
             }
+            self.heap.pop();
         }
         None
     }
@@ -238,6 +243,36 @@ mod tests {
     fn cancel_unknown_handle_is_noop() {
         let mut q: EventQueue<()> = EventQueue::new();
         assert!(!q.cancel(EventHandle(42)));
+    }
+
+    #[test]
+    fn cancel_of_already_fired_event_is_rejected() {
+        // Regression: the old implementation put the fired seq into the
+        // cancelled set forever, permanently skewing `len()` and letting
+        // `heap.len() - cancelled.len()` underflow.
+        let mut q = EventQueue::new();
+        let h1 = q.schedule(t(1.0), 1);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert!(!q.cancel(h1), "a fired event cannot be cancelled");
+        assert_eq!(q.len(), 0);
+        assert!(q.is_empty());
+        // Accounting stays exact for later events.
+        let h2 = q.schedule(t(2.0), 2);
+        assert_eq!(q.len(), 1);
+        assert!(!q.cancel(h1), "still rejected after more scheduling");
+        assert!(q.cancel(h2));
+        assert_eq!(q.len(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_of_fired_event_never_underflows_len() {
+        let mut q = EventQueue::new();
+        let h = q.schedule(t(1.0), ());
+        q.pop();
+        q.cancel(h); // must not poison the accounting
+        q.cancel(h);
+        assert_eq!(q.len(), 0, "len() would have underflowed before the fix");
     }
 
     #[test]

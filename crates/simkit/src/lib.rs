@@ -11,7 +11,12 @@
 //! * [`dist`] — the distributions the workload models need (Zipf via alias
 //!   tables, exponential, log-normal, bounded Pareto, empirical resampling);
 //! * [`stats`] — online statistics (summaries, histograms, counters,
-//!   time series).
+//!   time series);
+//! * [`sim`] — the shared simulation kernel: the [`sim::Simulation`]
+//!   trait, the kernel-owned event-loop driver, churn, warm-up gating
+//!   and periodic sampling;
+//! * [`trace`] — the structured trace layer: typed records and
+//!   pluggable [`trace::TraceSink`]s, zero-cost when disabled.
 //!
 //! # Example: a minimal M/M/1-ish arrival loop
 //!
@@ -46,9 +51,13 @@
 pub mod dist;
 pub mod event;
 pub mod rng;
+pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod trace;
 
 pub use event::EventQueue;
 pub use rng::RngStream;
+pub use sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 pub use time::{SimDuration, SimTime};
+pub use trace::{NullSink, TraceRecord, TraceSink};

@@ -1,0 +1,505 @@
+//! The shared simulation kernel.
+//!
+//! Every discrete-event engine in the workspace used to hand-roll the
+//! same four pieces on top of [`EventQueue`]: the pop-dispatch loop with
+//! an end-of-run guard, churn (sample a lifetime, schedule a death,
+//! spawn a replacement), warm-up gating, and periodic metric sampling.
+//! This module owns all four:
+//!
+//! * [`Simulation`] — the engine-side trait: an event type plus a
+//!   `handle` method that receives each popped event and a [`SimCtx`]
+//!   for scheduling follow-ups and emitting trace records;
+//! * [`Kernel`] — the driver that owns the queue, the clock horizon,
+//!   the warm-up boundary, and the periodic sample tick;
+//! * [`ChurnDriver`] — reusable lifetime-sampling/death-scheduling for
+//!   constant-population churn, generic over any [`Lifetimes`] model;
+//! * the trace layer ([`crate::trace`]) threaded through [`SimCtx`], so
+//!   every engine gets structured observability without touching its
+//!   hot path (the default [`NullSink`] monomorphizes to nothing).
+//!
+//! The kernel preserves the workspace's determinism contract: it draws
+//! no randomness of its own, schedules in a fixed order (engine init
+//! first, then the first sample tick), and inherits the event queue's
+//! no-time-travel invariant — scheduling into the past panics.
+//!
+//! # Example: a counting engine on the kernel
+//!
+//! ```
+//! use simkit::sim::{Kernel, KernelParams, SimCtx, Simulation};
+//! use simkit::time::{SimDuration, SimTime};
+//! use simkit::trace::{NullSink, TraceSink};
+//!
+//! struct Ticker {
+//!     ticks: u32,
+//! }
+//!
+//! impl<T: TraceSink> Simulation<T> for Ticker {
+//!     type Event = ();
+//!     fn handle(&mut self, now: SimTime, _ev: (), ctx: &mut SimCtx<'_, (), T>) {
+//!         self.ticks += 1;
+//!         ctx.schedule(now + SimDuration::from_secs(1.0), ());
+//!     }
+//! }
+//!
+//! let params = KernelParams::new(SimDuration::from_secs(10.0));
+//! let mut kernel = Kernel::new(params, NullSink);
+//! kernel.ctx().schedule(SimTime::ZERO, ());
+//! let mut sim = Ticker { ticks: 0 };
+//! kernel.run(&mut sim);
+//! assert_eq!(sim.ticks, 11); // t = 0, 1, …, 10
+//! ```
+
+use crate::event::{EventHandle, EventQueue};
+use crate::rng::RngStream;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{NullSink, TraceRecord, TraceSink};
+
+/// A peer-lifetime distribution, as the kernel's churn driver sees it.
+///
+/// The concrete models live in the `workload` crate (which depends on
+/// `simkit`, not the other way around); they implement this hook so
+/// [`ChurnDriver`] can sample them without a dependency cycle.
+pub trait Lifetimes {
+    /// Draws one session length from the model.
+    fn sample_lifetime(&self, rng: &mut RngStream) -> SimDuration;
+}
+
+impl<L: Lifetimes + ?Sized> Lifetimes for &L {
+    fn sample_lifetime(&self, rng: &mut RngStream) -> SimDuration {
+        (**self).sample_lifetime(rng)
+    }
+}
+
+/// Reusable constant-population churn: sample a lifetime from the
+/// model, schedule the peer's death event, and trace the join.
+///
+/// Engines call [`ChurnDriver::spawn`] once per peer instance — at
+/// initial population and again for every replacement born on a death
+/// — instead of hand-rolling the draw-and-schedule pair. The RNG is
+/// passed in at the call site so the engine's established stream and
+/// draw order stay exactly as they were (byte-identical runs).
+#[derive(Debug, Clone)]
+pub struct ChurnDriver<L> {
+    lifetimes: L,
+}
+
+impl<L: Lifetimes> ChurnDriver<L> {
+    /// Wraps a lifetime model.
+    #[must_use]
+    pub fn new(lifetimes: L) -> Self {
+        ChurnDriver { lifetimes }
+    }
+
+    /// Borrows the underlying lifetime model.
+    #[must_use]
+    pub fn lifetimes(&self) -> &L {
+        &self.lifetimes
+    }
+
+    /// Registers a newborn peer: draws its lifetime from the model
+    /// (one draw from `rng`, at this exact point in the stream),
+    /// schedules `death` at `now + lifetime`, and emits a
+    /// [`TraceRecord::PeerJoin`]. Returns the death event's handle.
+    pub fn spawn<E, T: TraceSink>(
+        &self,
+        ctx: &mut SimCtx<'_, E, T>,
+        rng: &mut RngStream,
+        now: SimTime,
+        peer: u64,
+        death: E,
+    ) -> EventHandle {
+        let life = self.lifetimes.sample_lifetime(rng);
+        if ctx.tracing() {
+            ctx.emit(now, TraceRecord::PeerJoin { peer });
+        }
+        ctx.schedule(now + life, death)
+    }
+
+    /// Records the (traced) death of a peer instance. The engine calls
+    /// this from its death handler before spawning the replacement.
+    pub fn died<E, T: TraceSink>(&self, ctx: &mut SimCtx<'_, E, T>, now: SimTime, peer: u64) {
+        if ctx.tracing() {
+            ctx.emit(now, TraceRecord::PeerDeath { peer });
+        }
+    }
+}
+
+/// The kernel's own event wrapper: engine events plus the periodic
+/// sample tick the kernel drives itself.
+#[derive(Debug, Clone, Copy)]
+enum KernelEvent<E> {
+    User(E),
+    Sample,
+}
+
+/// Clock horizon, warm-up boundary, and sampling cadence of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelParams {
+    /// Events after this instant are not processed.
+    pub end: SimTime,
+    /// Instant at which measurement starts ([`SimCtx::after_warmup`],
+    /// [`Simulation::sample`] gating). `SimTime::ZERO` disables
+    /// warm-up exclusion.
+    pub warmup_end: SimTime,
+    /// Cadence of the kernel-driven sample tick; `None` disables
+    /// sampling entirely (no tick events are ever scheduled).
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl KernelParams {
+    /// Params for a run of `duration` with no warm-up and no sampling.
+    #[must_use]
+    pub fn new(duration: SimDuration) -> Self {
+        KernelParams {
+            end: SimTime::ZERO + duration,
+            warmup_end: SimTime::ZERO,
+            sample_interval: None,
+        }
+    }
+
+    /// Sets the warm-up span (measured from the start of the run).
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup_end = SimTime::ZERO + warmup;
+        self
+    }
+
+    /// Enables the periodic sample tick.
+    #[must_use]
+    pub fn with_sampling(mut self, interval: SimDuration) -> Self {
+        self.sample_interval = Some(interval);
+        self
+    }
+}
+
+/// What the engine sees while handling an event: the scheduler, the
+/// warm-up boundary, and the trace sink.
+pub struct SimCtx<'a, E, T: TraceSink> {
+    queue: &'a mut EventQueue<KernelEvent<E>>,
+    warmup_end: SimTime,
+    sink: &'a mut T,
+}
+
+impl<E, T: TraceSink> SimCtx<'_, E, T> {
+    /// Schedules an engine event at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current clock (the queue's
+    /// no-time-travel invariant).
+    pub fn schedule(&mut self, at: SimTime, event: E) -> EventHandle {
+        self.queue.schedule(at, KernelEvent::User(event))
+    }
+
+    /// Cancels a previously scheduled engine event.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
+    }
+
+    /// The current simulation instant.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// True once `now` has passed the warm-up boundary — the gate for
+    /// recording query metrics.
+    #[must_use]
+    pub fn after_warmup(&self, now: SimTime) -> bool {
+        now >= self.warmup_end
+    }
+
+    /// True when the trace sink wants records. Emission sites guard
+    /// record construction behind this so the [`NullSink`] path costs
+    /// nothing.
+    #[inline]
+    #[must_use]
+    pub fn tracing(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Emits one trace record (a no-op for disabled sinks).
+    #[inline]
+    pub fn emit(&mut self, at: SimTime, rec: TraceRecord) {
+        if self.sink.enabled() {
+            self.sink.record(at, rec);
+        }
+    }
+}
+
+/// An engine the kernel can drive, generic over the trace sink so the
+/// disabled path monomorphizes away.
+pub trait Simulation<T: TraceSink> {
+    /// The engine's event alphabet.
+    type Event;
+
+    /// Handles one popped event. All follow-up scheduling and trace
+    /// emission goes through `ctx`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, ctx: &mut SimCtx<'_, Self::Event, T>);
+
+    /// Called at each kernel sample tick that falls after warm-up.
+    /// Engines take their periodic metric snapshots here; the default
+    /// does nothing.
+    fn sample(&mut self, _now: SimTime) {}
+
+    /// Number of currently live peers, reported in the kernel's
+    /// [`TraceRecord::Sample`] ticks (queried only when tracing).
+    fn live_peers(&self) -> u64 {
+        0
+    }
+}
+
+/// The kernel-owned event-loop driver.
+///
+/// Construction order matters for byte-identical replays: create the
+/// kernel, let the engine schedule its initial events through
+/// [`Kernel::ctx`], then call [`Kernel::run`] — `run` schedules the
+/// first sample tick (if sampling is on) before popping anything, so
+/// the tick's sequence number lands after all engine init events,
+/// exactly where the ported engines used to put it.
+#[derive(Debug)]
+pub struct Kernel<E, T: TraceSink = NullSink> {
+    queue: EventQueue<KernelEvent<E>>,
+    params: KernelParams,
+    sink: T,
+    started: bool,
+}
+
+impl<E, T: TraceSink> Kernel<E, T> {
+    /// Creates a kernel with an empty queue.
+    #[must_use]
+    pub fn new(params: KernelParams, sink: T) -> Self {
+        Kernel {
+            queue: EventQueue::new(),
+            params,
+            sink,
+            started: false,
+        }
+    }
+
+    /// The run parameters.
+    #[must_use]
+    pub fn params(&self) -> &KernelParams {
+        &self.params
+    }
+
+    /// Events popped so far.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// A context for init-time scheduling (before [`Kernel::run`]).
+    pub fn ctx(&mut self) -> SimCtx<'_, E, T> {
+        SimCtx {
+            queue: &mut self.queue,
+            warmup_end: self.params.warmup_end,
+            sink: &mut self.sink,
+        }
+    }
+
+    /// Drives the loop to completion: pops events in `(time, seq)`
+    /// order, stops past `params.end`, dispatches engine events to
+    /// [`Simulation::handle`], and owns the sample tick — gating
+    /// [`Simulation::sample`] on warm-up, emitting a
+    /// [`TraceRecord::Sample`] when tracing, and rescheduling.
+    pub fn run<S>(&mut self, sim: &mut S)
+    where
+        S: Simulation<T, Event = E>,
+    {
+        if !self.started {
+            self.started = true;
+            if let Some(interval) = self.params.sample_interval {
+                self.queue
+                    .schedule(self.queue.now() + interval, KernelEvent::Sample);
+            }
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.params.end {
+                break;
+            }
+            match event {
+                KernelEvent::User(ev) => {
+                    let mut ctx = SimCtx {
+                        queue: &mut self.queue,
+                        warmup_end: self.params.warmup_end,
+                        sink: &mut self.sink,
+                    };
+                    sim.handle(now, ev, &mut ctx);
+                }
+                KernelEvent::Sample => {
+                    if now >= self.params.warmup_end {
+                        sim.sample(now);
+                    }
+                    if self.sink.enabled() {
+                        self.sink.record(
+                            now,
+                            TraceRecord::Sample {
+                                live: sim.live_peers(),
+                            },
+                        );
+                    }
+                    let interval = self
+                        .params
+                        .sample_interval
+                        .expect("sample tick only exists when sampling is on");
+                    self.queue.schedule(now + interval, KernelEvent::Sample);
+                }
+            }
+        }
+    }
+
+    /// Consumes the kernel, returning the trace sink for inspection.
+    pub fn into_sink(self) -> T {
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CountingSink, RecordingSink};
+
+    /// A minimal engine: every event reschedules itself after `gap`
+    /// until `limit` events have been handled; `sample` counts ticks.
+    struct Echo {
+        handled: u32,
+        sampled: u32,
+        limit: u32,
+        gap: SimDuration,
+    }
+
+    impl Echo {
+        fn new(limit: u32, gap_secs: f64) -> Self {
+            Echo {
+                handled: 0,
+                sampled: 0,
+                limit,
+                gap: SimDuration::from_secs(gap_secs),
+            }
+        }
+    }
+
+    impl<T: TraceSink> Simulation<T> for Echo {
+        type Event = u32;
+
+        fn handle(&mut self, now: SimTime, ev: u32, ctx: &mut SimCtx<'_, u32, T>) {
+            self.handled += 1;
+            if self.handled < self.limit {
+                ctx.schedule(now + self.gap, ev + 1);
+            }
+        }
+
+        fn sample(&mut self, _now: SimTime) {
+            self.sampled += 1;
+        }
+
+        fn live_peers(&self) -> u64 {
+            42
+        }
+    }
+
+    #[test]
+    fn runs_until_horizon() {
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let mut sim = Echo::new(u32::MAX, 1.0);
+        kernel.run(&mut sim);
+        // Events at t = 0..=5 are in range; the t = 6 event is past the end.
+        assert_eq!(sim.handled, 6);
+    }
+
+    #[test]
+    fn sample_ticks_fire_after_warmup_only() {
+        let params = KernelParams::new(SimDuration::from_secs(10.0))
+            .with_warmup(SimDuration::from_secs(5.0))
+            .with_sampling(SimDuration::from_secs(1.0));
+        let mut kernel = Kernel::new(params, NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let mut sim = Echo::new(1, 1.0);
+        kernel.run(&mut sim);
+        // Ticks at 1..=10; those at 5..=10 are post-warm-up.
+        assert_eq!(sim.sampled, 6);
+    }
+
+    #[test]
+    fn sample_trace_records_cover_warmup_too() {
+        let params = KernelParams::new(SimDuration::from_secs(10.0))
+            .with_warmup(SimDuration::from_secs(5.0))
+            .with_sampling(SimDuration::from_secs(1.0));
+        let mut kernel = Kernel::new(params, RecordingSink::new());
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let mut sim = Echo::new(1, 1.0);
+        kernel.run(&mut sim);
+        let sink = kernel.into_sink();
+        let samples: Vec<_> = sink
+            .select(|r| matches!(r, TraceRecord::Sample { .. }))
+            .collect();
+        assert_eq!(samples.len(), 10, "trace sees every tick, warm-up included");
+        for (_, r) in samples {
+            assert_eq!(*r, TraceRecord::Sample { live: 42 });
+        }
+    }
+
+    #[test]
+    fn no_sampling_means_no_ticks() {
+        let mut kernel = Kernel::new(
+            KernelParams::new(SimDuration::from_secs(10.0)),
+            CountingSink::new(),
+        );
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let mut sim = Echo::new(3, 1.0);
+        kernel.run(&mut sim);
+        assert_eq!(sim.sampled, 0);
+        assert_eq!(kernel.into_sink().samples, 0);
+    }
+
+    #[test]
+    fn churn_driver_schedules_death_at_sampled_lifetime() {
+        struct Fixed(f64);
+        impl Lifetimes for Fixed {
+            fn sample_lifetime(&self, _rng: &mut RngStream) -> SimDuration {
+                SimDuration::from_secs(self.0)
+            }
+        }
+
+        struct OneDeath {
+            died_at: Option<SimTime>,
+        }
+        impl<T: TraceSink> Simulation<T> for OneDeath {
+            type Event = &'static str;
+            fn handle(
+                &mut self,
+                now: SimTime,
+                ev: &'static str,
+                _ctx: &mut SimCtx<'_, &'static str, T>,
+            ) {
+                assert_eq!(ev, "death");
+                self.died_at = Some(now);
+            }
+        }
+
+        let churn = ChurnDriver::new(Fixed(7.5));
+        let mut rng = RngStream::from_seed(1, "churn-test");
+        let mut kernel = Kernel::new(
+            KernelParams::new(SimDuration::from_secs(100.0)),
+            CountingSink::new(),
+        );
+        churn.spawn(&mut kernel.ctx(), &mut rng, SimTime::ZERO, 3, "death");
+        let mut sim = OneDeath { died_at: None };
+        kernel.run(&mut sim);
+        assert_eq!(sim.died_at, Some(SimTime::from_secs(7.5)));
+        let sink = kernel.into_sink();
+        assert_eq!(sink.joins, 1);
+    }
+
+    #[test]
+    fn ctx_warmup_gate() {
+        let params = KernelParams::new(SimDuration::from_secs(10.0))
+            .with_warmup(SimDuration::from_secs(4.0));
+        let mut kernel: Kernel<(), NullSink> = Kernel::new(params, NullSink);
+        let ctx = kernel.ctx();
+        assert!(!ctx.after_warmup(SimTime::from_secs(3.9)));
+        assert!(ctx.after_warmup(SimTime::from_secs(4.0)));
+    }
+}

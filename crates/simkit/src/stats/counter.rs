@@ -29,7 +29,9 @@ impl CounterSet {
     /// Creates an empty counter set.
     #[must_use]
     pub fn new() -> Self {
-        CounterSet { counts: BTreeMap::new() }
+        CounterSet {
+            counts: BTreeMap::new(),
+        }
     }
 
     /// Adds `n` to the counter `name`, creating it at zero if absent.

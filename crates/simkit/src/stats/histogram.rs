@@ -25,7 +25,10 @@ impl Histogram {
     /// Creates an empty histogram.
     #[must_use]
     pub fn new() -> Self {
-        Histogram { samples: Vec::new(), sorted: true }
+        Histogram {
+            samples: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Records one observation.
@@ -53,7 +56,8 @@ impl Histogram {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
             self.sorted = true;
         }
     }
@@ -91,7 +95,11 @@ impl Histogram {
         self.ensure_sorted();
         let lo = self.samples[0];
         let hi = self.samples[self.samples.len() - 1];
-        let width = if hi > lo { (hi - lo) / bins as f64 } else { 1.0 };
+        let width = if hi > lo {
+            (hi - lo) / bins as f64
+        } else {
+            1.0
+        };
         let mut out: Vec<(f64, usize)> = (0..bins).map(|i| (lo + width * i as f64, 0)).collect();
         for &x in &self.samples {
             let mut idx = ((x - lo) / width) as usize;

@@ -29,7 +29,13 @@ impl Summary {
     /// Creates an empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Summary { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one observation.

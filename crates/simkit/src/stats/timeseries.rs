@@ -27,7 +27,10 @@ impl TimeSeries {
     /// Creates an empty series with a display name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series' display name.

@@ -48,7 +48,10 @@ impl SimTime {
     /// Panics if `secs` is NaN or negative.
     #[must_use]
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimTime must be finite and non-negative, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimTime must be finite and non-negative, got {secs}"
+        );
         SimTime(secs)
     }
 
@@ -86,7 +89,10 @@ impl SimDuration {
     /// Panics if `secs` is NaN or negative.
     #[must_use]
     pub fn from_secs(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "SimDuration must be finite and non-negative, got {secs}");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "SimDuration must be finite and non-negative, got {secs}"
+        );
         SimDuration(secs)
     }
 
@@ -227,9 +233,20 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = vec![SimTime::from_secs(3.0), SimTime::ZERO, SimTime::from_secs(1.0)];
+        let mut v = vec![
+            SimTime::from_secs(3.0),
+            SimTime::ZERO,
+            SimTime::from_secs(1.0),
+        ];
         v.sort();
-        assert_eq!(v, vec![SimTime::ZERO, SimTime::from_secs(1.0), SimTime::from_secs(3.0)]);
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_secs(1.0),
+                SimTime::from_secs(3.0)
+            ]
+        );
     }
 
     #[test]

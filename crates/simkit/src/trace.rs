@@ -1,0 +1,360 @@
+//! Structured simulation tracing.
+//!
+//! Every engine built on [`crate::sim`] emits typed [`TraceRecord`]s —
+//! peer churn, probes, query lifecycles, cache evictions, periodic
+//! samples — through a [`TraceSink`]. The default sink, [`NullSink`],
+//! reports itself disabled so that every emission site compiles down to
+//! nothing on the hot path (sinks are monomorphized, never boxed); a
+//! [`CountingSink`] tallies records for tests and reconciliation, and a
+//! [`RecordingSink`] keeps them all for invariant checks. File formats
+//! (e.g. JSONL) live with their consumers, not here.
+
+use crate::time::SimTime;
+
+/// What kind of network probe a [`TraceRecord::Probe`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// A query probe (GUESS iterative/parallel search).
+    Query,
+    /// A maintenance ping (GUESS cache upkeep).
+    Ping,
+    /// A flooded query message (Gnutella forwarding).
+    Flood,
+}
+
+impl ProbeKind {
+    /// Stable lowercase name, used by file sinks.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::Query => "query",
+            ProbeKind::Ping => "ping",
+            ProbeKind::Flood => "flood",
+        }
+    }
+}
+
+/// How a probe turned out, from the sender's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeOutcome {
+    /// Reached a live peer that processed it.
+    Good,
+    /// Addressed to a peer that had already left the network.
+    Dead,
+    /// Dropped by an overloaded peer (capacity refusal).
+    Refused,
+    /// Arrived at a peer that had already seen this query (flooding).
+    Duplicate,
+}
+
+impl ProbeOutcome {
+    /// Stable lowercase name, used by file sinks.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeOutcome::Good => "good",
+            ProbeOutcome::Dead => "dead",
+            ProbeOutcome::Refused => "refused",
+            ProbeOutcome::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// One structured trace event.
+///
+/// Peers are identified by the engine's dense instance id (GUESS peer
+/// addresses, Gnutella slot indices); query ids are per-run sequence
+/// numbers assigned at query start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceRecord {
+    /// A peer instance entered the network.
+    PeerJoin {
+        /// Engine-assigned peer instance id.
+        peer: u64,
+    },
+    /// A peer instance left the network.
+    PeerDeath {
+        /// Engine-assigned peer instance id.
+        peer: u64,
+    },
+    /// A query began at `origin`.
+    QueryStart {
+        /// Per-run query sequence number.
+        query: u64,
+        /// Peer instance id of the querying peer.
+        origin: u64,
+    },
+    /// One probe/message sent on behalf of a query or of maintenance.
+    Probe {
+        /// Query id, or the sentinel [`NO_QUERY`] for maintenance pings.
+        query: u64,
+        /// Peer instance id of the probed peer.
+        target: u64,
+        /// What kind of probe this was.
+        kind: ProbeKind,
+        /// How it turned out.
+        outcome: ProbeOutcome,
+    },
+    /// A query finished (satisfied or pool exhausted).
+    QueryEnd {
+        /// Per-run query sequence number.
+        query: u64,
+        /// Whether the desired number of results was reached.
+        satisfied: bool,
+        /// Total probes/messages this query cost.
+        probes: u32,
+        /// Results obtained.
+        results: u32,
+    },
+    /// A cache entry was evicted to admit another.
+    CacheEvict {
+        /// Peer instance id owning the cache.
+        owner: u64,
+        /// Peer instance id of the evicted entry.
+        evicted: u64,
+    },
+    /// A periodic kernel sample tick.
+    Sample {
+        /// Live peers at the tick.
+        live: u64,
+    },
+}
+
+/// Query-id sentinel for probes not belonging to any query
+/// (maintenance pings).
+pub const NO_QUERY: u64 = u64::MAX;
+
+/// A consumer of [`TraceRecord`]s.
+///
+/// Sinks are threaded through the simulation kernel as a generic
+/// parameter, so the disabled path ([`NullSink`]) monomorphizes to
+/// nothing: emission sites guard record *construction* behind
+/// [`TraceSink::enabled`], which is a compile-time constant `false`
+/// for the null sink.
+pub trait TraceSink {
+    /// Whether records should be constructed and delivered at all.
+    /// Call sites skip building records when this is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one record stamped with its simulation time.
+    fn record(&mut self, at: SimTime, rec: TraceRecord);
+}
+
+/// The default sink: tracing off, zero cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, _at: SimTime, _rec: TraceRecord) {}
+}
+
+/// A sink that tallies records by type — the test/reconciliation sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// `PeerJoin` records seen.
+    pub joins: u64,
+    /// `PeerDeath` records seen.
+    pub deaths: u64,
+    /// `QueryStart` records seen.
+    pub query_starts: u64,
+    /// `QueryEnd` records seen.
+    pub query_ends: u64,
+    /// `QueryEnd` records with `satisfied == true`.
+    pub satisfied: u64,
+    /// Sum of `QueryEnd::probes` over all ended queries.
+    pub query_end_probes: u64,
+    /// `Probe` records with [`ProbeKind::Query`].
+    pub query_probes: u64,
+    /// `Probe` records with [`ProbeKind::Ping`].
+    pub ping_probes: u64,
+    /// `Probe` records with [`ProbeKind::Flood`].
+    pub flood_probes: u64,
+    /// `CacheEvict` records seen.
+    pub evictions: u64,
+    /// `Sample` records seen.
+    pub samples: u64,
+}
+
+impl CountingSink {
+    /// A fresh all-zero counter sink.
+    #[must_use]
+    pub fn new() -> Self {
+        CountingSink::default()
+    }
+
+    /// Total records consumed.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.joins
+            + self.deaths
+            + self.query_starts
+            + self.query_ends
+            + self.query_probes
+            + self.ping_probes
+            + self.flood_probes
+            + self.evictions
+            + self.samples
+    }
+}
+
+impl TraceSink for CountingSink {
+    fn record(&mut self, _at: SimTime, rec: TraceRecord) {
+        match rec {
+            TraceRecord::PeerJoin { .. } => self.joins += 1,
+            TraceRecord::PeerDeath { .. } => self.deaths += 1,
+            TraceRecord::QueryStart { .. } => self.query_starts += 1,
+            TraceRecord::QueryEnd {
+                satisfied, probes, ..
+            } => {
+                self.query_ends += 1;
+                self.query_end_probes += u64::from(probes);
+                if satisfied {
+                    self.satisfied += 1;
+                }
+            }
+            TraceRecord::Probe { kind, .. } => match kind {
+                ProbeKind::Query => self.query_probes += 1,
+                ProbeKind::Ping => self.ping_probes += 1,
+                ProbeKind::Flood => self.flood_probes += 1,
+            },
+            TraceRecord::CacheEvict { .. } => self.evictions += 1,
+            TraceRecord::Sample { .. } => self.samples += 1,
+        }
+    }
+}
+
+/// A sink that keeps every record, timestamped, for offline assertions.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    /// The records, in emission order.
+    pub records: Vec<(SimTime, TraceRecord)>,
+}
+
+impl RecordingSink {
+    /// A fresh empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        RecordingSink::default()
+    }
+
+    /// Iterates over the records of one variant selected by `filter`.
+    pub fn select<'a, F>(&'a self, filter: F) -> impl Iterator<Item = &'a (SimTime, TraceRecord)>
+    where
+        F: Fn(&TraceRecord) -> bool + 'a,
+    {
+        self.records.iter().filter(move |(_, r)| filter(r))
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn record(&mut self, at: SimTime, rec: TraceRecord) {
+        self.records.push((at, rec));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.record(SimTime::ZERO, TraceRecord::PeerJoin { peer: 1 }); // no-op
+    }
+
+    #[test]
+    fn counting_sink_tallies_by_variant() {
+        let mut s = CountingSink::new();
+        assert!(s.enabled());
+        let t = SimTime::from_secs(1.0);
+        s.record(t, TraceRecord::PeerJoin { peer: 0 });
+        s.record(t, TraceRecord::PeerDeath { peer: 0 });
+        s.record(
+            t,
+            TraceRecord::QueryStart {
+                query: 0,
+                origin: 3,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: 0,
+                target: 4,
+                kind: ProbeKind::Query,
+                outcome: ProbeOutcome::Good,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: NO_QUERY,
+                target: 5,
+                kind: ProbeKind::Ping,
+                outcome: ProbeOutcome::Dead,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::QueryEnd {
+                query: 0,
+                satisfied: true,
+                probes: 7,
+                results: 2,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::CacheEvict {
+                owner: 1,
+                evicted: 2,
+            },
+        );
+        s.record(t, TraceRecord::Sample { live: 100 });
+        assert_eq!(s.joins, 1);
+        assert_eq!(s.deaths, 1);
+        assert_eq!(s.query_starts, 1);
+        assert_eq!(s.query_ends, 1);
+        assert_eq!(s.satisfied, 1);
+        assert_eq!(s.query_end_probes, 7);
+        assert_eq!(s.query_probes, 1);
+        assert_eq!(s.ping_probes, 1);
+        assert_eq!(s.flood_probes, 0);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.samples, 1);
+        assert_eq!(s.total(), 8);
+    }
+
+    #[test]
+    fn recording_sink_keeps_order_and_filters() {
+        let mut s = RecordingSink::new();
+        s.record(SimTime::from_secs(1.0), TraceRecord::Sample { live: 10 });
+        s.record(SimTime::from_secs(2.0), TraceRecord::PeerJoin { peer: 9 });
+        s.record(SimTime::from_secs(3.0), TraceRecord::Sample { live: 11 });
+        let samples: Vec<_> = s
+            .select(|r| matches!(r, TraceRecord::Sample { .. }))
+            .collect();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].0, SimTime::from_secs(1.0));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ProbeKind::Query.name(), "query");
+        assert_eq!(ProbeKind::Ping.name(), "ping");
+        assert_eq!(ProbeKind::Flood.name(), "flood");
+        assert_eq!(ProbeOutcome::Good.name(), "good");
+        assert_eq!(ProbeOutcome::Dead.name(), "dead");
+        assert_eq!(ProbeOutcome::Refused.name(), "refused");
+        assert_eq!(ProbeOutcome::Duplicate.name(), "duplicate");
+    }
+}

@@ -14,7 +14,9 @@ use simkit::time::SimTime;
 /// Generates a random lowercase label of 1..=12 chars.
 fn gen_label(rng: &mut RngStream) -> String {
     let len = 1 + rng.below(12);
-    (0..len).map(|_| (b'a' + rng.below(26) as u8) as char).collect()
+    (0..len)
+        .map(|_| (b'a' + rng.below(26) as u8) as char)
+        .collect()
 }
 
 /// Events always pop in non-decreasing time order, whatever order they
@@ -48,8 +50,11 @@ fn event_queue_cancellation_is_exact() {
         let n = 1 + gen.below(100);
         let times: Vec<f64> = (0..n).map(|_| gen.uniform(0.0, 1e3)).collect();
         let mut q = EventQueue::new();
-        let handles: Vec<_> =
-            times.iter().enumerate().map(|(i, &t)| q.schedule(SimTime::from_secs(t), i)).collect();
+        let handles: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| q.schedule(SimTime::from_secs(t), i))
+            .collect();
         let mut cancelled = std::collections::HashSet::new();
         for (i, h) in handles.iter().enumerate() {
             if gen.chance(0.5) {
@@ -125,8 +130,15 @@ fn alias_table_respects_support() {
     let mut gen = RngStream::from_seed(0x16, "cases");
     for _ in 0..40 {
         let n = 1 + gen.below(50);
-        let weights: Vec<f64> =
-            (0..n).map(|_| if gen.chance(0.25) { 0.0 } else { gen.uniform(0.0, 100.0) }).collect();
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if gen.chance(0.25) {
+                    0.0
+                } else {
+                    gen.uniform(0.0, 100.0)
+                }
+            })
+            .collect();
         if weights.iter().sum::<f64>() <= 0.0 {
             continue;
         }

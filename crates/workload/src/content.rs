@@ -39,7 +39,11 @@ impl Default for CatalogParams {
     /// mean first-hit rank of answerable queries is ≈45 — which makes the
     /// Random-policy GUESS cost land near the paper's ≈99 probes/query.
     fn default() -> Self {
-        CatalogParams { items: 20_000, replication_exponent: 0.95, query_exponent: 1.2 }
+        CatalogParams {
+            items: 20_000,
+            replication_exponent: 0.95,
+            query_exponent: 1.2,
+        }
     }
 }
 
@@ -69,7 +73,10 @@ pub struct InvalidCatalogError;
 
 impl std::fmt::Display for InvalidCatalogError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "catalog requires items > 0 and finite non-negative exponents")
+        write!(
+            f,
+            "catalog requires items > 0 and finite non-negative exponents"
+        )
     }
 }
 
@@ -83,11 +90,15 @@ impl Catalog {
     /// Returns [`InvalidCatalogError`] if there are zero items or an
     /// exponent is negative/non-finite.
     pub fn new(params: CatalogParams) -> Result<Self, InvalidCatalogError> {
-        let replication =
-            Zipf::new(params.items, params.replication_exponent).map_err(|_| InvalidCatalogError)?;
+        let replication = Zipf::new(params.items, params.replication_exponent)
+            .map_err(|_| InvalidCatalogError)?;
         let query_pop =
             Zipf::new(params.items, params.query_exponent).map_err(|_| InvalidCatalogError)?;
-        Ok(Catalog { params, replication, query_pop })
+        Ok(Catalog {
+            params,
+            replication,
+            query_pop,
+        })
     }
 
     /// The catalog parameters.
@@ -107,8 +118,9 @@ impl Catalog {
     /// copy of an item).
     #[must_use]
     pub fn build_library(&self, num_files: u32, rng: &mut RngStream) -> PeerLibrary {
-        let mut ids: Vec<u32> =
-            (0..num_files).map(|_| self.replication.sample_index(rng) as u32).collect();
+        let mut ids: Vec<u32> = (0..num_files)
+            .map(|_| self.replication.sample_index(rng) as u32)
+            .collect();
         ids.sort_unstable();
         ids.dedup();
         PeerLibrary { items: ids }
@@ -177,7 +189,11 @@ mod tests {
 
     #[test]
     fn rejects_bad_params() {
-        assert!(Catalog::new(CatalogParams { items: 0, ..CatalogParams::default() }).is_err());
+        assert!(Catalog::new(CatalogParams {
+            items: 0,
+            ..CatalogParams::default()
+        })
+        .is_err());
         assert!(Catalog::new(CatalogParams {
             replication_exponent: -1.0,
             ..CatalogParams::default()

@@ -34,7 +34,10 @@ pub struct InvalidFileModelError;
 
 impl std::fmt::Display for InvalidFileModelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "file-count model requires a free-rider fraction in [0,1)")
+        write!(
+            f,
+            "file-count model requires a free-rider fraction in [0,1)"
+        )
     }
 }
 
@@ -66,8 +69,12 @@ impl FileCountModel {
         if !(0.0..1.0).contains(&free_rider_fraction) {
             return Err(InvalidFileModelError);
         }
-        let sharers = BoundedPareto::new(min_files, max_files, alpha).map_err(|_| InvalidFileModelError)?;
-        Ok(FileCountModel { free_rider_fraction, sharers })
+        let sharers =
+            BoundedPareto::new(min_files, max_files, alpha).map_err(|_| InvalidFileModelError)?;
+        Ok(FileCountModel {
+            free_rider_fraction,
+            sharers,
+        })
     }
 
     /// Fraction of peers sharing zero files.
@@ -108,7 +115,9 @@ mod tests {
         let m = FileCountModel::gnutella_like();
         let mut rng = RngStream::from_seed(1, "f");
         let n = 20_000;
-        let free = (0..n).filter(|_| m.sample_file_count(&mut rng) == 0).count();
+        let free = (0..n)
+            .filter(|_| m.sample_file_count(&mut rng) == 0)
+            .count();
         let frac = free as f64 / n as f64;
         assert!((0.23..0.27).contains(&frac), "free-rider fraction {frac}");
     }

@@ -49,9 +49,15 @@ impl LifetimeModel {
     /// Panics if `multiplier` is non-finite or not positive.
     #[must_use]
     pub fn saroiu_like(multiplier: f64) -> Self {
-        assert!(multiplier.is_finite() && multiplier > 0.0, "LifespanMultiplier must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "LifespanMultiplier must be positive"
+        );
         let dist = synthesize_trace(DEFAULT_SAMPLE_SIZE);
-        LifetimeModel { dist: dist.scaled(multiplier), multiplier }
+        LifetimeModel {
+            dist: dist.scaled(multiplier),
+            multiplier,
+        }
     }
 
     /// Builds a model from a caller-provided sample of session lengths in
@@ -65,9 +71,15 @@ impl LifetimeModel {
         sample: Vec<f64>,
         multiplier: f64,
     ) -> Result<Self, simkit::dist::BuildEmpiricalError> {
-        assert!(multiplier.is_finite() && multiplier > 0.0, "LifespanMultiplier must be positive");
+        assert!(
+            multiplier.is_finite() && multiplier > 0.0,
+            "LifespanMultiplier must be positive"
+        );
         let dist = EmpiricalDist::from_sample(sample)?;
-        Ok(LifetimeModel { dist: dist.scaled(multiplier), multiplier })
+        Ok(LifetimeModel {
+            dist: dist.scaled(multiplier),
+            multiplier,
+        })
     }
 
     /// The configured `LifespanMultiplier`.
@@ -94,6 +106,15 @@ impl LifetimeModel {
     #[must_use]
     pub fn mean(&self) -> SimDuration {
         SimDuration::from_secs(self.dist.mean().expect("non-empty sample"))
+    }
+}
+
+/// The churn hook of the shared simulation kernel: a
+/// [`simkit::sim::ChurnDriver`] can drive any engine's churn straight
+/// off this model.
+impl simkit::sim::Lifetimes for LifetimeModel {
+    fn sample_lifetime(&self, rng: &mut RngStream) -> SimDuration {
+        LifetimeModel::sample_lifetime(self, rng)
     }
 }
 
@@ -139,13 +160,19 @@ mod tests {
     fn median_is_near_an_hour() {
         let m = LifetimeModel::saroiu_like(1.0);
         let med = m.median().as_secs();
-        assert!((1800.0..7200.0).contains(&med), "median {med} outside plausible range");
+        assert!(
+            (1800.0..7200.0).contains(&med),
+            "median {med} outside plausible range"
+        );
     }
 
     #[test]
     fn distribution_is_right_skewed() {
         let m = LifetimeModel::saroiu_like(1.0);
-        assert!(m.mean().as_secs() > m.median().as_secs(), "heavy tail means mean > median");
+        assert!(
+            m.mean().as_secs() > m.median().as_secs(),
+            "heavy tail means mean > median"
+        );
     }
 
     #[test]
@@ -184,8 +211,13 @@ mod tests {
         let m = LifetimeModel::saroiu_like(1.0);
         let mut rng = RngStream::from_seed(4, "lt");
         let n = 10_000;
-        let short = (0..n).filter(|_| m.sample_lifetime(&mut rng).as_secs() < 600.0).count();
+        let short = (0..n)
+            .filter(|_| m.sample_lifetime(&mut rng).as_secs() < 600.0)
+            .count();
         // The Saroiu trace has a substantial sub-10-minute mass.
-        assert!(short > n / 20, "only {short} of {n} sessions under 10 minutes");
+        assert!(
+            short > n / 20,
+            "only {short} of {n} sessions under 10 minutes"
+        );
     }
 }

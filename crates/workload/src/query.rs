@@ -61,7 +61,9 @@ impl QueryModel {
     /// Draws the target of a fresh query.
     #[must_use]
     pub fn sample_target(&self, rng: &mut RngStream) -> QueryTarget {
-        QueryTarget { item: self.catalog.sample_query_item(rng) }
+        QueryTarget {
+            item: self.catalog.sample_query_item(rng),
+        }
     }
 
     /// Whether a peer with library `lib` returns a result for `target`.

@@ -14,7 +14,11 @@ use workload::query::{QueryModel, QueryWorkload};
 #[test]
 fn library_bounds() {
     let mut gen = RngStream::from_seed(0x41, "cases");
-    let catalog = Catalog::new(CatalogParams { items: 2000, ..CatalogParams::default() }).unwrap();
+    let catalog = Catalog::new(CatalogParams {
+        items: 2000,
+        ..CatalogParams::default()
+    })
+    .unwrap();
     for _ in 0..30 {
         let files = gen.below(500) as u32;
         let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
@@ -49,7 +53,11 @@ fn library_contains_matches_iter() {
 #[test]
 fn answers_iff_contains() {
     let mut gen = RngStream::from_seed(0x43, "cases");
-    let catalog = Catalog::new(CatalogParams { items: 3000, ..CatalogParams::default() }).unwrap();
+    let catalog = Catalog::new(CatalogParams {
+        items: 3000,
+        ..CatalogParams::default()
+    })
+    .unwrap();
     let model = QueryModel::new(catalog);
     for _ in 0..30 {
         let files = 1 + gen.below(299) as u32;

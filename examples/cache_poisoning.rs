@@ -39,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (behavior, label) in [
-        (BadPongBehavior::Dead, "non-colluding (pongs carry dead IPs)"),
-        (BadPongBehavior::Bad, "COLLUDING (pongs carry other attackers)"),
+        (
+            BadPongBehavior::Dead,
+            "non-colluding (pongs carry dead IPs)",
+        ),
+        (
+            BadPongBehavior::Bad,
+            "COLLUDING (pongs carry other attackers)",
+        ),
     ] {
         println!("=== 20% malicious peers, {label} ===");
         println!(

@@ -25,7 +25,10 @@ fn strained(cache: usize, ping_secs: f64, queries: bool) -> Config {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Part 1 — cache size vs cache health (PingInterval=30s, heavy churn)");
-    println!("{:<10} {:>10} {:>10} {:>14} {:>12}", "cache", "frac live", "abs live", "probes/query", "unsatisfied");
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>12}",
+        "cache", "frac live", "abs live", "probes/query", "unsatisfied"
+    );
     println!("{}", "-".repeat(60));
     for cache in [10, 20, 50, 100, 200, 500] {
         let report = GuessSim::new(strained(cache, 30.0, true))?.run();

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = Topology::random_regular(n, 4, &mut rng);
     let policy = DeepeningPolicy::new(vec![2, 4, 7])?;
     let (cost, unsat) = evaluate(&topo, &pop, &policy, 500, 1, &mut rng);
-    println!("iterative deepening ttl=2;4;7  {cost:>12.1}        {:>10.1}%", unsat * 100.0);
+    println!(
+        "iterative deepening ttl=2;4;7  {cost:>12.1}        {:>10.1}%",
+        unsat * 100.0
+    );
 
     // GUESS, Random baseline and the cheap MFS configuration.
     let cfg = Config::default();

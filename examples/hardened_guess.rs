@@ -10,9 +10,7 @@
 //! cargo run --release --example hardened_guess
 //! ```
 
-use guess_suite::guess::config::{
-    AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config,
-};
+use guess_suite::guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config};
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
 
@@ -28,7 +26,10 @@ fn hostile(seed: u64) -> Config {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("{:<26} {:>12} {:>12} {:>12} {:>12}", "configuration", "probes/query", "unsatisfied", "p95 resp(s)", "blacklisted");
+    println!(
+        "{:<26} {:>12} {:>12} {:>12} {:>12}",
+        "configuration", "probes/query", "unsatisfied", "p95 resp(s)", "blacklisted"
+    );
     println!("{}", "-".repeat(80));
 
     // Plain MR in a hostile network: the paper's Figure 19/20 collapse.

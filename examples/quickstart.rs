@@ -12,7 +12,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table 1 + Table 2 defaults: 1000 peers, Random policies, 100-entry
     // link caches, 30s ping interval, bursty ~9.26e-3 queries/user/sec.
     let cfg = Config::default();
-    println!("simulating {} peers for {}...", cfg.system.network_size, cfg.run.duration);
+    println!(
+        "simulating {} peers for {}...",
+        cfg.system.network_size, cfg.run.duration
+    );
 
     let report = GuessSim::new(cfg)?.run();
 
@@ -21,16 +24,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("probes per query        : {:.1}", report.probes_per_query());
     println!("  good (live peers)     : {:.1}", report.good_per_query());
     println!("  wasted (dead peers)   : {:.1}", report.dead_per_query());
-    println!("  refused (overloaded)  : {:.2}", report.refused_per_query());
-    println!("unsatisfied queries     : {:.1}%", report.unsatisfaction() * 100.0);
-    println!("mean response time      : {:.1}s", report.mean_response_secs());
+    println!(
+        "  refused (overloaded)  : {:.2}",
+        report.refused_per_query()
+    );
+    println!(
+        "unsatisfied queries     : {:.1}%",
+        report.unsatisfaction() * 100.0
+    );
+    println!(
+        "mean response time      : {:.1}s",
+        report.mean_response_secs()
+    );
     if let Some(f) = report.live_fraction {
         println!("live link-cache entries : {:.0}% of cache", f * 100.0);
     }
     println!();
-    println!("busiest peer received {} probes over its lifetime", report.loads.first().unwrap_or(&0));
     println!(
-        "(paper reference for this setup: ~99 probes/query, ~6% unsatisfied — Figure 8)"
+        "busiest peer received {} probes over its lifetime",
+        report.loads.first().unwrap_or(&0)
     );
+    println!("(paper reference for this setup: ~99 probes/query, ~6% unsatisfied — Figure 8)");
     Ok(())
 }

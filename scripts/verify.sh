@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# CI-style verification: build, test, then smoke-run the repro driver in
-# parallel with JSON output and check the artifacts exist and parse.
+# CI-style verification: lint, build, test, then smoke-run the repro
+# driver in parallel with JSON output and a traced run, checking that
+# every artifact exists and parses.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out=/tmp/repro-ci
 
+cargo fmt --all -- --check
+cargo clippy --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
 cargo run --release -p guess-bench --bin repro -- \
@@ -17,4 +20,18 @@ for name in table3 fig9; do
     done
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/$name.json"
 done
+
+# Traced run: the binary itself reconciles the trace against the run
+# report (exits non-zero on mismatch); then check every line is JSON.
+cargo run --release -p guess-bench --bin repro -- --trace "$out/trace.jsonl" --quick
+python3 - "$out/trace.jsonl" <<'EOF'
+import json, sys
+n = 0
+with open(sys.argv[1]) as f:
+    for line in f:
+        json.loads(line)
+        n += 1
+assert n > 0, "empty trace"
+print(f"trace: {n} well-formed JSONL records")
+EOF
 echo "verify: OK"

@@ -1,0 +1,71 @@
+//! Cross-engine churn invariant: both simulators maintain a constant
+//! population. At every kernel sample tick the live-peer count must be
+//! exactly `network_size` — a death and its replacement birth happen in
+//! the same event, so no tick can ever observe a hole.
+
+use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use guess::config::Config;
+use guess::engine::GuessSim;
+use simkit::time::SimDuration;
+use simkit::trace::{RecordingSink, TraceRecord};
+
+/// Every [`TraceRecord::Sample`] must report exactly `expect` live
+/// peers, there must be samples at all, and churn must actually have
+/// happened (otherwise the invariant is vacuous).
+fn assert_constant_population(records: &RecordingSink, expect: u64, engine: &str, seed: u64) {
+    let mut samples = 0u64;
+    for (at, rec) in records.select(|r| matches!(r, TraceRecord::Sample { .. })) {
+        samples += 1;
+        let TraceRecord::Sample { live } = rec else {
+            unreachable!()
+        };
+        assert_eq!(
+            *live, expect,
+            "{engine} seed {seed}: live count {live} != {expect} at t={at}"
+        );
+    }
+    assert!(samples > 0, "{engine} seed {seed}: no sample ticks fired");
+    let deaths = records
+        .select(|r| matches!(r, TraceRecord::PeerDeath { .. }))
+        .count();
+    assert!(
+        deaths > 0,
+        "{engine} seed {seed}: no churn happened; invariant untested"
+    );
+}
+
+#[test]
+fn guess_live_count_stays_at_network_size_under_churn() {
+    for seed in [11u64, 12] {
+        let mut cfg = Config::small_test(seed);
+        cfg.run.duration = SimDuration::from_secs(400.0);
+        cfg.run.warmup = SimDuration::from_secs(50.0);
+        cfg.run.sample_interval = SimDuration::from_secs(20.0);
+        cfg.system.lifespan_multiplier = 0.1; // aggressive churn
+        let n = cfg.system.network_size as u64;
+        let (report, sink) = GuessSim::new(cfg).unwrap().run_traced(RecordingSink::new());
+        assert!(report.counters.get("deaths") > 0);
+        assert_constant_population(&sink, n, "guess", seed);
+    }
+}
+
+#[test]
+fn gnutella_live_count_stays_at_network_size_under_churn() {
+    for seed in [11u64, 12] {
+        let cfg = GnutellaConfig {
+            network_size: 150,
+            duration: SimDuration::from_secs(400.0),
+            warmup: SimDuration::from_secs(50.0),
+            sample_interval: Some(SimDuration::from_secs(20.0)),
+            lifespan_multiplier: 0.1,
+            seed,
+            ..GnutellaConfig::default()
+        };
+        let n = cfg.network_size as u64;
+        let (report, sink) = GnutellaSim::new(cfg)
+            .unwrap()
+            .run_traced(RecordingSink::new());
+        assert!(report.counters.get("deaths") > 0);
+        assert_constant_population(&sink, n, "gnutella", seed);
+    }
+}

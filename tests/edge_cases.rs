@@ -31,7 +31,11 @@ fn unseeded_caches_strand_queries() {
     let mut cfg = base(42);
     cfg.run.cache_seed_size = 0;
     let report = GuessSim::new(cfg).unwrap().run();
-    assert!(report.unsatisfaction() > 0.95, "unsat {}", report.unsatisfaction());
+    assert!(
+        report.unsatisfaction() > 0.95,
+        "unsat {}",
+        report.unsatisfaction()
+    );
     assert!(report.largest_component.unwrap_or(0.0) <= 1.5);
 }
 
@@ -90,10 +94,14 @@ fn all_policies_complete_under_attack() {
             cfg.protocol.ping_pong = qp;
             cfg.protocol.cache_replacement = cr;
             cfg.system.bad_peer_fraction = 0.15;
-            cfg.system.bad_pong_behavior =
-                if (i + j) % 2 == 0 { BadPongBehavior::Dead } else { BadPongBehavior::Bad };
+            cfg.system.bad_pong_behavior = if (i + j) % 2 == 0 {
+                BadPongBehavior::Dead
+            } else {
+                BadPongBehavior::Bad
+            };
             let report = GuessSim::new(cfg).unwrap().run();
-            let total = report.good_per_query() + report.dead_per_query() + report.refused_per_query();
+            let total =
+                report.good_per_query() + report.dead_per_query() + report.refused_per_query();
             assert!(
                 (total - report.probes_per_query()).abs() < 1e-9,
                 "probe breakdown must sum to the total for {qp:?}/{cr:?}"
@@ -121,7 +129,10 @@ fn saturated_bad_network_fails_gracefully() {
     cfg.system.bad_pong_behavior = BadPongBehavior::Bad;
     cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
     let report = GuessSim::new(cfg).unwrap().run();
-    assert!(report.unsatisfaction() > 0.3, "a saturated attack must hurt");
+    assert!(
+        report.unsatisfaction() > 0.3,
+        "a saturated attack must hurt"
+    );
 }
 
 #[test]

@@ -44,7 +44,10 @@ fn probe_cost_grows_with_cache_size() {
     let large = run(250);
     // At this reduced scale the query cache lets even tiny link caches
     // reach much of the network, so the gap is milder than Figure 3's.
-    assert!(large > small * 1.2, "cache 250 ({large:.1}) should cost well above cache 10 ({small:.1})");
+    assert!(
+        large > small * 1.2,
+        "cache 250 ({large:.1}) should cost well above cache 10 ({small:.1})"
+    );
 }
 
 /// §6.1 / Figure 5: extra probes at large cache sizes are mostly dead.
@@ -103,7 +106,10 @@ fn capacity_limits_refuse_but_do_not_starve() {
     unlimited.system.max_probes_per_second = None;
     let lim = GuessSim::new(limited).unwrap().run();
     let unlim = GuessSim::new(unlimited).unwrap().run();
-    assert!(lim.refused_per_query() > 0.0, "a 1/s cap must refuse something");
+    assert!(
+        lim.refused_per_query() > 0.0,
+        "a 1/s cap must refuse something"
+    );
     assert_eq!(unlim.refused_per_query(), 0.0);
     assert!(
         lim.unsatisfaction() < unlim.unsatisfaction() + 0.12,

@@ -130,7 +130,10 @@ fn query_rate_scales_query_volume() {
     fast.system.query_rate *= 4.0;
     let busy = GuessSim::new(fast).unwrap().run();
     let ratio = busy.queries as f64 / base.queries.max(1) as f64;
-    assert!((2.0..8.0).contains(&ratio), "4x rate should give ~4x queries, got {ratio:.2}x");
+    assert!(
+        (2.0..8.0).contains(&ratio),
+        "4x rate should give ~4x queries, got {ratio:.2}x"
+    );
 }
 
 #[test]
