@@ -5,12 +5,13 @@
 //! ```text
 //! repro all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
-//! repro --trace <path> [--quick]
+//! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
 //! ```
 //!
 //! Experiments: `table3`, `fig3` … `fig21`, `response`, plus the
-//! extension studies `selfish`, `adaptive`, `defense`, `fragmentation`.
+//! extension studies `selfish`, `adaptive`, `defense`, `fragmentation`,
+//! `payments`, `forwarding`, and `gossip`.
 //! With `--out <dir>`, each report is additionally written to
 //! `<dir>/<name>.txt`; adding `--json` also writes `<dir>/<name>.json`
 //! (structured blocks, see [`guess_bench::report::Report::render_json`]).
@@ -20,10 +21,11 @@
 //! point carries its own RNG seed, so the reports are byte-identical at
 //! any `--jobs` level; only wall-clock time changes.
 //!
-//! `--trace <path>` runs one base-configuration GUESS simulation with
-//! the structured trace layer on, streaming every record to `<path>` as
+//! `--trace <path>` runs one base-configuration simulation with the
+//! structured trace layer on, streaming every record to `<path>` as
 //! JSON Lines (schema in EXPERIMENTS.md), then reconciles the trace
-//! totals against the run's own report before exiting.
+//! totals against the run's own report before exiting. `--engine`
+//! selects which simulator is traced: `guess` (default) or `gossip`.
 
 use std::path::Path;
 use std::sync::mpsc;
@@ -56,7 +58,24 @@ fn main() {
             eprintln!("--trace needs a file path");
             std::process::exit(2);
         };
-        run_traced(Path::new(path), scale);
+        let engine = match args.iter().position(|a| a == "--engine") {
+            Some(j) => match args.get(j + 1).map(String::as_str) {
+                Some(name @ ("guess" | "gossip")) => name,
+                Some(other) => {
+                    eprintln!("unknown --engine '{other}' (expected guess or gossip)");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--engine needs a value (guess or gossip)");
+                    std::process::exit(2);
+                }
+            },
+            None => "guess",
+        };
+        match engine {
+            "gossip" => run_traced_gossip(Path::new(path), scale),
+            _ => run_traced(Path::new(path), scale),
+        }
         return;
     }
     let json = args.iter().any(|a| a == "--json");
@@ -93,7 +112,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" || a == "--trace" {
+        if a == "--out" || a == "--jobs" || a == "--trace" || a == "--engine" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -315,19 +334,115 @@ fn run_traced(path: &Path, scale: Scale) {
     }
 }
 
+/// Runs one traced gossip simulation, writes the JSONL stream to
+/// `path`, and reconciles the trace totals against the run's report.
+/// Exits non-zero on I/O failure or mismatch.
+fn run_traced_gossip(path: &Path, scale: Scale) {
+    use gossip::GossipSim;
+    use guess_bench::experiments::gossip_tradeoff;
+    use guess_bench::tracefile::JsonlSink;
+
+    // Zero warm-up (set inside `traced_config`): the report then covers
+    // every query in the trace, so the reconciliation below must match
+    // exactly.
+    let cfg = gossip_tradeoff::traced_config(scale, 0x7Ace);
+    let sim = match GossipSim::new(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid trace config: {e}");
+            std::process::exit(1);
+        }
+    };
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    let started = Instant::now();
+    let sink = JsonlSink::new(std::io::BufWriter::new(file));
+    let (report, sink) = sim.run_traced(sink);
+    let (_, counts, io_error) = sink.finish();
+    if let Some(e) = io_error {
+        eprintln!("trace write to {} failed: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "traced gossip run ({scale:?} scale) -> {} in {:.1}s",
+        path.display(),
+        started.elapsed().as_secs_f64()
+    );
+    println!("  records: {}", counts.total());
+
+    // The report's message total comes back through a Welford running
+    // mean, so round — `sum()` is `mean * count`, exact only up to f64
+    // rounding.
+    let messages_in_report = report.messages.sum().round() as u64;
+    let unsatisfied_in_trace = counts.query_ends - counts.satisfied;
+    let checks = [
+        (
+            "queries == query_end records",
+            report.queries,
+            counts.query_ends,
+        ),
+        (
+            "queries == query_start records",
+            report.queries,
+            counts.query_starts,
+        ),
+        (
+            "unsatisfied queries",
+            report.unsatisfied,
+            unsatisfied_in_trace,
+        ),
+        (
+            "total messages == push+pull probe records",
+            messages_in_report,
+            counts.push_probes + counts.pull_probes,
+        ),
+        (
+            "total messages == query_end sums",
+            messages_in_report,
+            counts.query_end_probes,
+        ),
+        (
+            "births == join records",
+            report.counters.get("births"),
+            counts.joins,
+        ),
+        (
+            "deaths == death records",
+            report.counters.get("deaths"),
+            counts.deaths,
+        ),
+    ];
+    let mut ok = true;
+    for (what, in_report, in_trace) in checks {
+        let mark = if in_report == in_trace { "ok " } else { "FAIL" };
+        println!("  [{mark}] {what}: report={in_report} trace={in_trace}");
+        ok &= in_report == in_trace;
+    }
+    if !ok {
+        eprintln!("trace does not reconcile with the run report");
+        std::process::exit(1);
+    }
+}
+
 fn print_usage() {
     println!(
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
          usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
-         repro --trace <path> [--quick]\n  repro --list\n\n\
+         repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \
          reports are byte-identical at any N\n\
          --out DIR also write each report to DIR/<name>.txt\n\
          --json    with --out, also write structured DIR/<name>.json\n\
-         --trace F run one traced GUESS simulation, write JSONL to F,\n          \
+         --trace F run one traced simulation, write JSONL to F,\n          \
          and reconcile the trace against the run report\n\
+         --engine  which simulator --trace runs: guess (default) or gossip\n\
          default   full paper grids (several minutes)"
     );
 }

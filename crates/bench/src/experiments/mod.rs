@@ -16,6 +16,7 @@ pub mod fig3_4_5_cache_size;
 pub mod fig6_7_connectivity;
 pub mod fig8_tradeoff;
 pub mod fig9_12_policies;
+pub mod gossip_tradeoff;
 pub mod response_time;
 pub mod table3_live_entries;
 
@@ -182,6 +183,12 @@ pub fn all() -> Vec<Experiment> {
                 "EXTENSION §3.2/§3.3: GUESS vs churn-aware Gnutella (cost, state, amplification)",
             run: extensions::run_forwarding,
         },
+        Experiment {
+            name: "gossip",
+            description:
+                "EXTENSION fig8 family: three-way tradeoff — gossip fanout x TTL vs flooding vs GUESS",
+            run: gossip_tradeoff::run,
+        },
     ]
 }
 
@@ -224,6 +231,9 @@ mod tests {
             "adaptive",
             "defense",
             "fragmentation",
+            "payments",
+            "forwarding",
+            "gossip",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

@@ -6,6 +6,7 @@
 //! must equal the one rendered at `--jobs 1`.
 
 use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use gossip::{Config as GossipConfig, GossipSim};
 use guess::{Config, GuessSim};
 use guess_bench::experiments;
 use guess_bench::runner::Ctx;
@@ -46,6 +47,17 @@ fn same_seed_means_identical_gnutella_report() {
 }
 
 #[test]
+fn same_seed_means_identical_gossip_report() {
+    let run = |seed: u64| {
+        GossipSim::new(GossipConfig::small_test(seed).with_lifespan_multiplier(0.2))
+            .expect("valid config")
+            .run()
+    };
+    assert_eq!(run(42), run(42), "two gossip runs from one seed diverged");
+    assert_ne!(run(1), run(2), "seed is not reaching the gossip simulation");
+}
+
+#[test]
 fn different_seeds_mean_different_reports() {
     // Guards against the equality above passing vacuously (e.g. a
     // constant report).
@@ -59,7 +71,7 @@ fn different_seeds_mean_different_reports() {
 
 #[test]
 fn rendered_reports_are_identical_at_any_jobs_level() {
-    for name in ["fig6", "fig8"] {
+    for name in ["fig6", "fig8", "gossip"] {
         let e = experiments::find(name).expect("known experiment");
         let serial = (e.run)(&Ctx::new(Scale::Quick, 1)).render_text();
         let parallel = (e.run)(&Ctx::new(Scale::Quick, 4)).render_text();

@@ -1,0 +1,104 @@
+//! Quick-scale golden guard: every experiment's rendered quick report
+//! must stay byte-identical to the committed manifest.
+//!
+//! Each experiment seeds its own RNG streams, so adding an engine or an
+//! experiment must never perturb existing reports. The manifest pins an
+//! FNV-1a-64 hash of `render_text()` per experiment; a mismatch means a
+//! change leaked into somebody else's RNG stream (or an intentional
+//! output change that needs a manifest refresh — see below).
+//!
+//! The full quick suite takes a minute or two, so the test is `#[ignore]`d
+//! for plain `cargo test`; `scripts/verify.sh` runs it explicitly with
+//! `cargo test -q --release -p guess-bench --test quick_goldens -- --ignored`.
+//!
+//! To refresh after an intentional output change, print the new manifest:
+//!
+//! ```text
+//! cargo test -p guess-bench --test quick_goldens -- --ignored --nocapture
+//! ```
+//!
+//! and copy the `name  hash` lines it echoes into
+//! `tests/golden/quick.fnv1a.txt`.
+
+use guess_bench::experiments;
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
+
+const MANIFEST: &str = include_str!("golden/quick.fnv1a.txt");
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn manifest_entries() -> Vec<(&'static str, u64)> {
+    MANIFEST
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let name = parts.next().expect("manifest line has a name");
+            let hash = parts.next().expect("manifest line has a hash");
+            let hash = u64::from_str_radix(hash.trim_start_matches("0x"), 16)
+                .expect("manifest hash parses as hex");
+            (name, hash)
+        })
+        .collect()
+}
+
+#[test]
+#[ignore = "runs the full quick suite (~minutes); invoked by scripts/verify.sh"]
+fn quick_reports_match_committed_hashes() {
+    let entries = manifest_entries();
+    let registry = experiments::all();
+    assert_eq!(
+        entries.len(),
+        registry.len(),
+        "manifest and registry disagree on the experiment count; \
+         refresh tests/golden/quick.fnv1a.txt"
+    );
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ctx = Ctx::new(Scale::Quick, jobs);
+    let mut mismatches = Vec::new();
+    for (name, expected) in entries {
+        let e = experiments::find(name).unwrap_or_else(|| {
+            panic!("manifest names unknown experiment '{name}'; refresh the manifest")
+        });
+        let got = fnv1a(&(e.run)(&ctx).render_text());
+        println!("{name}  0x{got:016x}");
+        if got != expected {
+            mismatches.push(format!(
+                "{name}: expected 0x{expected:016x}, got 0x{got:016x}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "quick reports drifted from the committed goldens (RNG-stream \
+         perturbation, or an intentional change needing a manifest refresh):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+fn manifest_is_wellformed_and_covers_the_registry() {
+    let entries = manifest_entries();
+    assert!(!entries.is_empty());
+    let mut names: Vec<&str> = entries.iter().map(|(n, _)| *n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), entries.len(), "duplicate manifest entries");
+    for e in experiments::all() {
+        assert!(
+            entries.iter().any(|(n, _)| *n == e.name),
+            "experiment '{}' missing from tests/golden/quick.fnv1a.txt",
+            e.name
+        );
+    }
+}

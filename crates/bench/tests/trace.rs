@@ -3,6 +3,7 @@
 //! must not change the simulation itself.
 
 use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use gossip::{Config as GossipConfig, GossipSim};
 use guess::{Config, GuessSim};
 use guess_bench::tracefile::JsonlSink;
 use simkit::time::{SimDuration, SimTime};
@@ -128,6 +129,41 @@ fn gnutella_trace_reconciles_with_run_report() {
         })
         .sum();
     assert_eq!(floods, all_query_probes);
+}
+
+#[test]
+fn gossip_trace_reconciles_with_run_report() {
+    // Zero warm-up: the report then covers every query, so the trace
+    // totals must match exactly — including the horizon flush that ends
+    // rumors still in flight.
+    let cfg = GossipConfig::small_test(10).with_warmup(SimDuration::ZERO);
+    let (report, sink) = GossipSim::new(cfg).unwrap().run_traced(CountingSink::new());
+    assert!(report.queries > 0);
+    assert_eq!(report.queries, sink.query_starts);
+    assert_eq!(report.queries, sink.query_ends, "every rumor settles once");
+    assert_eq!(report.unsatisfied, sink.query_ends - sink.satisfied);
+    let messages = report.messages.sum().round() as u64;
+    assert_eq!(messages, sink.push_probes + sink.pull_probes);
+    assert_eq!(messages, sink.query_end_probes);
+    assert_eq!(report.counters.get("births"), sink.joins);
+    assert_eq!(report.counters.get("deaths"), sink.deaths);
+    // Gossip emits only push/pull probes — no flood, query, or ping kinds.
+    assert_eq!(sink.flood_probes + sink.query_probes + sink.ping_probes, 0);
+}
+
+#[test]
+fn gossip_jsonl_trace_carries_push_and_pull_kinds() {
+    let cfg = GossipConfig::small_test(11)
+        .with_warmup(SimDuration::ZERO)
+        .with_duration(SimDuration::from_secs(150.0));
+    let sink = JsonlSink::new(Vec::new());
+    let (_, sink) = GossipSim::new(cfg).unwrap().run_traced(sink);
+    let (buf, counts, io_error) = sink.finish();
+    assert!(io_error.is_none());
+    let text = String::from_utf8(buf).unwrap();
+    assert_eq!(text.lines().count() as u64, counts.total());
+    assert!(text.contains("\"kind\": \"push\""));
+    assert!(text.contains("\"kind\": \"pull\""));
 }
 
 #[test]

@@ -1,0 +1,642 @@
+//! The push/pull epidemic search engine.
+//!
+//! A query is a *rumor*. The originator starts infected; every
+//! `round_interval`, each active spreader pushes the rumor to `fanout`
+//! uniformly random peers. A peer hearing the rumor for the first time
+//! is infected, checks its library, and spreads for the next round
+//! (infect-and-die: spreaders retire after one round). A peer hearing a
+//! duplicate suppresses it, but with `pull_probability` re-enters
+//! dissemination for one round — the push/pull hybrid that keeps late
+//! epidemics alive. A rumor settles when it has enough results, its
+//! round TTL expires, or no spreaders remain.
+//!
+//! Churn interacts with rumors through incarnations: the infected set
+//! remembers *which incarnation* of a slot heard the rumor, so a reborn
+//! peer is a fresh target (it never heard the rumor) and a dead
+//! spreader's knowledge dies with it.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use simkit::rng::RngStream;
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
+use simkit::stats::{CounterSet, Summary};
+use simkit::time::SimTime;
+use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
+use workload::content::{Catalog, PeerLibrary};
+use workload::files::FileCountModel;
+use workload::lifetime::LifetimeModel;
+use workload::query::{QueryModel, QueryTarget, QueryWorkload};
+
+use crate::config::{Config, GossipConfigError};
+use crate::report::GossipReport;
+
+/// The engine's event alphabet (public because it is the
+/// [`Simulation::Event`] associated type).
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)]
+pub enum Event {
+    /// A peer's bursty query-generation clock fires.
+    Burst { slot: usize, incarnation: u64 },
+    /// A peer's sampled lifetime expires.
+    Death { slot: usize, incarnation: u64 },
+    /// One gossip round of a live rumor.
+    Round { query: u64 },
+}
+
+struct Node {
+    incarnation: u64,
+    library: PeerLibrary,
+}
+
+/// Per-query rumor state, kept until the query settles.
+struct Rumor {
+    target: QueryTarget,
+    started: SimTime,
+    round: u32,
+    /// slot → incarnation that heard the rumor. Rebirth invalidates the
+    /// entry, so churn erases rumor knowledge.
+    infected: HashMap<usize, u64>,
+    /// Slots spreading in the upcoming round.
+    active: Vec<usize>,
+    messages: u64,
+    results: u32,
+    /// Whether this query counts toward metrics (started after warm-up).
+    measured: bool,
+}
+
+/// The push/pull epidemic search simulator.
+///
+/// # Examples
+///
+/// ```no_run
+/// use gossip::{Config, GossipSim};
+///
+/// let report = GossipSim::new(Config::default())?.run();
+/// println!("unsatisfaction: {:.3}", report.unsatisfaction());
+/// # Ok::<(), gossip::GossipConfigError>(())
+/// ```
+pub struct GossipSim {
+    cfg: Config,
+    nodes: Vec<Node>,
+    qmodel: QueryModel,
+    files: FileCountModel,
+    churn: ChurnDriver<LifetimeModel>,
+    workload: QueryWorkload,
+    rng: RngStream,
+    rumors: HashMap<u64, Rumor>,
+    queries: u64,
+    unsatisfied: u64,
+    messages: Summary,
+    peers_reached: Summary,
+    response_time: Summary,
+    counters: CounterSet,
+    next_incarnation: u64,
+    next_query: u64,
+}
+
+impl GossipSim {
+    /// Builds and seeds the simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GossipConfigError`] for inconsistent parameters.
+    pub fn new(cfg: Config) -> Result<Self, GossipConfigError> {
+        cfg.validate()?;
+        let catalog = Catalog::new(cfg.catalog).map_err(|_| GossipConfigError::BadCatalog)?;
+        let qmodel = QueryModel::new(catalog);
+        let files = FileCountModel::gnutella_like();
+        let lifetimes = LifetimeModel::saroiu_like(cfg.lifespan_multiplier);
+        let workload = QueryWorkload::with_rate(cfg.query_rate)
+            .map_err(|_| GossipConfigError::BadQueryRate)?;
+        let mut sim = GossipSim {
+            rng: RngStream::from_seed(cfg.seed, "gossip"),
+            cfg,
+            nodes: Vec::new(),
+            qmodel,
+            files,
+            churn: ChurnDriver::new(lifetimes),
+            workload,
+            rumors: HashMap::new(),
+            queries: 0,
+            unsatisfied: 0,
+            messages: Summary::new(),
+            peers_reached: Summary::new(),
+            response_time: Summary::new(),
+            counters: CounterSet::new(),
+            next_incarnation: 0,
+            next_query: 0,
+        };
+        sim.populate();
+        Ok(sim)
+    }
+
+    fn fresh_library(&mut self) -> PeerLibrary {
+        let count = self.files.sample_file_count(&mut self.rng);
+        self.qmodel.catalog().build_library(count, &mut self.rng)
+    }
+
+    /// Creates the initial population. Event scheduling happens in
+    /// [`GossipSim::schedule_initial`], once the kernel exists; the RNG
+    /// draw order across both phases is fixed, so runs stay
+    /// byte-identical.
+    fn populate(&mut self) {
+        for _ in 0..self.cfg.network_size {
+            let library = self.fresh_library();
+            let incarnation = self.next_incarnation;
+            self.next_incarnation += 1;
+            self.nodes.push(Node {
+                incarnation,
+                library,
+            });
+        }
+    }
+
+    /// Schedules every initial peer's death and burst into the kernel's
+    /// queue.
+    fn schedule_initial<T: TraceSink>(&mut self, ctx: &mut SimCtx<'_, Event, T>) {
+        for slot in 0..self.nodes.len() {
+            let incarnation = self.nodes[slot].incarnation;
+            self.counters.incr("births");
+            self.churn.spawn(
+                ctx,
+                &mut self.rng,
+                SimTime::ZERO,
+                incarnation,
+                Event::Death { slot, incarnation },
+            );
+            let gap = self.workload.sample_burst_gap(&mut self.rng);
+            ctx.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
+        }
+    }
+
+    /// Runs to completion.
+    #[must_use]
+    pub fn run(self) -> GossipReport {
+        self.run_traced(NullSink).0
+    }
+
+    /// Runs with a caller-provided trace sink, returning both the
+    /// report and the sink. With [`NullSink`] this monomorphizes to
+    /// exactly the untraced loop.
+    ///
+    /// Rumors still in flight at the horizon are settled (and their
+    /// `QueryEnd` records emitted) at the end instant, so a trace always
+    /// contains exactly one `query_end` per `query_start`.
+    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (GossipReport, T) {
+        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
+        if let Some(interval) = self.cfg.sample_interval {
+            params = params.with_sampling(interval);
+        }
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
+        let mut sink = kernel.into_sink();
+        // Flush in-flight rumors at the horizon, in query order.
+        let mut pending: Vec<u64> = self.rumors.keys().copied().collect();
+        pending.sort_unstable();
+        let end = SimTime::ZERO + self.cfg.duration;
+        for qid in pending {
+            let rumor = self.rumors.remove(&qid).expect("pending rumor exists");
+            self.counters.incr("horizon_flushed");
+            let satisfied = self.settle(&rumor, end);
+            if sink.enabled() {
+                sink.record(
+                    end,
+                    TraceRecord::QueryEnd {
+                        query: qid,
+                        satisfied,
+                        probes: u32::try_from(rumor.messages).unwrap_or(u32::MAX),
+                        results: rumor.results,
+                    },
+                );
+            }
+        }
+        let report = GossipReport {
+            queries: self.queries,
+            unsatisfied: self.unsatisfied,
+            messages: self.messages,
+            peers_reached: self.peers_reached,
+            response_time: self.response_time,
+            counters: self.counters,
+        };
+        (report, sink)
+    }
+
+    fn on_death<T: TraceSink>(
+        &mut self,
+        slot: usize,
+        incarnation: u64,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        if self.nodes[slot].incarnation != incarnation {
+            return;
+        }
+        self.churn.died(ctx, now, incarnation);
+        self.counters.incr("deaths");
+        // Rebirth in place, as in the GUESS and Gnutella simulators:
+        // constant population. Rumor knowledge is *not* carried over —
+        // infected maps hold the old incarnation, which no longer
+        // matches.
+        self.nodes[slot].incarnation = self.next_incarnation;
+        self.next_incarnation += 1;
+        self.nodes[slot].library = self.fresh_library();
+        let new_inc = self.nodes[slot].incarnation;
+        self.counters.incr("births");
+        self.churn.spawn(
+            ctx,
+            &mut self.rng,
+            now,
+            new_inc,
+            Event::Death {
+                slot,
+                incarnation: new_inc,
+            },
+        );
+        let gap = self.workload.sample_burst_gap(&mut self.rng);
+        ctx.schedule(
+            now + gap,
+            Event::Burst {
+                slot,
+                incarnation: new_inc,
+            },
+        );
+    }
+
+    fn on_burst<T: TraceSink>(
+        &mut self,
+        slot: usize,
+        incarnation: u64,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        if self.nodes[slot].incarnation != incarnation {
+            return;
+        }
+        let burst = self.workload.sample_burst_size(&mut self.rng);
+        for _ in 0..burst {
+            self.start_query(slot, now, ctx);
+        }
+        let gap = self.workload.sample_burst_gap(&mut self.rng);
+        ctx.schedule(now + gap, Event::Burst { slot, incarnation });
+    }
+
+    /// Starts one rumor at `src` and schedules its first round. The
+    /// originator's own library does not count toward results (as in
+    /// flooding: you gossip for what you don't have).
+    fn start_query<T: TraceSink>(
+        &mut self,
+        src: usize,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let qid = self.next_query;
+        self.next_query += 1;
+        if ctx.tracing() {
+            ctx.emit(
+                now,
+                TraceRecord::QueryStart {
+                    query: qid,
+                    origin: self.nodes[src].incarnation,
+                },
+            );
+        }
+        let target = self.qmodel.sample_target(&mut self.rng);
+        let mut infected = HashMap::new();
+        infected.insert(src, self.nodes[src].incarnation);
+        let rumor = Rumor {
+            target,
+            started: now,
+            round: 0,
+            infected,
+            active: vec![src],
+            messages: 0,
+            results: 0,
+            measured: ctx.after_warmup(now),
+        };
+        self.rumors.insert(qid, rumor);
+        ctx.schedule(now + self.cfg.round_interval, Event::Round { query: qid });
+    }
+
+    /// Runs one gossip round of rumor `qid`, then either settles the
+    /// rumor or schedules its next round.
+    fn on_round<T: TraceSink>(&mut self, qid: u64, now: SimTime, ctx: &mut SimCtx<'_, Event, T>) {
+        let Some(mut rumor) = self.rumors.remove(&qid) else {
+            return;
+        };
+        self.counters.incr("rounds");
+        let n = self.nodes.len();
+        let spreaders = std::mem::take(&mut rumor.active);
+        let mut next_active: Vec<usize> = Vec::new();
+        for s in spreaders {
+            // A spreader that died (and was replaced) since it was
+            // activated takes its rumor knowledge to the grave.
+            let still_informed = matches!(
+                rumor.infected.get(&s),
+                Some(&inc) if self.nodes[s].incarnation == inc
+            );
+            if !still_informed {
+                self.counters.incr("spreaders_lost");
+                continue;
+            }
+            for _ in 0..self.cfg.fanout {
+                // Uniform random contact, excluding the spreader itself.
+                let mut t = self.rng.below(n);
+                while t == s {
+                    t = self.rng.below(n);
+                }
+                rumor.messages += 1;
+                self.counters.incr("pushes");
+                let t_inc = self.nodes[t].incarnation;
+                match rumor.infected.entry(t) {
+                    Entry::Vacant(e) => {
+                        e.insert(t_inc);
+                        if !next_active.contains(&t) {
+                            next_active.push(t);
+                        }
+                        if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
+                            rumor.results += 1;
+                        }
+                        if ctx.tracing() {
+                            ctx.emit(
+                                now,
+                                TraceRecord::Probe {
+                                    query: qid,
+                                    target: t_inc,
+                                    kind: ProbeKind::Push,
+                                    outcome: ProbeOutcome::Good,
+                                },
+                            );
+                        }
+                    }
+                    Entry::Occupied(mut e) if *e.get() != t_inc => {
+                        // The slot was reborn since infection; this
+                        // incarnation never heard the rumor.
+                        *e.get_mut() = t_inc;
+                        self.counters.incr("reinfections");
+                        if !next_active.contains(&t) {
+                            next_active.push(t);
+                        }
+                        if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
+                            rumor.results += 1;
+                        }
+                        if ctx.tracing() {
+                            ctx.emit(
+                                now,
+                                TraceRecord::Probe {
+                                    query: qid,
+                                    target: t_inc,
+                                    kind: ProbeKind::Push,
+                                    outcome: ProbeOutcome::Good,
+                                },
+                            );
+                        }
+                    }
+                    Entry::Occupied(_) => {
+                        // Duplicate: suppressed, but the receiver may
+                        // pull itself back into dissemination.
+                        self.counters.incr("dedup_drops");
+                        if ctx.tracing() {
+                            ctx.emit(
+                                now,
+                                TraceRecord::Probe {
+                                    query: qid,
+                                    target: t_inc,
+                                    kind: ProbeKind::Push,
+                                    outcome: ProbeOutcome::Duplicate,
+                                },
+                            );
+                        }
+                        if self.rng.chance(self.cfg.pull_probability) {
+                            rumor.messages += 1;
+                            self.counters.incr("pulls");
+                            if !next_active.contains(&t) {
+                                next_active.push(t);
+                            }
+                            if ctx.tracing() {
+                                ctx.emit(
+                                    now,
+                                    TraceRecord::Probe {
+                                        query: qid,
+                                        target: t_inc,
+                                        kind: ProbeKind::Pull,
+                                        outcome: ProbeOutcome::Good,
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        rumor.round += 1;
+        rumor.active = next_active;
+        let done = if rumor.results >= self.cfg.num_desired_results {
+            self.counters.incr("satisfied_early");
+            true
+        } else if rumor.round >= self.cfg.round_ttl {
+            self.counters.incr("ttl_exhausted");
+            true
+        } else if rumor.active.is_empty() {
+            self.counters.incr("died_out");
+            true
+        } else {
+            false
+        };
+        if done {
+            let satisfied = self.settle(&rumor, now);
+            if ctx.tracing() {
+                ctx.emit(
+                    now,
+                    TraceRecord::QueryEnd {
+                        query: qid,
+                        satisfied,
+                        probes: u32::try_from(rumor.messages).unwrap_or(u32::MAX),
+                        results: rumor.results,
+                    },
+                );
+            }
+        } else {
+            self.rumors.insert(qid, rumor);
+            ctx.schedule(now + self.cfg.round_interval, Event::Round { query: qid });
+        }
+    }
+
+    /// Folds a settling rumor into the run metrics (if measured) and
+    /// returns whether it was satisfied.
+    fn settle(&mut self, rumor: &Rumor, at: SimTime) -> bool {
+        let satisfied = rumor.results >= self.cfg.num_desired_results;
+        if rumor.measured {
+            self.queries += 1;
+            if !satisfied {
+                self.unsatisfied += 1;
+            }
+            self.messages.record(rumor.messages as f64);
+            self.peers_reached.record(rumor.infected.len() as f64 - 1.0);
+            if satisfied {
+                self.response_time.record((at - rumor.started).as_secs());
+            }
+        }
+        satisfied
+    }
+}
+
+impl<T: TraceSink> Simulation<T> for GossipSim {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, ctx: &mut SimCtx<'_, Event, T>) {
+        match event {
+            Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now, ctx),
+            Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now, ctx),
+            Event::Round { query } => self.on_round(query, now, ctx),
+        }
+    }
+
+    fn live_peers(&self) -> u64 {
+        // Rebirth is in place and immediate, so every slot always holds
+        // a live peer — the constant-population invariant.
+        self.nodes.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::trace::{CountingSink, RecordingSink};
+
+    fn small() -> Config {
+        Config::small_test(0x905)
+    }
+
+    #[test]
+    fn runs_and_reports() {
+        let report = GossipSim::new(small()).unwrap().run();
+        assert!(report.queries > 0);
+        assert!(report.messages_per_query() > 0.0);
+        assert!(report.unsatisfaction() <= 1.0);
+        assert!(report.counters.get("pushes") > 0);
+        assert!(report.counters.get("rounds") > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = GossipSim::new(small()).unwrap().run();
+        let b = GossipSim::new(small()).unwrap().run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn higher_fanout_costs_more_and_reaches_further() {
+        let lean = GossipSim::new(small().with_fanout(2)).unwrap().run();
+        let fat = GossipSim::new(small().with_fanout(5)).unwrap().run();
+        assert!(fat.messages_per_query() > lean.messages_per_query());
+        assert!(fat.peers_reached.mean() > lean.peers_reached.mean());
+    }
+
+    #[test]
+    fn longer_ttl_is_no_worse_on_satisfaction() {
+        let short = GossipSim::new(small().with_round_ttl(1)).unwrap().run();
+        let long = GossipSim::new(small().with_round_ttl(10)).unwrap().run();
+        assert!(short.messages_per_query() < long.messages_per_query());
+        assert!(short.unsatisfaction() >= long.unsatisfaction());
+    }
+
+    #[test]
+    fn pull_keeps_the_epidemic_alive_longer() {
+        let push_only = GossipSim::new(small().with_pull_probability(0.0))
+            .unwrap()
+            .run();
+        let hybrid = GossipSim::new(small().with_pull_probability(0.8))
+            .unwrap()
+            .run();
+        assert_eq!(push_only.counters.get("pulls"), 0);
+        assert!(hybrid.counters.get("pulls") > 0);
+        assert!(hybrid.messages_per_query() > push_only.messages_per_query());
+    }
+
+    #[test]
+    fn churn_kills_rumor_knowledge() {
+        let cfg = small().with_lifespan_multiplier(0.05);
+        let report = GossipSim::new(cfg).unwrap().run();
+        assert!(report.counters.get("deaths") > 10);
+        assert_eq!(
+            report.counters.get("births"),
+            report.counters.get("deaths") + 150
+        );
+    }
+
+    #[test]
+    fn satisfied_queries_record_response_times() {
+        let report = GossipSim::new(small()).unwrap().run();
+        let satisfied = report.queries - report.unsatisfied;
+        assert_eq!(report.response_time.count(), satisfied);
+        if satisfied > 0 {
+            assert!(report.mean_response_secs() > 0.0);
+        }
+    }
+
+    #[test]
+    fn trace_reconciles_with_report() {
+        let cfg = small().with_warmup(simkit::time::SimDuration::ZERO);
+        let (report, sink) = GossipSim::new(cfg).unwrap().run_traced(CountingSink::new());
+        assert_eq!(sink.query_starts, report.queries);
+        assert_eq!(sink.query_ends, report.queries);
+        assert_eq!(sink.satisfied, report.queries - report.unsatisfied);
+        // Every message is exactly one push or pull probe record, and
+        // the per-query probe counts sum to the same total.
+        let total_messages = report.messages.sum() as u64;
+        assert_eq!(sink.push_probes + sink.pull_probes, total_messages);
+        assert_eq!(sink.query_end_probes, total_messages);
+        assert_eq!(sink.joins, report.counters.get("births"));
+        assert_eq!(sink.deaths, report.counters.get("deaths"));
+        assert_eq!(sink.flood_probes, 0);
+        assert_eq!(sink.query_probes, 0);
+    }
+
+    #[test]
+    fn every_query_start_has_exactly_one_end() {
+        let cfg = small().with_warmup(simkit::time::SimDuration::ZERO);
+        let (report, sink) = GossipSim::new(cfg)
+            .unwrap()
+            .run_traced(RecordingSink::new());
+        let starts: Vec<u64> = sink
+            .select(|r| matches!(r, TraceRecord::QueryStart { .. }))
+            .map(|(_, r)| match r {
+                TraceRecord::QueryStart { query, .. } => *query,
+                _ => unreachable!(),
+            })
+            .collect();
+        let mut ends: Vec<u64> = sink
+            .select(|r| matches!(r, TraceRecord::QueryEnd { .. }))
+            .map(|(_, r)| match r {
+                TraceRecord::QueryEnd { query, .. } => *query,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(starts.len() as u64, report.queries);
+        ends.sort_unstable();
+        let mut sorted_starts = starts.clone();
+        sorted_starts.sort_unstable();
+        assert_eq!(sorted_starts, ends);
+        // In-flight rumors at the horizon were flushed, not dropped.
+        assert!(report.counters.get("horizon_flushed") > 0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_results() {
+        let untraced = GossipSim::new(small()).unwrap().run();
+        let (traced, _) = GossipSim::new(small())
+            .unwrap()
+            .run_traced(CountingSink::new());
+        assert_eq!(untraced, traced);
+    }
+
+    #[test]
+    fn rejects_invalid_configs() {
+        assert!(GossipSim::new(small().with_fanout(0)).is_err());
+        assert!(GossipSim::new(small().with_round_ttl(0)).is_err());
+        assert!(GossipSim::new(small().with_pull_probability(2.0)).is_err());
+        assert!(GossipSim::new(small()).is_ok());
+    }
+}

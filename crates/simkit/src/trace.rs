@@ -20,6 +20,11 @@ pub enum ProbeKind {
     Ping,
     /// A flooded query message (Gnutella forwarding).
     Flood,
+    /// A rumor push hop (gossip/epidemic dissemination).
+    Push,
+    /// A rumor pull exchange (gossip duplicate receiver re-entering
+    /// dissemination).
+    Pull,
 }
 
 impl ProbeKind {
@@ -30,6 +35,8 @@ impl ProbeKind {
             ProbeKind::Query => "query",
             ProbeKind::Ping => "ping",
             ProbeKind::Flood => "flood",
+            ProbeKind::Push => "push",
+            ProbeKind::Pull => "pull",
         }
     }
 }
@@ -177,6 +184,10 @@ pub struct CountingSink {
     pub ping_probes: u64,
     /// `Probe` records with [`ProbeKind::Flood`].
     pub flood_probes: u64,
+    /// `Probe` records with [`ProbeKind::Push`].
+    pub push_probes: u64,
+    /// `Probe` records with [`ProbeKind::Pull`].
+    pub pull_probes: u64,
     /// `CacheEvict` records seen.
     pub evictions: u64,
     /// `Sample` records seen.
@@ -200,6 +211,8 @@ impl CountingSink {
             + self.query_probes
             + self.ping_probes
             + self.flood_probes
+            + self.push_probes
+            + self.pull_probes
             + self.evictions
             + self.samples
     }
@@ -224,6 +237,8 @@ impl TraceSink for CountingSink {
                 ProbeKind::Query => self.query_probes += 1,
                 ProbeKind::Ping => self.ping_probes += 1,
                 ProbeKind::Flood => self.flood_probes += 1,
+                ProbeKind::Push => self.push_probes += 1,
+                ProbeKind::Pull => self.pull_probes += 1,
             },
             TraceRecord::CacheEvict { .. } => self.evictions += 1,
             TraceRecord::Sample { .. } => self.samples += 1,
@@ -320,6 +335,24 @@ mod tests {
             },
         );
         s.record(t, TraceRecord::Sample { live: 100 });
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: 1,
+                target: 6,
+                kind: ProbeKind::Push,
+                outcome: ProbeOutcome::Duplicate,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: 1,
+                target: 6,
+                kind: ProbeKind::Pull,
+                outcome: ProbeOutcome::Good,
+            },
+        );
         assert_eq!(s.joins, 1);
         assert_eq!(s.deaths, 1);
         assert_eq!(s.query_starts, 1);
@@ -329,9 +362,11 @@ mod tests {
         assert_eq!(s.query_probes, 1);
         assert_eq!(s.ping_probes, 1);
         assert_eq!(s.flood_probes, 0);
+        assert_eq!(s.push_probes, 1);
+        assert_eq!(s.pull_probes, 1);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.samples, 1);
-        assert_eq!(s.total(), 8);
+        assert_eq!(s.total(), 10);
     }
 
     #[test]
@@ -352,6 +387,8 @@ mod tests {
         assert_eq!(ProbeKind::Query.name(), "query");
         assert_eq!(ProbeKind::Ping.name(), "ping");
         assert_eq!(ProbeKind::Flood.name(), "flood");
+        assert_eq!(ProbeKind::Push.name(), "push");
+        assert_eq!(ProbeKind::Pull.name(), "pull");
         assert_eq!(ProbeOutcome::Good.name(), "good");
         assert_eq!(ProbeOutcome::Dead.name(), "dead");
         assert_eq!(ProbeOutcome::Refused.name(), "refused");

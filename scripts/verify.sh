@@ -11,6 +11,14 @@ cargo fmt --all -- --check
 cargo clippy --all-targets -- -D warnings
 cargo build --release --workspace
 cargo test -q --workspace
+cargo test --doc --workspace -q
+
+# Determinism gates (gossip included) and the quick-scale golden guard:
+# every experiment's quick report must stay byte-identical to the
+# committed manifest (tests/golden/quick.fnv1a.txt).
+cargo test -q --release -p guess-bench --test determinism
+cargo test -q --release -p guess-bench --test quick_goldens -- --ignored
+
 cargo run --release -p guess-bench --bin repro -- \
     table3 fig9 --quick --jobs 2 --json --out "$out"
 
@@ -21,10 +29,13 @@ for name in table3 fig9; do
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/$name.json"
 done
 
-# Traced run: the binary itself reconciles the trace against the run
+# Traced runs: the binary itself reconciles each trace against the run
 # report (exits non-zero on mismatch); then check every line is JSON.
 cargo run --release -p guess-bench --bin repro -- --trace "$out/trace.jsonl" --quick
-python3 - "$out/trace.jsonl" <<'EOF'
+cargo run --release -p guess-bench --bin repro -- \
+    --trace "$out/gossip-trace.jsonl" --engine gossip --quick
+for trace in trace gossip-trace; do
+    python3 - "$out/$trace.jsonl" <<'EOF'
 import json, sys
 n = 0
 with open(sys.argv[1]) as f:
@@ -32,6 +43,7 @@ with open(sys.argv[1]) as f:
         json.loads(line)
         n += 1
 assert n > 0, "empty trace"
-print(f"trace: {n} well-formed JSONL records")
+print(f"{sys.argv[1]}: {n} well-formed JSONL records")
 EOF
+done
 echo "verify: OK"

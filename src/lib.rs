@@ -7,6 +7,8 @@
 //! * [`guess`] — the GUESS protocol and its discrete-event simulator;
 //! * [`gnutella`] — forwarding baselines (flooding, fixed extent,
 //!   iterative deepening);
+//! * [`gossip`] — the push/pull epidemic (rumor-spreading) search
+//!   engine, the third point in the design space;
 //! * [`workload`] — churn, content, and query models;
 //! * [`simkit`] — the deterministic simulation substrate.
 //!
@@ -21,6 +23,16 @@
 //! # Ok::<(), guess_suite::guess::config::ConfigError>(())
 //! ```
 //!
+//! The other engines run the same way against the same workloads:
+//!
+//! ```no_run
+//! use guess_suite::gossip::{Config, GossipSim};
+//!
+//! let report = GossipSim::new(Config::default())?.run();
+//! println!("messages/query = {:.1}", report.messages_per_query());
+//! # Ok::<(), guess_suite::gossip::GossipConfigError>(())
+//! ```
+//!
 //! Runnable walk-throughs live in `examples/`:
 //!
 //! * `quickstart` — one default simulation, explained line by line;
@@ -33,6 +45,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use gnutella;
+pub use gossip;
 pub use guess;
 pub use simkit;
 pub use workload;

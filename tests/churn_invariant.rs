@@ -1,9 +1,11 @@
-//! Cross-engine churn invariant: both simulators maintain a constant
-//! population. At every kernel sample tick the live-peer count must be
-//! exactly `network_size` — a death and its replacement birth happen in
-//! the same event, so no tick can ever observe a hole.
+//! Cross-engine churn invariant: every simulator on the shared kernel
+//! maintains a constant population. At every kernel sample tick the
+//! live-peer count must be exactly `network_size` — a death and its
+//! replacement birth happen in the same event, so no tick can ever
+//! observe a hole.
 
 use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use gossip::{Config as GossipConfig, GossipSim};
 use guess::config::Config;
 use guess::engine::GuessSim;
 use simkit::time::SimDuration;
@@ -46,6 +48,23 @@ fn guess_live_count_stays_at_network_size_under_churn() {
         let (report, sink) = GuessSim::new(cfg).unwrap().run_traced(RecordingSink::new());
         assert!(report.counters.get("deaths") > 0);
         assert_constant_population(&sink, n, "guess", seed);
+    }
+}
+
+#[test]
+fn gossip_live_count_stays_at_network_size_under_churn() {
+    for seed in [11u64, 12] {
+        let cfg = GossipConfig::small_test(seed)
+            .with_duration(SimDuration::from_secs(400.0))
+            .with_warmup(SimDuration::from_secs(50.0))
+            .with_sample_interval(Some(SimDuration::from_secs(20.0)))
+            .with_lifespan_multiplier(0.1);
+        let n = cfg.network_size as u64;
+        let (report, sink) = GossipSim::new(cfg)
+            .unwrap()
+            .run_traced(RecordingSink::new());
+        assert!(report.counters.get("deaths") > 0);
+        assert_constant_population(&sink, n, "gossip", seed);
     }
 }
 
