@@ -1,0 +1,279 @@
+//! `repro bench` — the in-repo wall-clock benchmark harness.
+//!
+//! Runs fixed-seed workloads of each engine N times and reports the
+//! minimum and median wall time plus kernel events per second. The
+//! harness is hand-rolled (the offline build has no criterion): every
+//! workload is a deterministic simulation, so between-run variance is
+//! pure scheduler/allocator noise and min/median over a handful of
+//! iterations is a stable signal.
+//!
+//! Results are emitted through the structured [`Report`] JSON as
+//! `BENCH_<n>.json` files — the repo's perf trajectory. `BENCH_0.json`
+//! (pre-optimization) and `BENCH_1.json` (post-optimization) are
+//! committed baselines; ad-hoc output directories are gitignored.
+//! `scripts/verify.sh` replays the quick workloads and fails on a >2×
+//! median regression against the committed baseline.
+
+use std::time::Instant;
+
+use crate::report::{Cell, Report, TableBlock};
+use crate::scale::{base_config, Scale};
+
+/// Fixed master seed for every bench workload. Changing it invalidates
+/// wall-time comparisons across BENCH_* generations, so don't.
+const BENCH_SEED: u64 = 0xBE7C;
+
+/// Measured outcome of one workload.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Workload id, e.g. `guess-full`.
+    pub name: String,
+    /// Engine name (`guess`, `gnutella`, `gossip`).
+    pub engine: &'static str,
+    /// Scale label (`Full` or `Quick`).
+    pub scale: Scale,
+    /// Timed iterations.
+    pub iters: usize,
+    /// Kernel events processed per iteration (identical across
+    /// iterations — the workloads are deterministic).
+    pub events: u64,
+    /// Fastest iteration, seconds.
+    pub min_secs: f64,
+    /// Median iteration, seconds.
+    pub median_secs: f64,
+}
+
+impl BenchResult {
+    /// Kernel events per second at the median wall time.
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        if self.median_secs > 0.0 {
+            self.events as f64 / self.median_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One benchmarkable workload: a name plus a closure that runs the
+/// simulation once and returns the kernel event count.
+struct Workload {
+    name: &'static str,
+    engine: &'static str,
+    scale: Scale,
+    run: Box<dyn Fn() -> u64>,
+}
+
+/// The workload matrix. Quick rows come first so `--quick` (used by the
+/// CI smoke gate) is a prefix of the full matrix.
+fn workloads(quick_only: bool) -> Vec<Workload> {
+    let mut list = Vec::new();
+    for scale in [Scale::Quick, Scale::Full] {
+        if quick_only && scale == Scale::Full {
+            continue;
+        }
+        list.push(Workload {
+            name: match scale {
+                Scale::Quick => "guess-quick",
+                Scale::Full => "guess-full",
+            },
+            engine: "guess",
+            scale,
+            run: Box::new(move || {
+                let cfg = base_config(scale, BENCH_SEED);
+                let sim = guess::engine::GuessSim::new(cfg).expect("bench config validates");
+                sim.run().events_processed
+            }),
+        });
+        list.push(Workload {
+            name: match scale {
+                Scale::Quick => "gnutella-quick",
+                Scale::Full => "gnutella-full",
+            },
+            engine: "gnutella",
+            scale,
+            run: Box::new(move || {
+                let cfg = gnutella::dynamic::GnutellaConfig {
+                    duration: scale.duration(),
+                    warmup: scale.warmup(),
+                    seed: BENCH_SEED,
+                    ..gnutella::dynamic::GnutellaConfig::default()
+                };
+                let sim = gnutella::dynamic::GnutellaSim::new(cfg).expect("bench config validates");
+                sim.run().events_processed
+            }),
+        });
+        list.push(Workload {
+            name: match scale {
+                Scale::Quick => "gossip-quick",
+                Scale::Full => "gossip-full",
+            },
+            engine: "gossip",
+            scale,
+            run: Box::new(move || {
+                let cfg = gossip::Config::default()
+                    .with_seed(BENCH_SEED)
+                    .with_duration(scale.duration())
+                    .with_warmup(scale.warmup());
+                let sim = gossip::GossipSim::new(cfg).expect("bench config validates");
+                sim.run().events_processed
+            }),
+        });
+    }
+    list
+}
+
+/// Median of already-measured wall times (mean of the middle pair for
+/// even counts).
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Runs the workload matrix `iters` times each and returns the measured
+/// results in matrix order. Prints one progress line per workload as it
+/// completes (the full matrix takes minutes).
+#[must_use]
+pub fn run_workloads(quick_only: bool, iters: usize) -> Vec<BenchResult> {
+    let iters = iters.max(1);
+    let mut results = Vec::new();
+    for w in workloads(quick_only) {
+        let mut walls = Vec::with_capacity(iters);
+        let mut events = 0u64;
+        for i in 0..iters {
+            let started = Instant::now();
+            let got = (w.run)();
+            walls.push(started.elapsed().as_secs_f64());
+            if i == 0 {
+                events = got;
+            } else {
+                debug_assert_eq!(got, events, "bench workloads must be deterministic");
+            }
+        }
+        walls.sort_by(f64::total_cmp);
+        let r = BenchResult {
+            name: w.name.to_string(),
+            engine: w.engine,
+            scale: w.scale,
+            iters,
+            events,
+            min_secs: walls[0],
+            median_secs: median(&walls),
+        };
+        println!(
+            "  {:<16} {:>10} events  min {:>8.3}s  median {:>8.3}s  {:>12.0} events/s",
+            r.name,
+            r.events,
+            r.min_secs,
+            r.median_secs,
+            r.events_per_sec()
+        );
+        results.push(r);
+    }
+    results
+}
+
+/// Assembles bench results into a structured [`Report`]; the JSON form
+/// of this report is the `BENCH_<n>.json` schema (see EXPERIMENTS.md).
+#[must_use]
+pub fn build_report(results: &[BenchResult]) -> Report {
+    let mut t = TableBlock::new(
+        "bench",
+        vec![
+            "workload",
+            "engine",
+            "scale",
+            "iters",
+            "events",
+            "min_s",
+            "median_s",
+            "events_per_s",
+        ],
+    );
+    for r in results {
+        t.row(vec![
+            Cell::text(&r.name),
+            Cell::text(r.engine),
+            Cell::text(format!("{:?}", r.scale)),
+            Cell::size(r.iters),
+            Cell::uint(r.events),
+            Cell::float(r.min_secs, 4),
+            Cell::float(r.median_secs, 4),
+            Cell::float(r.events_per_sec(), 0),
+        ]);
+    }
+    Report::new()
+        .text(
+            "Fixed-seed engine workloads; wall-clock min/median over N runs.\n\
+             Deterministic workloads: events per iteration are identical.\n\n",
+        )
+        .table(t)
+}
+
+/// The smallest `n` such that `BENCH_<n>.json` does not yet exist in
+/// `dir` — the next slot in the perf trajectory.
+#[must_use]
+pub fn next_bench_index(dir: &std::path::Path) -> u32 {
+    let mut n = 0u32;
+    while dir.join(format!("BENCH_{n}.json")).exists() {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 9.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quick_matrix_is_a_prefix_of_the_full_matrix() {
+        let quick: Vec<&str> = workloads(true).iter().map(|w| w.name).collect();
+        let all: Vec<&str> = workloads(false).iter().map(|w| w.name).collect();
+        assert_eq!(quick.len(), 3);
+        assert_eq!(all.len(), 6);
+        assert_eq!(&all[..quick.len()], &quick[..]);
+    }
+
+    #[test]
+    fn report_rows_match_results() {
+        let r = BenchResult {
+            name: "guess-quick".into(),
+            engine: "guess",
+            scale: Scale::Quick,
+            iters: 3,
+            events: 1000,
+            min_secs: 0.5,
+            median_secs: 0.8,
+        };
+        assert!((r.events_per_sec() - 1250.0).abs() < 1e-9);
+        let report = build_report(std::slice::from_ref(&r));
+        let json = report.render_json("bench", "wall-clock benchmark", "Quick");
+        assert!(
+            json.contains("\"guess-quick\", \"guess\", \"Quick\", 3, 1000, 0.5000, 0.8000, 1250")
+        );
+    }
+
+    #[test]
+    fn next_index_skips_existing_files() {
+        let dir = std::env::temp_dir().join(format!("bench-idx-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_index(&dir), 0);
+        std::fs::write(dir.join("BENCH_0.json"), "{}").unwrap();
+        assert_eq!(next_bench_index(&dir), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

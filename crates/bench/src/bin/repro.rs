@@ -5,6 +5,7 @@
 //! ```text
 //! repro all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro bench [--quick] [--iters N] [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
 //! ```
@@ -53,6 +54,10 @@ fn main() {
     } else {
         Scale::Full
     };
+    if args.first().map(String::as_str) == Some("bench") {
+        run_bench(&args[1..]);
+        return;
+    }
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         let Some(path) = args.get(i + 1) else {
             eprintln!("--trace needs a file path");
@@ -200,6 +205,83 @@ fn main() {
         selected.len(),
         scale,
         overall.elapsed().as_secs_f64()
+    );
+}
+
+/// `repro bench [--quick] [--iters N] [--out DIR]` — the wall-clock
+/// benchmark harness. Runs fixed-seed engine workloads, prints
+/// min/median wall time and events/sec, and appends the next
+/// `BENCH_<n>.json` to the perf trajectory in DIR (default
+/// `bench_out/`, which is gitignored; committed baselines live in the
+/// repo root).
+fn run_bench(args: &[String]) {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => i += 1,
+            flag @ ("--iters" | "--out") => {
+                if args.get(i + 1).is_none() {
+                    eprintln!("{flag} needs a value");
+                    std::process::exit(2);
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown bench argument: {other}");
+                eprintln!("usage: repro bench [--quick] [--iters N] [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let iters: usize = match args.iter().position(|a| a == "--iters") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("--iters needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => 5,
+    };
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or_else(
+            || std::path::PathBuf::from("bench_out"),
+            std::path::PathBuf::from,
+        );
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create output directory {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    let matrix = if quick {
+        "quick workloads"
+    } else {
+        "quick+full workloads"
+    };
+    println!("bench: {matrix}, {iters} iteration(s) each");
+    let started = Instant::now();
+    let results = guess_bench::bench::run_workloads(quick, iters);
+    let report = guess_bench::bench::build_report(&results);
+    print!("\n{}", report.render_text());
+    let n = guess_bench::bench::next_bench_index(&out_dir);
+    let path = out_dir.join(format!("BENCH_{n}.json"));
+    let doc = report.render_json(
+        "bench",
+        "fixed-seed engine workloads: min/median wall time and events/sec",
+        if quick { "Quick" } else { "Full" },
+    );
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "\nwrote {} ({} workloads in {:.1}s)",
+        path.display(),
+        results.len(),
+        started.elapsed().as_secs_f64()
     );
 }
 
@@ -434,6 +516,7 @@ fn print_usage() {
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
          usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
+         repro bench [--quick] [--iters N] [--out <dir>]\n  \
          repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \

@@ -18,7 +18,6 @@
 //! state.
 
 use std::any::Any;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
@@ -66,7 +65,7 @@ pub struct Ctx {
     scale: Scale,
     jobs: usize,
     sem: Semaphore,
-    shared: Mutex<HashMap<String, SharedSlot>>,
+    shared: Mutex<simkit::hash::FxHashMap<String, SharedSlot>>,
 }
 
 impl std::fmt::Debug for Ctx {
@@ -88,7 +87,9 @@ impl Ctx {
             scale,
             jobs,
             sem: Semaphore::new(jobs),
-            shared: Mutex::new(HashMap::new()),
+            // Pre-sized for the experiment catalog: at most one memo
+            // slot per figure module ever lands here.
+            shared: Mutex::new(simkit::hash::map_with_capacity(32)),
         }
     }
 

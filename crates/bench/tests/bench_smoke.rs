@@ -1,0 +1,43 @@
+//! Bench-harness smoke gate: the quick workload matrix must run to
+//! completion, report non-zero throughput, and do so inside a generous
+//! wall-clock ceiling. Run in release by `scripts/verify.sh` (the gate
+//! is meaningless in debug, so it is `#[ignore]`d for plain
+//! `cargo test`).
+
+use std::time::{Duration, Instant};
+
+use guess_bench::bench::{build_report, run_workloads};
+
+/// Far above any plausible release-mode quick run (a few seconds on a
+/// laptop); trips only on a catastrophic perf or hang regression. The
+/// finer ≤2× check against the committed BENCH baseline lives in
+/// `scripts/verify.sh`.
+const QUICK_CEILING: Duration = Duration::from_secs(120);
+
+#[test]
+#[ignore = "release-mode perf smoke; invoked by scripts/verify.sh"]
+fn quick_bench_completes_with_throughput() {
+    let started = Instant::now();
+    let results = run_workloads(true, 1);
+    let elapsed = started.elapsed();
+    assert_eq!(results.len(), 3, "one quick workload per engine");
+    for r in &results {
+        assert!(r.events > 0, "{} processed no events", r.name);
+        assert!(r.min_secs > 0.0, "{} reported zero wall time", r.name);
+        assert!(
+            r.events_per_sec() > 0.0,
+            "{} reported zero throughput",
+            r.name
+        );
+    }
+    assert!(
+        elapsed < QUICK_CEILING,
+        "quick bench took {elapsed:?} (ceiling {QUICK_CEILING:?})"
+    );
+    // The JSON these results render to is the BENCH_<n>.json schema the
+    // verify gate parses: every workload must appear as a table row.
+    let json = build_report(&results).render_json("bench", "smoke", "Quick");
+    for r in &results {
+        assert!(json.contains(&format!("\"{}\"", r.name)));
+    }
+}

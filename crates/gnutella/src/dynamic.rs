@@ -202,6 +202,7 @@ impl GnutellaSim {
             messages: self.messages,
             peers_reached: self.peers_reached,
             counters: self.counters,
+            events_processed: kernel.events_processed(),
         };
         (report, kernel.into_sink())
     }

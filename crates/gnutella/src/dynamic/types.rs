@@ -77,6 +77,10 @@ pub struct GnutellaReport {
     pub peers_reached: Summary,
     /// Event counters (connections made, repairs, deaths, …).
     pub counters: CounterSet,
+    /// Kernel events processed over the whole run (including warm-up).
+    /// Wall-clock throughput denominator for `repro bench`; not part of
+    /// any rendered report.
+    pub events_processed: u64,
 }
 
 impl GnutellaReport {

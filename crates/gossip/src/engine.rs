@@ -15,9 +15,7 @@
 //! peer is a fresh target (it never heard the rumor) and a dead
 //! spreader's knowledge dies with it.
 
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
-
+use simkit::hash::{self, FxHashMap};
 use simkit::rng::RngStream;
 use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 use simkit::stats::{CounterSet, Summary};
@@ -49,14 +47,22 @@ struct Node {
     library: PeerLibrary,
 }
 
+/// "This slot never heard the rumor" sentinel in [`Rumor::infected`].
+/// Real incarnations are allocated from 0 and can never reach it.
+const NEVER_HEARD: u64 = u64::MAX;
+
 /// Per-query rumor state, kept until the query settles.
 struct Rumor {
     target: QueryTarget,
     started: SimTime,
     round: u32,
-    /// slot → incarnation that heard the rumor. Rebirth invalidates the
-    /// entry, so churn erases rumor knowledge.
-    infected: HashMap<usize, u64>,
+    /// Per-slot incarnation that heard the rumor ([`NEVER_HEARD`] if
+    /// none), indexed by slot. Rebirth bumps the slot's incarnation past
+    /// the stored one, so churn erases rumor knowledge.
+    infected: Vec<u64>,
+    /// Distinct slots ever infected (the dense counterpart of the old
+    /// map's `len()`), including the originator.
+    heard: usize,
     /// Slots spreading in the upcoming round.
     active: Vec<usize>,
     messages: u64,
@@ -84,7 +90,7 @@ pub struct GossipSim {
     churn: ChurnDriver<LifetimeModel>,
     workload: QueryWorkload,
     rng: RngStream,
-    rumors: HashMap<u64, Rumor>,
+    rumors: FxHashMap<u64, Rumor>,
     queries: u64,
     unsatisfied: u64,
     messages: Summary,
@@ -93,6 +99,10 @@ pub struct GossipSim {
     counters: CounterSet,
     next_incarnation: u64,
     next_query: u64,
+    /// Round-scoped dedup stamps for `next_active` (one entry per slot),
+    /// replacing a linear `Vec::contains` scan per push.
+    active_stamp: Vec<u64>,
+    active_token: u64,
 }
 
 impl GossipSim {
@@ -109,6 +119,12 @@ impl GossipSim {
         let lifetimes = LifetimeModel::saroiu_like(cfg.lifespan_multiplier);
         let workload = QueryWorkload::with_rate(cfg.query_rate)
             .map_err(|_| GossipConfigError::BadQueryRate)?;
+        // Pre-size the rumor map for the expected number of in-flight
+        // rumors: network-wide arrival rate times the longest a rumor
+        // can live (its full round TTL).
+        let max_rumor_secs = cfg.round_interval.as_secs() * f64::from(cfg.round_ttl);
+        let inflight = (cfg.query_rate * cfg.network_size as f64 * max_rumor_secs).ceil() as usize;
+        let network_size = cfg.network_size;
         let mut sim = GossipSim {
             rng: RngStream::from_seed(cfg.seed, "gossip"),
             cfg,
@@ -117,7 +133,7 @@ impl GossipSim {
             files,
             churn: ChurnDriver::new(lifetimes),
             workload,
-            rumors: HashMap::new(),
+            rumors: hash::map_with_capacity(inflight.clamp(16, 4096)),
             queries: 0,
             unsatisfied: 0,
             messages: Summary::new(),
@@ -126,6 +142,8 @@ impl GossipSim {
             counters: CounterSet::new(),
             next_incarnation: 0,
             next_query: 0,
+            active_stamp: vec![0; network_size],
+            active_token: 0,
         };
         sim.populate();
         Ok(sim)
@@ -191,6 +209,7 @@ impl GossipSim {
         let mut kernel = Kernel::new(params, sink);
         self.schedule_initial(&mut kernel.ctx());
         kernel.run(&mut self);
+        let events_processed = kernel.events_processed();
         let mut sink = kernel.into_sink();
         // Flush in-flight rumors at the horizon, in query order.
         let mut pending: Vec<u64> = self.rumors.keys().copied().collect();
@@ -219,6 +238,7 @@ impl GossipSim {
             peers_reached: self.peers_reached,
             response_time: self.response_time,
             counters: self.counters,
+            events_processed,
         };
         (report, sink)
     }
@@ -303,13 +323,14 @@ impl GossipSim {
             );
         }
         let target = self.qmodel.sample_target(&mut self.rng);
-        let mut infected = HashMap::new();
-        infected.insert(src, self.nodes[src].incarnation);
+        let mut infected = vec![NEVER_HEARD; self.nodes.len()];
+        infected[src] = self.nodes[src].incarnation;
         let rumor = Rumor {
             target,
             started: now,
             round: 0,
             infected,
+            heard: 1,
             active: vec![src],
             messages: 0,
             results: 0,
@@ -329,13 +350,15 @@ impl GossipSim {
         let n = self.nodes.len();
         let spreaders = std::mem::take(&mut rumor.active);
         let mut next_active: Vec<usize> = Vec::new();
+        // A fresh stamp token per round: `active_stamp[t] == token` means
+        // t is already in `next_active` (O(1) dedup, insertion order
+        // preserved by the Vec itself).
+        self.active_token += 1;
+        let token = self.active_token;
         for s in spreaders {
             // A spreader that died (and was replaced) since it was
             // activated takes its rumor knowledge to the grave.
-            let still_informed = matches!(
-                rumor.infected.get(&s),
-                Some(&inc) if self.nodes[s].incarnation == inc
-            );
+            let still_informed = rumor.infected[s] == self.nodes[s].incarnation;
             if !still_informed {
                 self.counters.incr("spreaders_lost");
                 continue;
@@ -349,14 +372,28 @@ impl GossipSim {
                 rumor.messages += 1;
                 self.counters.incr("pushes");
                 let t_inc = self.nodes[t].incarnation;
-                match rumor.infected.entry(t) {
-                    Entry::Vacant(e) => {
-                        e.insert(t_inc);
-                        if !next_active.contains(&t) {
+                let known = rumor.infected[t];
+                if known == t_inc {
+                    // Duplicate: suppressed, but the receiver may pull
+                    // itself back into dissemination.
+                    self.counters.incr("dedup_drops");
+                    if ctx.tracing() {
+                        ctx.emit(
+                            now,
+                            TraceRecord::Probe {
+                                query: qid,
+                                target: t_inc,
+                                kind: ProbeKind::Push,
+                                outcome: ProbeOutcome::Duplicate,
+                            },
+                        );
+                    }
+                    if self.rng.chance(self.cfg.pull_probability) {
+                        rumor.messages += 1;
+                        self.counters.incr("pulls");
+                        if self.active_stamp[t] != token {
+                            self.active_stamp[t] = token;
                             next_active.push(t);
-                        }
-                        if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
-                            rumor.results += 1;
                         }
                         if ctx.tracing() {
                             ctx.emit(
@@ -364,68 +401,39 @@ impl GossipSim {
                                 TraceRecord::Probe {
                                     query: qid,
                                     target: t_inc,
-                                    kind: ProbeKind::Push,
+                                    kind: ProbeKind::Pull,
                                     outcome: ProbeOutcome::Good,
                                 },
                             );
                         }
                     }
-                    Entry::Occupied(mut e) if *e.get() != t_inc => {
-                        // The slot was reborn since infection; this
-                        // incarnation never heard the rumor.
-                        *e.get_mut() = t_inc;
+                } else {
+                    // First contact for this incarnation: either the slot
+                    // never heard the rumor, or it was reborn since
+                    // infection (the stored incarnation is stale).
+                    if known == NEVER_HEARD {
+                        rumor.heard += 1;
+                    } else {
                         self.counters.incr("reinfections");
-                        if !next_active.contains(&t) {
-                            next_active.push(t);
-                        }
-                        if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
-                            rumor.results += 1;
-                        }
-                        if ctx.tracing() {
-                            ctx.emit(
-                                now,
-                                TraceRecord::Probe {
-                                    query: qid,
-                                    target: t_inc,
-                                    kind: ProbeKind::Push,
-                                    outcome: ProbeOutcome::Good,
-                                },
-                            );
-                        }
                     }
-                    Entry::Occupied(_) => {
-                        // Duplicate: suppressed, but the receiver may
-                        // pull itself back into dissemination.
-                        self.counters.incr("dedup_drops");
-                        if ctx.tracing() {
-                            ctx.emit(
-                                now,
-                                TraceRecord::Probe {
-                                    query: qid,
-                                    target: t_inc,
-                                    kind: ProbeKind::Push,
-                                    outcome: ProbeOutcome::Duplicate,
-                                },
-                            );
-                        }
-                        if self.rng.chance(self.cfg.pull_probability) {
-                            rumor.messages += 1;
-                            self.counters.incr("pulls");
-                            if !next_active.contains(&t) {
-                                next_active.push(t);
-                            }
-                            if ctx.tracing() {
-                                ctx.emit(
-                                    now,
-                                    TraceRecord::Probe {
-                                        query: qid,
-                                        target: t_inc,
-                                        kind: ProbeKind::Pull,
-                                        outcome: ProbeOutcome::Good,
-                                    },
-                                );
-                            }
-                        }
+                    rumor.infected[t] = t_inc;
+                    if self.active_stamp[t] != token {
+                        self.active_stamp[t] = token;
+                        next_active.push(t);
+                    }
+                    if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
+                        rumor.results += 1;
+                    }
+                    if ctx.tracing() {
+                        ctx.emit(
+                            now,
+                            TraceRecord::Probe {
+                                query: qid,
+                                target: t_inc,
+                                kind: ProbeKind::Push,
+                                outcome: ProbeOutcome::Good,
+                            },
+                        );
                     }
                 }
             }
@@ -473,7 +481,7 @@ impl GossipSim {
                 self.unsatisfied += 1;
             }
             self.messages.record(rumor.messages as f64);
-            self.peers_reached.record(rumor.infected.len() as f64 - 1.0);
+            self.peers_reached.record(rumor.heard as f64 - 1.0);
             if satisfied {
                 self.response_time.record((at - rumor.started).as_secs());
             }

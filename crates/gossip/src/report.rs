@@ -26,6 +26,10 @@ pub struct GossipReport {
     pub response_time: Summary,
     /// Event counters (pushes, pulls, dedup drops, rounds, deaths, …).
     pub counters: CounterSet,
+    /// Kernel events processed over the whole run (including warm-up).
+    /// Wall-clock throughput denominator for `repro bench`; not part of
+    /// any rendered report.
+    pub events_processed: u64,
 }
 
 impl GossipReport {

@@ -1,0 +1,225 @@
+//! Slot-indexed registry of live malicious peers.
+//!
+//! The engine needs three pieces of adversary bookkeeping on the churn
+//! hot path:
+//!
+//! 1. *membership* — is this dying peer a live bad peer? (every death
+//!    checks);
+//! 2. *uniform sampling* — `BadPongBehavior::Bad` pongs pick colluders
+//!    uniformly from the live bad population;
+//! 3. *fabricated pools* — each attacker that answers with
+//!    `BadPongBehavior::Dead` owns a lazily allocated pool of dead
+//!    addresses.
+//!
+//! These used to live in a `Vec<PeerAddr>` + two `PeerAddr`-keyed
+//! `HashMap`s. [`BadRegistry`] folds all three into one slab indexed by
+//! [`SlotId`]: the network keeps a constant population of slots, so a
+//! slot index is a perfect dense key, and the occupying [`PeerAddr`]
+//! (monotone, never reused) acts as the generation stamp that detects
+//! stale slots. Membership checks and removals become two array reads
+//! instead of a hash probe.
+//!
+//! ## Determinism contract
+//!
+//! The dense `members` list must reproduce *exactly* the push /
+//! `swap_remove` / back-patch order of the old `live_bad` vector:
+//! `sample_indices(len, k)` draws positions into this list, so any
+//! reordering would change which colluder addresses get sampled and
+//! break the golden reports. [`insert`](BadRegistry::insert) appends and
+//! [`remove`](BadRegistry::remove) swap-removes, mirroring the old code
+//! path one-for-one.
+
+use crate::addr::{PeerAddr, SlotId};
+
+/// Per-slot adversary state. `occupant` doubles as the generation
+/// stamp: it is `Some(addr)` exactly while the live peer `addr` in this
+/// slot is malicious.
+#[derive(Debug, Clone, Default)]
+struct SlotEntry {
+    occupant: Option<PeerAddr>,
+    /// Position of `occupant` in `members`; meaningless when vacant.
+    pos: u32,
+    /// Fabricated dead-address pool of the current occupant. Cleared on
+    /// removal so a later bad occupant of the same slot re-allocates,
+    /// exactly as the old per-address map did.
+    fabricated: Vec<PeerAddr>,
+}
+
+/// Dense bookkeeping for the live malicious population.
+///
+/// # Examples
+///
+/// ```
+/// use guess::addr::{AddrAllocator, SlotId};
+/// use guess::bad_registry::BadRegistry;
+///
+/// let mut alloc = AddrAllocator::new();
+/// let (a, b) = (alloc.allocate(), alloc.allocate());
+/// let mut reg = BadRegistry::new(8);
+/// reg.insert(SlotId(0), a);
+/// reg.insert(SlotId(3), b);
+/// assert_eq!(reg.len(), 2);
+/// assert_eq!(reg.member(0), a);
+/// assert!(reg.remove(SlotId(0), a));
+/// assert_eq!(reg.member(0), b); // b swapped into a's dense position
+/// assert!(!reg.remove(SlotId(0), a)); // stamp no longer matches
+/// ```
+#[derive(Debug, Clone)]
+pub struct BadRegistry {
+    /// One entry per network slot, indexed by `SlotId::index()`.
+    slots: Vec<SlotEntry>,
+    /// Dense list of live bad peers for O(1) uniform sampling; each
+    /// element carries its slot so removal can back-patch `pos`.
+    members: Vec<(PeerAddr, SlotId)>,
+}
+
+impl BadRegistry {
+    /// An empty registry for a network of `network_size` slots.
+    #[must_use]
+    pub fn new(network_size: usize) -> Self {
+        BadRegistry {
+            slots: vec![SlotEntry::default(); network_size],
+            members: Vec::new(),
+        }
+    }
+
+    /// Registers the newborn bad peer `addr` occupying `slot`.
+    pub fn insert(&mut self, slot: SlotId, addr: PeerAddr) {
+        let e = &mut self.slots[slot.index()];
+        debug_assert!(e.occupant.is_none(), "slot already holds a live bad peer");
+        debug_assert!(e.fabricated.is_empty(), "stale pool survived a removal");
+        e.occupant = Some(addr);
+        e.pos = u32::try_from(self.members.len()).expect("population fits u32");
+        self.members.push((addr, slot));
+    }
+
+    /// Unregisters `addr` if it is the live bad occupant of `slot`;
+    /// returns whether it was. Drops the slot's fabricated pool and
+    /// keeps `members` dense by swap-removing.
+    pub fn remove(&mut self, slot: SlotId, addr: PeerAddr) -> bool {
+        let e = &mut self.slots[slot.index()];
+        if e.occupant != Some(addr) {
+            return false;
+        }
+        let pos = e.pos as usize;
+        e.occupant = None;
+        e.fabricated.clear();
+        self.members.swap_remove(pos);
+        if let Some(&(_, moved_slot)) = self.members.get(pos) {
+            self.slots[moved_slot.index()].pos = pos as u32;
+        }
+        true
+    }
+
+    /// Number of live bad peers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no bad peer is alive.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The live bad peer at dense position `i` (for uniform sampling
+    /// via `sample_indices(len, k)`).
+    #[must_use]
+    pub fn member(&self, i: usize) -> PeerAddr {
+        self.members[i].0
+    }
+
+    /// The live bad peer occupying `slot`, if any.
+    #[must_use]
+    pub fn occupant(&self, slot: SlotId) -> Option<PeerAddr> {
+        self.slots[slot.index()].occupant
+    }
+
+    /// The fabricated dead-address pool of `slot`'s occupant (empty
+    /// until [`set_pool`](Self::set_pool) fills it).
+    #[must_use]
+    pub fn pool(&self, slot: SlotId) -> &[PeerAddr] {
+        &self.slots[slot.index()].fabricated
+    }
+
+    /// Installs the lazily allocated fabricated pool for `slot`.
+    pub fn set_pool(&mut self, slot: SlotId, pool: Vec<PeerAddr>) {
+        let e = &mut self.slots[slot.index()];
+        debug_assert!(e.occupant.is_some(), "pool for a vacant slot");
+        debug_assert!(e.fabricated.is_empty(), "pool allocated twice");
+        e.fabricated = pool;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrAllocator;
+
+    fn addrs(n: usize) -> Vec<PeerAddr> {
+        let mut alloc = AddrAllocator::new();
+        (0..n).map(|_| alloc.allocate()).collect()
+    }
+
+    /// The dense list must evolve exactly like the old `live_bad` vec:
+    /// append on insert, swap_remove + back-patch on remove.
+    #[test]
+    fn dense_order_matches_a_vec_oracle() {
+        let a = addrs(6);
+        let mut reg = BadRegistry::new(6);
+        let mut oracle: Vec<PeerAddr> = Vec::new();
+        for (i, &addr) in a.iter().enumerate() {
+            reg.insert(SlotId(i as u32), addr);
+            oracle.push(addr);
+        }
+        // Remove from the middle, the front, and the back.
+        for (slot, addr) in [(2u32, a[2]), (0, a[0]), (5, a[5])] {
+            let pos = oracle.iter().position(|&x| x == addr).unwrap();
+            oracle.swap_remove(pos);
+            assert!(reg.remove(SlotId(slot), addr));
+            assert_eq!(reg.len(), oracle.len());
+            for (i, &want) in oracle.iter().enumerate() {
+                assert_eq!(reg.member(i), want, "dense position {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn stale_stamp_is_not_removed() {
+        let a = addrs(3);
+        let mut reg = BadRegistry::new(2);
+        reg.insert(SlotId(0), a[0]);
+        assert!(reg.remove(SlotId(0), a[0]));
+        // A later bad occupant of the same slot is a different address;
+        // the dead one must no longer match.
+        reg.insert(SlotId(0), a[1]);
+        assert!(!reg.remove(SlotId(0), a[0]));
+        assert_eq!(reg.occupant(SlotId(0)), Some(a[1]));
+        assert!(!reg.remove(SlotId(1), a[2]), "vacant slot");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn pool_lives_and_dies_with_the_occupant() {
+        let a = addrs(4);
+        let mut reg = BadRegistry::new(1);
+        reg.insert(SlotId(0), a[0]);
+        assert!(reg.pool(SlotId(0)).is_empty());
+        reg.set_pool(SlotId(0), vec![a[2], a[3]]);
+        assert_eq!(reg.pool(SlotId(0)), &[a[2], a[3]]);
+        assert!(reg.remove(SlotId(0), a[0]));
+        // The next occupant starts with no pool, like the old
+        // per-address map after `fabricated.remove(&addr)`.
+        reg.insert(SlotId(0), a[1]);
+        assert!(reg.pool(SlotId(0)).is_empty());
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let reg = BadRegistry::new(4);
+        assert!(reg.is_empty());
+        assert_eq!(reg.len(), 0);
+        assert_eq!(reg.occupant(SlotId(3)), None);
+    }
+}

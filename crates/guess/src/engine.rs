@@ -16,8 +16,6 @@
 //!   which case the entry is retained but skipped for the rest of the
 //!   query.
 
-use std::collections::{HashMap, HashSet};
-
 use simkit::rng::RngStream;
 use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 use simkit::time::SimTime;
@@ -28,6 +26,7 @@ use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
 
 use crate::addr::{AddrAllocator, PeerAddr, SlotId};
+use crate::bad_registry::BadRegistry;
 use crate::capacity::Admission;
 use crate::config::{BadPongBehavior, Config, ConfigError};
 use crate::entry::CacheEntry;
@@ -79,9 +78,7 @@ pub struct GuessSim {
     peers: Vec<PeerState>,
     slots: Vec<PeerAddr>,
     alloc: AddrAllocator,
-    live_bad: Vec<PeerAddr>,
-    live_bad_pos: HashMap<PeerAddr, usize>,
-    fabricated: HashMap<PeerAddr, Vec<PeerAddr>>,
+    bad: BadRegistry,
     churn: ChurnDriver<LifetimeModel>,
     files: FileCountModel,
     qmodel: QueryModel,
@@ -92,6 +89,15 @@ pub struct GuessSim {
     rng_intro: RngStream,
     metrics: MetricsCollector,
     next_query: u64,
+    /// Per-address "last query that considered this address" stamps —
+    /// the dense replacement for a per-query `HashSet<PeerAddr>`.
+    /// Indexed by `PeerAddr::index()`; the stamp is query id + 1, so 0
+    /// means "never seen". See `query_first_visit`.
+    query_seen: Vec<u64>,
+    /// Reused copy buffer for "iterate one peer's cache while mutating
+    /// another's" sites (query seeding, newborn cache seeding), so the
+    /// per-event `to_vec` allocation is paid once per run.
+    entry_scratch: Vec<CacheEntry>,
 }
 
 impl GuessSim {
@@ -110,14 +116,13 @@ impl GuessSim {
         let workload = QueryWorkload::with_rate(cfg.system.query_rate)
             .map_err(|_| ConfigError::BadQueryRate)?;
 
+        let network_size = cfg.system.network_size;
         let mut sim = GuessSim {
             cfg,
             peers: Vec::new(),
             slots: Vec::new(),
             alloc: AddrAllocator::new(),
-            live_bad: Vec::new(),
-            live_bad_pos: HashMap::new(),
-            fabricated: HashMap::new(),
+            bad: BadRegistry::new(network_size),
             churn: ChurnDriver::new(lifetimes),
             files,
             qmodel,
@@ -128,6 +133,9 @@ impl GuessSim {
             rng_intro: RngStream::from_seed(seed, "intro"),
             metrics: MetricsCollector::new(),
             next_query: 0,
+            // Pre-sized for the initial population; grows with churn.
+            query_seen: vec![0; network_size],
+            entry_scratch: Vec::new(),
         };
         sim.populate();
         Ok(sim)
@@ -235,8 +243,7 @@ impl GuessSim {
         }
         self.peers.push(peer);
         if bad {
-            self.live_bad_pos.insert(addr, self.live_bad.len());
-            self.live_bad.push(addr);
+            self.bad.insert(slot, addr);
         }
         self.metrics.counters_mut().incr("births");
         addr
@@ -297,7 +304,10 @@ impl GuessSim {
                 self.metrics.record_load(p.probes_received());
             }
         }
-        (self.metrics.finish(), kernel.into_sink())
+        let events_processed = kernel.events_processed();
+        let mut report = self.metrics.finish();
+        report.events_processed = events_processed;
+        (report, kernel.into_sink())
     }
 
     /// True if the event's subject still occupies its slot.
@@ -327,14 +337,7 @@ impl GuessSim {
             p.probes_received()
         };
         self.metrics.record_load(load);
-        if let Some(pos) = self.live_bad_pos.remove(&addr) {
-            self.live_bad.swap_remove(pos);
-            if pos < self.live_bad.len() {
-                let moved = self.live_bad[pos];
-                self.live_bad_pos.insert(moved, pos);
-            }
-            self.fabricated.remove(&addr);
-        }
+        self.bad.remove(slot, addr);
 
         // Constant population: a replacement is born immediately and seeds
         // its cache with the random-friend policy — copy a live friend's
@@ -342,10 +345,11 @@ impl GuessSim {
         let newborn = self.birth_peer(slot, now);
         self.slots[slot.index()] = newborn;
         if let Some(friend) = self.random_live_peer(Some(newborn)) {
-            let entries: Vec<CacheEntry> =
-                self.peers[friend.index()].link_cache().entries().to_vec();
+            let mut entries = std::mem::take(&mut self.entry_scratch);
+            entries.clear();
+            entries.extend_from_slice(self.peers[friend.index()].link_cache().entries());
             let policy = self.cfg.protocol.cache_replacement;
-            for e in entries {
+            for &e in &entries {
                 if e.addr() != newborn {
                     let outcome = self.peers[newborn.index()].link_cache_mut().offer(
                         e,
@@ -355,6 +359,7 @@ impl GuessSim {
                     self.trace_eviction(ctx, now, newborn, outcome);
                 }
             }
+            self.entry_scratch = entries;
         }
         self.schedule_peer_events(slot, newborn, now, false, ctx);
     }
@@ -593,11 +598,11 @@ impl GuessSim {
         let mut entries = Vec::with_capacity(k);
         match self.cfg.system.bad_pong_behavior {
             BadPongBehavior::Dead => {
-                self.ensure_fabricated_pool(attacker, now);
-                let pool = &self.fabricated[&attacker];
-                for i in self.rng_churn.sample_indices(pool.len(), k) {
+                let slot = self.ensure_fabricated_pool(attacker, now);
+                let pool_len = self.bad.pool(slot).len();
+                for i in self.rng_churn.sample_indices(pool_len, k) {
                     entries.push(CacheEntry::from_pong(
-                        pool[i],
+                        self.bad.pool(slot)[i],
                         now,
                         inflated_files,
                         POISON_NUM_RES,
@@ -605,11 +610,11 @@ impl GuessSim {
                 }
             }
             BadPongBehavior::Bad => {
-                if !self.live_bad.is_empty() {
-                    let m = self.live_bad.len();
+                if !self.bad.is_empty() {
+                    let m = self.bad.len();
                     for i in self.rng_churn.sample_indices(m, k) {
                         entries.push(CacheEntry::from_pong(
-                            self.live_bad[i],
+                            self.bad.member(i),
                             now,
                             inflated_files,
                             POISON_NUM_RES,
@@ -633,9 +638,13 @@ impl GuessSim {
         Pong { entries }
     }
 
-    fn ensure_fabricated_pool(&mut self, attacker: PeerAddr, now: SimTime) {
-        if self.fabricated.contains_key(&attacker) {
-            return;
+    /// Lazily allocates `attacker`'s fabricated pool and returns the
+    /// attacker's slot (the registry key the pool is stored under).
+    fn ensure_fabricated_pool(&mut self, attacker: PeerAddr, now: SimTime) -> SlotId {
+        let slot = self.peers[attacker.index()].slot();
+        debug_assert_eq!(self.bad.occupant(slot), Some(attacker));
+        if !self.bad.pool(slot).is_empty() {
+            return slot;
         }
         let mut pool = Vec::with_capacity(FABRICATED_POOL_SIZE);
         for _ in 0..FABRICATED_POOL_SIZE {
@@ -644,7 +653,8 @@ impl GuessSim {
             self.peers.push(PeerState::dead_stub(fake, now));
             pool.push(fake);
         }
-        self.fabricated.insert(attacker, pool);
+        self.bad.set_pool(slot, pool);
+        slot
     }
 
     /// The receiver of a pong merges its entries into the link cache,

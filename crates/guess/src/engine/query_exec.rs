@@ -7,6 +7,22 @@
 use super::*;
 
 impl GuessSim {
+    /// Marks `addr` as considered by the query with dedup stamp `stamp`;
+    /// returns true on the first visit. Addresses allocated mid-query
+    /// (fabricated stubs) land beyond the vector and grow it.
+    fn query_first_visit(&mut self, addr: PeerAddr, stamp: u64) -> bool {
+        let i = addr.index();
+        if i >= self.query_seen.len() {
+            self.query_seen.resize(i + 1, 0);
+        }
+        if self.query_seen[i] == stamp {
+            false
+        } else {
+            self.query_seen[i] = stamp;
+            true
+        }
+    }
+
     /// Executes one query end-to-end: iterative (or k-parallel) probing of
     /// link-cache and query-cache candidates until `NumDesiredResults`
     /// results arrive or the candidate pool runs dry.
@@ -44,16 +60,21 @@ impl GuessSim {
         let mut resultless_streak = 0u32;
 
         // The probe pool: link-cache entries first, then everything the
-        // query cache accumulates from pongs. `seen` holds every address
-        // ever added, enforcing at-most-one probe per address per query.
+        // query cache accumulates from pongs. The engine-owned stamp
+        // vector enforces at-most-one probe per address per query
+        // without a per-query set allocation.
+        let stamp = qid + 1;
         let mut pool = ProbeQueue::new(self.cfg.protocol.query_probe);
-        let mut seen: HashSet<PeerAddr> = HashSet::new();
-        seen.insert(prober);
-        for e in self.peers[prober.index()].link_cache().entries().to_vec() {
-            if seen.insert(e.addr()) {
+        self.query_first_visit(prober, stamp);
+        let mut seed_entries = std::mem::take(&mut self.entry_scratch);
+        seed_entries.clear();
+        seed_entries.extend_from_slice(self.peers[prober.index()].link_cache().entries());
+        for &e in &seed_entries {
+            if self.query_first_visit(e.addr(), stamp) {
                 pool.push(e, &mut self.rng_policy);
             }
         }
+        self.entry_scratch = seed_entries;
 
         let mut results = 0u32;
         let mut good = 0u32;
@@ -216,7 +237,7 @@ impl GuessSim {
                         .reputation_mut()
                         .note_shared(dst, entry.addr());
                 }
-                if seen.insert(entry.addr()) {
+                if self.query_first_visit(entry.addr(), stamp) {
                     pool.push(entry, &mut self.rng_policy);
                 }
                 let policy = self.cfg.protocol.cache_replacement;

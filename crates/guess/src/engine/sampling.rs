@@ -51,10 +51,6 @@ impl GuessSim {
 
     pub(super) fn sample_connectivity(&mut self) {
         let n = self.slots.len();
-        let mut dense: HashMap<PeerAddr, usize> = HashMap::with_capacity(n);
-        for (i, &addr) in self.slots.iter().enumerate() {
-            dense.insert(addr, i);
-        }
         let mut uf = UnionFind::new(n);
         for (i, &addr) in self.slots.iter().enumerate() {
             let p = &self.peers[addr.index()];
@@ -62,10 +58,12 @@ impl GuessSim {
                 continue;
             }
             for e in p.link_cache().iter() {
-                if let Some(&j) = dense.get(&e.addr()) {
-                    if self.peers[e.addr().index()].is_alive() {
-                        uf.union(i, j);
-                    }
+                // A live peer is by definition the current occupant of
+                // its slot, so its SlotId is its dense index — no
+                // addr→index map needed.
+                let t = &self.peers[e.addr().index()];
+                if t.is_alive() {
+                    uf.union(i, t.slot().index());
                 }
             }
         }

@@ -31,6 +31,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`addr`] | peer addresses, slots, allocation |
+//! | [`bad_registry`] | slot-indexed slab of live malicious peers |
 //! | [`entry`] | the `{addr, TS, NumFiles, NumRes}` cache entry |
 //! | [`link_cache`] | the bounded neighbor cache with policy eviction |
 //! | [`policy`] | Random/MRU/LRU/MFS/MR selection + replacement mirrors |
@@ -46,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod addr;
+pub mod bad_registry;
 pub mod capacity;
 pub mod config;
 pub mod engine;

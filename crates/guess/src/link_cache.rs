@@ -7,8 +7,7 @@
 //! — the incoming entry itself competes as a candidate, so an entry "worse"
 //! than everything already cached is simply not admitted.
 
-use std::collections::HashMap;
-
+use simkit::hash::{self, FxHashMap};
 use simkit::rng::RngStream;
 use simkit::time::SimTime;
 
@@ -53,7 +52,7 @@ pub enum InsertOutcome {
 pub struct LinkCache {
     capacity: usize,
     entries: Vec<CacheEntry>,
-    index: HashMap<PeerAddr, usize>,
+    index: FxHashMap<PeerAddr, usize>,
 }
 
 impl LinkCache {
@@ -69,7 +68,9 @@ impl LinkCache {
         LinkCache {
             capacity,
             entries: Vec::with_capacity(capacity),
-            index: HashMap::new(),
+            // Pre-sized: the cache lives at or near capacity for the whole
+            // run, so the index never rehashes.
+            index: hash::map_with_capacity(capacity),
         }
     }
 

@@ -64,6 +64,10 @@ pub struct RunReport {
     pub largest_component: Option<f64>,
     /// Miscellaneous event counters.
     pub counters: CounterSet,
+    /// Kernel events processed over the whole run (including warm-up).
+    /// Wall-clock throughput denominators for `repro bench`; not part of
+    /// any rendered report.
+    pub events_processed: u64,
 }
 
 impl RunReport {
@@ -203,6 +207,9 @@ impl MetricsCollector {
             good_entries: opt(&self.good_entry_samples),
             largest_component: opt(&self.lcc_samples),
             counters: self.counters,
+            // The collector never sees the kernel; the engine fills this
+            // in after `Kernel::run` returns.
+            events_processed: 0,
         }
     }
 }

@@ -12,7 +12,7 @@
 //!
 //! The tracker is deliberately cheap: bounded maps, O(1) per event.
 
-use std::collections::{HashMap, HashSet};
+use simkit::hash::{FxHashMap, FxHashSet};
 
 use crate::addr::PeerAddr;
 
@@ -78,23 +78,25 @@ struct SourceScore {
 pub struct ReputationTracker {
     params: ReputationParams,
     /// address → the source that shared it (first teller wins).
-    provenance: HashMap<PeerAddr, PeerAddr>,
+    provenance: FxHashMap<PeerAddr, PeerAddr>,
     /// Insertion order ring for bounded eviction.
     order: std::collections::VecDeque<PeerAddr>,
-    scores: HashMap<PeerAddr, SourceScore>,
-    blacklist: HashSet<PeerAddr>,
+    scores: FxHashMap<PeerAddr, SourceScore>,
+    blacklist: FxHashSet<PeerAddr>,
 }
 
 impl ReputationTracker {
     /// Creates an empty tracker.
     #[must_use]
     pub fn new(params: ReputationParams) -> Self {
+        // Maps start empty (not pre-sized): one tracker is embedded in
+        // every peer, and all stay empty unless `distrust_pongs` is on.
         ReputationTracker {
             params,
-            provenance: HashMap::new(),
+            provenance: FxHashMap::default(),
             order: std::collections::VecDeque::new(),
-            scores: HashMap::new(),
-            blacklist: HashSet::new(),
+            scores: FxHashMap::default(),
+            blacklist: FxHashSet::default(),
         }
     }
 

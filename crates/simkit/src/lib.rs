@@ -5,7 +5,10 @@
 //!
 //! * [`time`] — virtual clock types ([`SimTime`],
 //!   [`SimDuration`]);
-//! * [`event`] — a deterministic, cancellable [`EventQueue`];
+//! * [`event`] — a deterministic, cancellable [`EventQueue`] (a
+//!   calendar queue: O(1) amortized scheduling);
+//! * [`hash`] — a deterministic FxHash-style hasher for hot-path maps
+//!   ([`hash::FxHashMap`], [`hash::FxHashSet`]);
 //! * [`rng`] — seedable, label-split random streams
 //!   ([`RngStream`]);
 //! * [`dist`] — the distributions the workload models need (Zipf via alias
@@ -50,6 +53,7 @@
 
 pub mod dist;
 pub mod event;
+pub mod hash;
 pub mod rng;
 pub mod sim;
 pub mod stats;

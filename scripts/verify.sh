@@ -19,6 +19,33 @@ cargo test --doc --workspace -q
 cargo test -q --release -p guess-bench --test determinism
 cargo test -q --release -p guess-bench --test quick_goldens -- --ignored
 
+# Bench smoke gate: the quick workload matrix completes under a generous
+# ceiling, emits valid BENCH JSON, and no quick workload's median has
+# regressed by more than 2x against the committed baseline.
+cargo test -q --release -p guess-bench --test bench_smoke -- --ignored
+rm -rf "$out/bench"
+cargo run --release -p guess-bench --bin repro -- bench --quick --iters 3 --out "$out/bench"
+python3 - "$out/bench/BENCH_0.json" BENCH_1.json <<'EOF'
+import json, sys
+
+def medians(path):
+    doc = json.load(open(path))
+    table = next(b for b in doc["blocks"] if b.get("type") == "table")
+    cols = table["columns"]
+    w, m = cols.index("workload"), cols.index("median_s")
+    return {row[w]: row[m] for row in table["rows"]}
+
+fresh, base = medians(sys.argv[1]), medians(sys.argv[2])
+bad = []
+for name, got in fresh.items():
+    want = base.get(name)
+    assert want is not None, f"workload {name} missing from committed baseline"
+    print(f"bench gate: {name:<16} committed {want:.4f}s  fresh {got:.4f}s")
+    if got > 2.0 * want:
+        bad.append(f"{name}: {got:.4f}s vs committed {want:.4f}s (>2x)")
+assert not bad, "bench medians regressed:\n" + "\n".join(bad)
+EOF
+
 cargo run --release -p guess-bench --bin repro -- \
     table3 fig9 --quick --jobs 2 --json --out "$out"
 
