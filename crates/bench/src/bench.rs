@@ -9,15 +9,18 @@
 //!
 //! Results are emitted through the structured [`Report`] JSON as
 //! `BENCH_<n>.json` files — the repo's perf trajectory. `BENCH_0.json`
-//! (pre-optimization) and `BENCH_1.json` (post-optimization) are
-//! committed baselines; ad-hoc output directories are gitignored.
+//! (pre-optimization), `BENCH_1.json` (post slab/calendar-queue pass),
+//! and `BENCH_2.json` (post wavefront-flood rewrite) are committed
+//! baselines; ad-hoc output directories are gitignored.
 //! `scripts/verify.sh` replays the quick workloads and fails on a >2×
-//! median regression against the committed baseline.
+//! median regression against the committed baseline — both on the
+//! aggregate matrix and per-engine via `--only <workload>`.
 
 use std::time::Instant;
 
 use crate::report::{Cell, Report, TableBlock};
 use crate::scale::{base_config, Scale};
+use simkit::sim::{Runnable, SimReport};
 
 /// Fixed master seed for every bench workload. Changing it invalidates
 /// wall-time comparisons across BENCH_* generations, so don't.
@@ -55,6 +58,17 @@ impl BenchResult {
     }
 }
 
+/// Runs one built simulator to completion and returns its kernel event
+/// count — the engine-generic dispatch the unified [`Runnable`] /
+/// [`SimReport`] surface provides; the workload closures below differ
+/// only in how they build their config.
+fn events_of<S: Runnable>(sim: S) -> u64
+where
+    S::Report: SimReport,
+{
+    sim.run().events_processed()
+}
+
 /// One benchmarkable workload: a name plus a closure that runs the
 /// simulation once and returns the kernel event count.
 struct Workload {
@@ -81,8 +95,7 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             scale,
             run: Box::new(move || {
                 let cfg = base_config(scale, BENCH_SEED);
-                let sim = guess::engine::GuessSim::new(cfg).expect("bench config validates");
-                sim.run().events_processed
+                events_of(cfg.build().expect("bench config validates"))
             }),
         });
         list.push(Workload {
@@ -93,14 +106,11 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             engine: "gnutella",
             scale,
             run: Box::new(move || {
-                let cfg = gnutella::dynamic::GnutellaConfig {
-                    duration: scale.duration(),
-                    warmup: scale.warmup(),
-                    seed: BENCH_SEED,
-                    ..gnutella::dynamic::GnutellaConfig::default()
-                };
-                let sim = gnutella::dynamic::GnutellaSim::new(cfg).expect("bench config validates");
-                sim.run().events_processed
+                let cfg = gnutella::dynamic::GnutellaConfig::default()
+                    .with_duration(scale.duration())
+                    .with_warmup(scale.warmup())
+                    .with_seed(BENCH_SEED);
+                events_of(cfg.build().expect("bench config validates"))
             }),
         });
         list.push(Workload {
@@ -115,8 +125,7 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
                     .with_seed(BENCH_SEED)
                     .with_duration(scale.duration())
                     .with_warmup(scale.warmup());
-                let sim = gossip::GossipSim::new(cfg).expect("bench config validates");
-                sim.run().events_processed
+                events_of(cfg.build().expect("bench config validates"))
             }),
         });
     }
@@ -137,14 +146,41 @@ fn median(sorted: &[f64]) -> f64 {
     }
 }
 
-/// Runs the workload matrix `iters` times each and returns the measured
-/// results in matrix order. Prints one progress line per workload as it
-/// completes (the full matrix takes minutes).
+/// The workload names in matrix order — what `--only` accepts.
 #[must_use]
-pub fn run_workloads(quick_only: bool, iters: usize) -> Vec<BenchResult> {
+pub fn workload_names(quick_only: bool) -> Vec<&'static str> {
+    workloads(quick_only).iter().map(|w| w.name).collect()
+}
+
+/// Runs the workload matrix `iters` times each and returns the measured
+/// results in matrix order. A non-empty `only` restricts the run to the
+/// named workloads (matrix order is preserved; unknown names are an
+/// error so typos cannot silently skip a gate). Prints one progress
+/// line per workload as it completes (the full matrix takes minutes).
+///
+/// # Errors
+///
+/// Returns the offending name when `only` lists an unknown workload.
+pub fn run_workloads(
+    quick_only: bool,
+    iters: usize,
+    only: &[String],
+) -> Result<Vec<BenchResult>, String> {
     let iters = iters.max(1);
+    let matrix = workloads(quick_only);
+    for name in only {
+        if !matrix.iter().any(|w| w.name == name) {
+            return Err(format!(
+                "unknown workload '{name}' (available: {})",
+                matrix.iter().map(|w| w.name).collect::<Vec<_>>().join(", ")
+            ));
+        }
+    }
     let mut results = Vec::new();
-    for w in workloads(quick_only) {
+    for w in matrix {
+        if !only.is_empty() && !only.iter().any(|n| n == w.name) {
+            continue;
+        }
         let mut walls = Vec::with_capacity(iters);
         let mut events = 0u64;
         for i in 0..iters {
@@ -177,7 +213,7 @@ pub fn run_workloads(quick_only: bool, iters: usize) -> Vec<BenchResult> {
         );
         results.push(r);
     }
-    results
+    Ok(results)
 }
 
 /// Assembles bench results into a structured [`Report`]; the JSON form

@@ -12,6 +12,7 @@ use guess::policy::SelectionPolicy;
 use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
 use simkit::rng::RngStream;
+use simkit::sim::Runnable;
 use workload::content::CatalogParams;
 
 fn main() {

@@ -5,7 +5,7 @@
 //! ```text
 //! repro all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
-//! repro bench [--quick] [--iters N] [--out <dir>]
+//! repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
 //! ```
@@ -36,6 +36,7 @@ use guess_bench::experiments::{self, Experiment};
 use guess_bench::report::Report;
 use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
+use simkit::sim::Runnable;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -208,27 +209,34 @@ fn main() {
     );
 }
 
-/// `repro bench [--quick] [--iters N] [--out DIR]` — the wall-clock
-/// benchmark harness. Runs fixed-seed engine workloads, prints
-/// min/median wall time and events/sec, and appends the next
-/// `BENCH_<n>.json` to the perf trajectory in DIR (default
+/// `repro bench [--quick] [--iters N] [--only WORKLOAD]... [--out DIR]`
+/// — the wall-clock benchmark harness. Runs fixed-seed engine
+/// workloads, prints min/median wall time and events/sec, and appends
+/// the next `BENCH_<n>.json` to the perf trajectory in DIR (default
 /// `bench_out/`, which is gitignored; committed baselines live in the
-/// repo root).
+/// repo root). `--only` is repeatable and restricts the run to the
+/// named workloads, so a single engine can be gated on its own.
 fn run_bench(args: &[String]) {
+    let mut only: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => i += 1,
-            flag @ ("--iters" | "--out") => {
-                if args.get(i + 1).is_none() {
+            flag @ ("--iters" | "--out" | "--only") => {
+                let Some(value) = args.get(i + 1) else {
                     eprintln!("{flag} needs a value");
                     std::process::exit(2);
+                };
+                if flag == "--only" {
+                    only.push(value.clone());
                 }
                 i += 2;
             }
             other => {
                 eprintln!("unknown bench argument: {other}");
-                eprintln!("usage: repro bench [--quick] [--iters N] [--out DIR]");
+                eprintln!(
+                    "usage: repro bench [--quick] [--iters N] [--only WORKLOAD]... [--out DIR]"
+                );
                 std::process::exit(2);
             }
         }
@@ -261,9 +269,22 @@ fn run_bench(args: &[String]) {
     } else {
         "quick+full workloads"
     };
-    println!("bench: {matrix}, {iters} iteration(s) each");
+    if only.is_empty() {
+        println!("bench: {matrix}, {iters} iteration(s) each");
+    } else {
+        println!(
+            "bench: {matrix} filtered to [{}], {iters} iteration(s) each",
+            only.join(", ")
+        );
+    }
     let started = Instant::now();
-    let results = guess_bench::bench::run_workloads(quick, iters);
+    let results = match guess_bench::bench::run_workloads(quick, iters, &only) {
+        Ok(results) => results,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let report = guess_bench::bench::build_report(&results);
     print!("\n{}", report.render_text());
     let n = guess_bench::bench::next_bench_index(&out_dir);
@@ -516,7 +537,7 @@ fn print_usage() {
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
          usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
-         repro bench [--quick] [--iters N] [--out <dir>]\n  \
+         repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]\n  \
          repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \

@@ -10,7 +10,7 @@
 //!   degree-limited overlays (a single sequential work unit: the attack
 //!   grid draws from one shared RNG stream in a fixed order).
 
-use gnutella::dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
+use gnutella::dynamic::{GnutellaConfig, GnutellaReport};
 use gnutella::fragmentation::{attack, AttackStrategy};
 use gnutella::Topology;
 use guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior};
@@ -24,6 +24,7 @@ use simkit::time::SimDuration;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 fn network_for(scale: Scale) -> usize {
     match scale {
@@ -344,15 +345,11 @@ pub fn run_forwarding(ctx: &Ctx) -> Report {
             Side::Guess(Box::new(GuessSim::new(gcfg).expect("valid config").run()))
         } else {
             // Gnutella side (same content model, same churn model, same rate).
-            let dyn_cfg = GnutellaConfig {
-                network_size: n,
-                duration: scale.duration(),
-                warmup: scale.warmup(),
-                ..GnutellaConfig::default()
-            };
-            Side::Gnutella(Box::new(
-                GnutellaSim::new(dyn_cfg).expect("valid config").run(),
-            ))
+            let dyn_cfg = GnutellaConfig::default()
+                .with_network_size(n)
+                .with_duration(scale.duration())
+                .with_warmup(scale.warmup());
+            Side::Gnutella(Box::new(dyn_cfg.build().expect("valid config").run()))
         }
     });
     let (Side::Guess(guess_report), Side::Gnutella(gnutella_report)) =

@@ -11,6 +11,7 @@ use guess::policy::SelectionPolicy;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// The policy combinations of the figure (QueryProbe / CacheReplacement).
 #[must_use]

@@ -17,6 +17,7 @@ use guess::policy::SelectionPolicy;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// Capacity limits swept (probes/second).
 pub const CAPS: [u32; 4] = [50, 10, 5, 1];

@@ -24,6 +24,7 @@ use guess::policy::SelectionPolicy;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// Bad-peer fractions swept (the paper's 0–20 %).
 pub const FRACTIONS: [f64; 5] = [0.0, 0.05, 0.10, 0.15, 0.20];

@@ -19,6 +19,7 @@ use guess::engine::GuessSim;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{strained_config, Scale};
+use simkit::sim::Runnable;
 
 /// One sweep sample.
 #[derive(Debug, Clone, Copy)]

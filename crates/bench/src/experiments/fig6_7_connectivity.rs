@@ -15,6 +15,7 @@ use guess::engine::GuessSim;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{strained_config, Scale};
+use simkit::sim::Runnable;
 
 /// Ping intervals swept, in seconds (the paper's x-axis spans 0–600).
 #[must_use]

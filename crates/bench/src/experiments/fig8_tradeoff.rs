@@ -28,6 +28,7 @@ use simkit::rng::RngStream;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 enum Piece {
     Gnutella {

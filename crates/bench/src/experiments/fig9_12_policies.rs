@@ -20,6 +20,7 @@ use guess::Config;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// Which policy knob a sweep turns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -26,6 +26,7 @@ use simkit::time::SimDuration;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// The Figure-8 master seed, reused so the flooding and GUESS baselines
 /// reproduce that figure's numbers exactly.

@@ -12,6 +12,7 @@ use guess::policy::SelectionPolicy;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::{base_config, Scale};
+use simkit::sim::Runnable;
 
 /// Parallelism levels swept.
 pub const WALKS: [usize; 4] = [1, 2, 5, 10];

@@ -10,6 +10,7 @@ use guess::engine::GuessSim;
 use crate::report::{Cell, Report, TableBlock};
 use crate::runner::Ctx;
 use crate::scale::strained_config;
+use simkit::sim::Runnable;
 
 /// Paper values: (cache size, fraction live, absolute live).
 pub const PAPER: [(usize, f64, f64); 6] = [

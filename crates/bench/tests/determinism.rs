@@ -5,13 +5,13 @@
 //! [`guess::RunReport`] bit-for-bit, and a report rendered at `--jobs 4`
 //! must equal the one rendered at `--jobs 1`.
 
-use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use gnutella::dynamic::GnutellaConfig;
 use gossip::{Config as GossipConfig, GossipSim};
 use guess::{Config, GuessSim};
 use guess_bench::experiments;
 use guess_bench::runner::Ctx;
 use guess_bench::scale::Scale;
-use simkit::time::SimDuration;
+use simkit::sim::Runnable;
 
 #[test]
 fn same_seed_means_identical_run_report() {
@@ -25,15 +25,9 @@ fn same_seed_means_identical_run_report() {
 
 #[test]
 fn same_seed_means_identical_gnutella_report() {
-    let cfg = |seed: u64| GnutellaConfig {
-        network_size: 150,
-        duration: SimDuration::from_secs(400.0),
-        warmup: SimDuration::from_secs(100.0),
-        lifespan_multiplier: 0.2, // enough churn to exercise repairs
-        seed,
-        ..GnutellaConfig::default()
-    };
-    let run = |seed: u64| GnutellaSim::new(cfg(seed)).expect("valid config").run();
+    // lifespan 0.2: enough churn to exercise repairs
+    let cfg = |seed: u64| GnutellaConfig::small_test(seed).with_lifespan_multiplier(0.2);
+    let run = |seed: u64| cfg(seed).build().expect("valid config").run();
     assert_eq!(
         run(42),
         run(42),

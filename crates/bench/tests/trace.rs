@@ -6,6 +6,7 @@ use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
 use gossip::{Config as GossipConfig, GossipSim};
 use guess::{Config, GuessSim};
 use guess_bench::tracefile::JsonlSink;
+use simkit::sim::Runnable;
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::{CountingSink, RecordingSink, TraceRecord};
 
@@ -89,13 +90,7 @@ fn guess_query_probe_records_match_query_end_sums() {
 
 #[test]
 fn gnutella_trace_reconciles_with_run_report() {
-    let cfg = GnutellaConfig {
-        network_size: 150,
-        duration: SimDuration::from_secs(400.0),
-        warmup: SimDuration::from_secs(100.0),
-        seed: 9,
-        ..GnutellaConfig::default()
-    };
+    let cfg = GnutellaConfig::small_test(9);
     let warmup_end = SimTime::ZERO + cfg.warmup;
     let (report, sink) = GnutellaSim::new(cfg)
         .unwrap()

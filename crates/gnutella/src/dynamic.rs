@@ -10,24 +10,32 @@
 //! flood queries with a TTL, die silently, and where survivors repair
 //! their degree by re-connecting.
 //!
+//! Floods execute as per-hop *wavefront* events — one kernel event per
+//! (query, hop) advancing a dense frontier over slot-indexed adjacency
+//! (see [`crate::wavefront`]) — rather than one event per forwarded
+//! message. The discovery order, RNG draw order, trace records, and
+//! report aggregates are identical to the per-message formulation; only
+//! the event count and the wall-clock cost per message change.
+//!
 //! The content/query/lifetime models are shared with the GUESS simulator
 //! so the two mechanisms face identical workloads.
 
-use std::collections::HashSet;
-
 use simkit::rng::RngStream;
-use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport, Simulation};
 use simkit::stats::{CounterSet, Summary};
 use simkit::time::{SimDuration, SimTime};
-use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
+use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
 use workload::content::{Catalog, CatalogParams, PeerLibrary};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
 
+use crate::wavefront::VisitTable;
+
 mod flood;
 mod types;
 
+use flood::FloodState;
 pub use types::{GnutellaConfig, GnutellaReport, InvalidGnutellaConfig};
 
 /// The engine's event alphabet (public because it is the
@@ -35,14 +43,25 @@ pub use types::{GnutellaConfig, GnutellaReport, InvalidGnutellaConfig};
 #[derive(Debug, Clone, Copy)]
 #[allow(missing_docs)]
 pub enum Event {
-    Burst { slot: usize, incarnation: u64 },
-    Death { slot: usize, incarnation: u64 },
+    Burst {
+        slot: usize,
+        incarnation: u64,
+    },
+    Death {
+        slot: usize,
+        incarnation: u64,
+    },
+    /// Advances one hop of an in-flight flood (index into the flood
+    /// slab). Scheduled at the flood's own instant, so the whole flood
+    /// completes before any strictly-later event pops.
+    FloodHop {
+        flood: u32,
+    },
 }
 
 struct Node {
     incarnation: u64,
     library: PeerLibrary,
-    neighbors: Vec<usize>, // slot indices
 }
 
 /// The dynamic Gnutella simulator.
@@ -51,19 +70,30 @@ struct Node {
 ///
 /// ```no_run
 /// use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+/// use gnutella::Runnable;
 ///
-/// let report = GnutellaSim::new(GnutellaConfig::default())?.run();
+/// let report = GnutellaConfig::default().build()?.run();
 /// println!("messages/query: {:.0}", report.messages_per_query());
 /// # Ok::<(), gnutella::dynamic::InvalidGnutellaConfig>(())
 /// ```
 pub struct GnutellaSim {
     cfg: GnutellaConfig,
     nodes: Vec<Node>,
+    /// Slot-indexed adjacency: `adj[u]` lists `u`'s open connections.
+    /// Kept dense and separate from [`Node`] so a flood hop can borrow
+    /// the whole overlay as neighbor slices without touching peer state.
+    adj: Vec<Vec<u32>>,
     qmodel: QueryModel,
     files: FileCountModel,
     churn: ChurnDriver<LifetimeModel>,
     workload: QueryWorkload,
     rng: RngStream,
+    floods: Vec<FloodState>,
+    free_floods: Vec<u32>,
+    /// Active floods in start order; settled strictly front-to-back so
+    /// aggregate recording order matches the old inline execution.
+    settle_queue: std::collections::VecDeque<u32>,
+    probe_scratch: Vec<(u64, ProbeOutcome)>,
     queries: u64,
     unsatisfied: u64,
     messages: Summary,
@@ -80,31 +110,27 @@ impl GnutellaSim {
     ///
     /// Returns [`InvalidGnutellaConfig`] for inconsistent parameters.
     pub fn new(cfg: GnutellaConfig) -> Result<Self, InvalidGnutellaConfig> {
-        if cfg.network_size < 2
-            || cfg.target_degree == 0
-            || cfg.target_degree >= cfg.network_size
-            || cfg.ttl == 0
-            || cfg.desired_results == 0
-            || !(cfg.query_rate.is_finite() && cfg.query_rate > 0.0)
-            || !(cfg.lifespan_multiplier.is_finite() && cfg.lifespan_multiplier > 0.0)
-            || cfg.warmup >= cfg.duration
-        {
-            return Err(InvalidGnutellaConfig);
-        }
-        let catalog = Catalog::new(cfg.catalog).map_err(|_| InvalidGnutellaConfig)?;
+        cfg.validate()?;
+        let catalog = Catalog::new(cfg.catalog).map_err(|_| InvalidGnutellaConfig::BadCatalog)?;
         let qmodel = QueryModel::new(catalog);
         let files = FileCountModel::gnutella_like();
         let lifetimes = LifetimeModel::saroiu_like(cfg.lifespan_multiplier);
-        let workload =
-            QueryWorkload::with_rate(cfg.query_rate).map_err(|_| InvalidGnutellaConfig)?;
+        let workload = QueryWorkload::with_rate(cfg.query_rate)
+            .map_err(|_| InvalidGnutellaConfig::BadQueryRate)?;
+        let n = cfg.network_size;
         let mut sim = GnutellaSim {
             rng: RngStream::from_seed(cfg.seed, "gnutella"),
             cfg,
             nodes: Vec::new(),
+            adj: vec![Vec::new(); n],
             qmodel,
             files,
             churn: ChurnDriver::new(lifetimes),
             workload,
+            floods: Vec::new(),
+            free_floods: Vec::new(),
+            settle_queue: std::collections::VecDeque::new(),
+            probe_scratch: Vec::new(),
             queries: 0,
             unsatisfied: 0,
             messages: Summary::new(),
@@ -135,7 +161,6 @@ impl GnutellaSim {
             self.nodes.push(Node {
                 incarnation,
                 library,
-                neighbors: Vec::new(),
             });
         }
         // Initial wiring: every peer opens target_degree connections.
@@ -167,44 +192,16 @@ impl GnutellaSim {
     fn top_up_connections(&mut self, slot: usize) {
         let n = self.nodes.len();
         let mut guard = 0;
-        while self.nodes[slot].neighbors.len() < self.cfg.target_degree && guard < 20 * n {
+        while self.adj[slot].len() < self.cfg.target_degree && guard < 20 * n {
             guard += 1;
             let other = self.rng.below(n);
-            if other == slot || self.nodes[slot].neighbors.contains(&other) {
+            if other == slot || self.adj[slot].contains(&(other as u32)) {
                 continue;
             }
-            self.nodes[slot].neighbors.push(other);
-            self.nodes[other].neighbors.push(slot);
+            self.adj[slot].push(other as u32);
+            self.adj[other].push(slot as u32);
             self.counters.add("connect_messages", 2);
         }
-    }
-
-    /// Runs to completion.
-    #[must_use]
-    pub fn run(self) -> GnutellaReport {
-        self.run_traced(NullSink).0
-    }
-
-    /// Runs with a caller-provided trace sink, returning both the report
-    /// and the sink. With [`NullSink`] this monomorphizes to exactly the
-    /// untraced loop.
-    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (GnutellaReport, T) {
-        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
-        if let Some(interval) = self.cfg.sample_interval {
-            params = params.with_sampling(interval);
-        }
-        let mut kernel = Kernel::new(params, sink);
-        self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
-        let report = GnutellaReport {
-            queries: self.queries,
-            unsatisfied: self.unsatisfied,
-            messages: self.messages,
-            peers_reached: self.peers_reached,
-            counters: self.counters,
-            events_processed: kernel.events_processed(),
-        };
-        (report, kernel.into_sink())
     }
 
     fn on_death<T: TraceSink>(
@@ -221,9 +218,9 @@ impl GnutellaSim {
         self.counters.incr("deaths");
         // The departing peer's connections drop; every ex-neighbor
         // notices (open TCP connections fail fast) and repairs.
-        let ex_neighbors = std::mem::take(&mut self.nodes[slot].neighbors);
+        let ex_neighbors = std::mem::take(&mut self.adj[slot]);
         for &nb in &ex_neighbors {
-            self.nodes[nb].neighbors.retain(|&x| x != slot);
+            self.adj[nb as usize].retain(|&x| x != slot as u32);
         }
         // Rebirth in place, as in the GUESS simulator: constant population.
         self.nodes[slot].incarnation = self.next_incarnation;
@@ -232,7 +229,7 @@ impl GnutellaSim {
         self.top_up_connections(slot);
         for nb in ex_neighbors {
             self.counters.incr("repairs");
-            self.top_up_connections(nb);
+            self.top_up_connections(nb as usize);
         }
         let new_inc = self.nodes[slot].incarnation;
         self.churn.spawn(
@@ -281,6 +278,7 @@ impl<T: TraceSink> Simulation<T> for GnutellaSim {
         match event {
             Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now, ctx),
             Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now, ctx),
+            Event::FloodHop { flood } => self.on_flood_hop(flood, now, ctx),
         }
     }
 
@@ -291,40 +289,72 @@ impl<T: TraceSink> Simulation<T> for GnutellaSim {
     }
 }
 
+impl Runnable for GnutellaSim {
+    type Report = GnutellaReport;
+
+    fn run_traced<T: TraceSink>(mut self, sink: T) -> (GnutellaReport, T) {
+        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
+        if let Some(interval) = self.cfg.sample_interval {
+            params = params.with_sampling(interval);
+        }
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
+        let report = GnutellaReport {
+            queries: self.queries,
+            unsatisfied: self.unsatisfied,
+            messages: self.messages,
+            peers_reached: self.peers_reached,
+            counters: self.counters,
+            events_processed: kernel.events_processed(),
+        };
+        (report, kernel.into_sink())
+    }
+}
+
+impl SimReport for GnutellaReport {
+    fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn small() -> GnutellaConfig {
-        GnutellaConfig {
-            network_size: 150,
-            duration: SimDuration::from_secs(400.0),
-            warmup: SimDuration::from_secs(100.0),
-            catalog: CatalogParams {
-                items: 4000,
-                ..CatalogParams::default()
-            },
-            ..GnutellaConfig::default()
-        }
+        GnutellaConfig::small_test(0x67)
     }
 
     #[test]
     fn validates_config() {
-        let mut bad = small();
-        bad.target_degree = 0;
-        assert!(GnutellaSim::new(bad).is_err());
-        let mut bad = small();
-        bad.ttl = 0;
-        assert!(GnutellaSim::new(bad).is_err());
-        let mut bad = small();
-        bad.warmup = bad.duration;
-        assert!(GnutellaSim::new(bad).is_err());
-        assert!(GnutellaSim::new(small()).is_ok());
+        assert_eq!(
+            small().with_target_degree(0).build().err(),
+            Some(InvalidGnutellaConfig::BadDegree)
+        );
+        assert_eq!(
+            small().with_ttl(0).build().err(),
+            Some(InvalidGnutellaConfig::ZeroTtl)
+        );
+        let bad = small().with_warmup(small().duration);
+        assert_eq!(
+            bad.build().err(),
+            Some(InvalidGnutellaConfig::WarmupTooLong)
+        );
+        assert_eq!(
+            small().with_network_size(1).build().err(),
+            Some(InvalidGnutellaConfig::NetworkTooSmall)
+        );
+        assert_eq!(
+            small().with_query_rate(0.0).build().err(),
+            Some(InvalidGnutellaConfig::BadQueryRate)
+        );
+        assert!(small().build().is_ok());
     }
 
     #[test]
     fn runs_and_reports() {
-        let report = GnutellaSim::new(small()).unwrap().run();
+        let report = small().build().unwrap().run();
         assert!(report.queries > 0);
         assert!(report.messages_per_query() > 0.0);
         assert!(report.unsatisfaction() <= 1.0);
@@ -332,19 +362,19 @@ mod tests {
 
     #[test]
     fn deterministic_under_seed() {
-        let a = GnutellaSim::new(small()).unwrap().run();
-        let b = GnutellaSim::new(small()).unwrap().run();
+        let a = small().build().unwrap().run();
+        let b = small().build().unwrap().run();
         assert_eq!(a.queries, b.queries);
         assert_eq!(a.messages_per_query(), b.messages_per_query());
     }
 
     #[test]
     fn flooding_covers_most_of_a_connected_overlay() {
-        let mut cfg = small();
-        cfg.ttl = 8;
-        let report = GnutellaSim::new(cfg.clone()).unwrap().run();
+        let cfg = small().with_ttl(8);
+        let n = cfg.network_size;
+        let report = cfg.build().unwrap().run();
         assert!(
-            report.peers_reached.mean() > cfg.network_size as f64 * 0.7,
+            report.peers_reached.mean() > n as f64 * 0.7,
             "ttl-8 floods should reach most peers, got {:.0}",
             report.peers_reached.mean()
         );
@@ -352,15 +382,13 @@ mod tests {
 
     #[test]
     fn messages_exceed_peers_reached() {
-        let report = GnutellaSim::new(small()).unwrap().run();
+        let report = small().build().unwrap().run();
         assert!(report.messages_per_query() >= report.peers_reached.mean());
     }
 
     #[test]
     fn churn_triggers_repairs() {
-        let mut cfg = small();
-        cfg.lifespan_multiplier = 0.1;
-        let report = GnutellaSim::new(cfg).unwrap().run();
+        let report = small().with_lifespan_multiplier(0.1).build().unwrap().run();
         assert!(report.counters.get("deaths") > 10);
         assert!(report.counters.get("repairs") > 0);
         assert!(report.counters.get("connect_messages") > 0);
@@ -368,12 +396,8 @@ mod tests {
 
     #[test]
     fn short_ttl_floods_cheaper_but_worse() {
-        let mut short = small();
-        short.ttl = 2;
-        let mut long = small();
-        long.ttl = 7;
-        let s = GnutellaSim::new(short).unwrap().run();
-        let l = GnutellaSim::new(long).unwrap().run();
+        let s = small().with_ttl(2).build().unwrap().run();
+        let l = small().with_ttl(7).build().unwrap().run();
         assert!(s.messages_per_query() < l.messages_per_query());
         assert!(s.unsatisfaction() >= l.unsatisfaction());
     }

@@ -1,12 +1,53 @@
 //! TTL flooding over the live overlay — the query-execution half of the
 //! dynamic simulator, split out so overlay maintenance and search can be
 //! read independently (a child module sees the engine's private state).
+//!
+//! A flood is not executed inline: [`GnutellaSim::flood_query`] stamps
+//! the origin into the shared [`VisitTable`], parks the query's state in
+//! a slab slot, and schedules one [`Event::FloodHop`] at the current
+//! instant. Each hop event advances the frontier one TTL step via
+//! [`crate::wavefront::advance`] and reschedules itself (same instant,
+//! later sequence number) until the TTL is spent or the frontier dies
+//! out, then settles the query's metrics. Because same-instant events
+//! pop before anything strictly later, the whole flood completes before
+//! the next burst or death — exactly the old inline semantics, at a
+//! fraction of the per-message cost.
+
+use workload::query::QueryTarget;
 
 use super::*;
+use crate::wavefront;
+
+/// In-flight state of one flood, parked in the engine's slab between
+/// hop events. Slots are recycled through a free list so frontier
+/// buffers keep their capacity across queries.
+pub(super) struct FloodState {
+    qid: u64,
+    target: QueryTarget,
+    /// This flood's private visited set. Each in-flight flood owns its
+    /// table: concurrent floods from one burst interleave hop events,
+    /// and a table shared across floods would let one generation's
+    /// stamps clobber another's, re-admitting already-visited peers.
+    /// Slab recycling still amortizes the allocation — a reused slot
+    /// just bumps its own generation token.
+    visits: VisitTable,
+    /// This flood's generation token in its visit table.
+    token: u64,
+    hops_left: u32,
+    messages: u64,
+    results: u32,
+    /// Distinct peers reached, origin excluded (first visits only).
+    reached: u64,
+    /// Completed but not yet settled (waiting for older floods).
+    done: bool,
+    frontier: Vec<u32>,
+    next: Vec<u32>,
+}
 
 impl GnutellaSim {
-    /// Floods one query from `src` with the configured TTL, counting every
-    /// transmission (including duplicates that are then suppressed).
+    /// Starts one flood from `src` with the configured TTL: draws the
+    /// query target (same RNG position as the old inline flood), stamps
+    /// the origin, and schedules the first hop at `now`.
     pub(super) fn flood_query<T: TraceSink>(
         &mut self,
         src: usize,
@@ -25,66 +66,172 @@ impl GnutellaSim {
             );
         }
         let target = self.qmodel.sample_target(&mut self.rng);
-        let mut visited: HashSet<usize> = HashSet::new();
-        visited.insert(src);
-        let mut frontier = vec![src];
-        let mut messages = 0u64;
-        let mut results = 0usize;
-        for _hop in 0..self.cfg.ttl {
-            let mut next = Vec::new();
-            for &u in &frontier {
-                // Forward to all neighbors; each transmission is a message
-                // whether or not the receiver has seen the query.
-                let neighbors = self.nodes[u].neighbors.clone();
-                for v in neighbors {
-                    messages += 1;
-                    let first_visit = visited.insert(v);
-                    if ctx.tracing() {
-                        ctx.emit(
-                            now,
-                            TraceRecord::Probe {
-                                query: qid,
-                                target: self.nodes[v].incarnation,
-                                kind: ProbeKind::Flood,
-                                outcome: if first_visit {
-                                    ProbeOutcome::Good
-                                } else {
-                                    ProbeOutcome::Duplicate
-                                },
+        let ttl = self.cfg.ttl as u32;
+        let n = self.cfg.network_size;
+        let flood = if let Some(slot) = self.free_floods.pop() {
+            let st = &mut self.floods[slot as usize];
+            st.qid = qid;
+            st.target = target;
+            st.token = st.visits.token();
+            st.hops_left = ttl;
+            st.messages = 0;
+            st.results = 0;
+            st.reached = 0;
+            st.done = false;
+            st.frontier.clear();
+            st.frontier.push(src as u32);
+            st.next.clear();
+            st.visits.visit(src as u32, st.token);
+            slot
+        } else {
+            let slot = u32::try_from(self.floods.len()).expect("flood slab exceeds u32 slots");
+            let mut visits = VisitTable::new(n);
+            let token = visits.token();
+            visits.visit(src as u32, token);
+            self.floods.push(FloodState {
+                qid,
+                target,
+                visits,
+                token,
+                hops_left: ttl,
+                messages: 0,
+                results: 0,
+                reached: 0,
+                done: false,
+                frontier: vec![src as u32],
+                next: Vec::new(),
+            });
+            slot
+        };
+        self.settle_queue.push_back(flood);
+        ctx.schedule(now, Event::FloodHop { flood });
+    }
+
+    /// Advances one hop of flood `flood`: every frontier peer forwards
+    /// to all neighbors, first-time receivers are checked against the
+    /// query and form the next frontier. Reschedules itself while TTL
+    /// and frontier remain, otherwise settles the query.
+    pub(super) fn on_flood_hop<T: TraceSink>(
+        &mut self,
+        flood: u32,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let idx = flood as usize;
+        let mut hop_results = 0u32;
+        let mut hop_reached = 0u64;
+        let hop_messages;
+        {
+            // Disjoint field borrows: the hop reads adjacency, peer
+            // libraries, and the query model while mutating this
+            // flood's visit table and frontier buffers.
+            let GnutellaSim {
+                ref adj,
+                ref nodes,
+                ref qmodel,
+                ref mut floods,
+                ref mut probe_scratch,
+                ..
+            } = *self;
+            let FloodState {
+                target,
+                token,
+                ref mut visits,
+                ref frontier,
+                ref mut next,
+                ..
+            } = floods[idx];
+            next.clear();
+            let neighbors = |u: u32| adj[u as usize].as_slice();
+            if ctx.tracing() {
+                probe_scratch.clear();
+                hop_messages =
+                    wavefront::advance(frontier, next, visits, token, neighbors, |v, first| {
+                        let node = &nodes[v as usize];
+                        probe_scratch.push((
+                            node.incarnation,
+                            if first {
+                                ProbeOutcome::Good
+                            } else {
+                                ProbeOutcome::Duplicate
                             },
-                        );
-                    }
-                    if first_visit {
-                        if self.qmodel.answers(&self.nodes[v].library, target) {
-                            results += 1;
+                        ));
+                        if first {
+                            hop_reached += 1;
+                            if qmodel.answers(&node.library, target) {
+                                hop_results += 1;
+                            }
                         }
-                        next.push(v);
-                    }
-                }
-            }
-            frontier = next;
-            if frontier.is_empty() {
-                break;
+                    });
+            } else {
+                hop_messages =
+                    wavefront::advance(frontier, next, visits, token, neighbors, |v, first| {
+                        if first {
+                            hop_reached += 1;
+                            if qmodel.answers(&nodes[v as usize].library, target) {
+                                hop_results += 1;
+                            }
+                        }
+                    });
             }
         }
+        let qid = self.floods[idx].qid;
+        ctx.emit_probes(now, qid, ProbeKind::Flood, &self.probe_scratch);
+        let st = &mut self.floods[idx];
+        st.messages += hop_messages;
+        st.results += hop_results;
+        st.reached += hop_reached;
+        st.hops_left -= 1;
+        std::mem::swap(&mut st.frontier, &mut st.next);
+        if st.hops_left > 0 && !st.frontier.is_empty() {
+            ctx.schedule(now, Event::FloodHop { flood });
+            return;
+        }
+        st.done = true;
+        // Settle strictly in start (qid) order: a flood whose frontier
+        // dies out early must not record its aggregates before an older
+        // still-running flood from the same burst — Welford summaries
+        // are order-sensitive in floating point, and the byte-identical
+        // contract pins the inline formulation's order.
+        while let Some(&front) = self.settle_queue.front() {
+            if !self.floods[front as usize].done {
+                break;
+            }
+            self.settle_queue.pop_front();
+            self.finish_flood(front, now, ctx);
+        }
+    }
+
+    /// Settles a completed flood: emits the query-end record, records
+    /// the post-warm-up metrics, and recycles the slab slot.
+    fn finish_flood<T: TraceSink>(
+        &mut self,
+        flood: u32,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let st = &self.floods[flood as usize];
+        let (qid, messages, results, reached) = (st.qid, st.messages, st.results, st.reached);
+        self.free_floods.push(flood);
+        let desired = self.cfg.desired_results;
         if ctx.tracing() {
             ctx.emit(
                 now,
                 TraceRecord::QueryEnd {
                     query: qid,
-                    satisfied: results >= self.cfg.desired_results,
+                    satisfied: results as usize >= desired,
                     probes: u32::try_from(messages).unwrap_or(u32::MAX),
-                    results: results as u32,
+                    results,
                 },
             );
         }
         if ctx.after_warmup(now) {
             self.queries += 1;
-            if results < self.cfg.desired_results {
+            if (results as usize) < desired {
                 self.unsatisfied += 1;
             }
             self.messages.record(messages as f64);
-            self.peers_reached.record(visited.len() as f64 - 1.0);
+            self.peers_reached.record(reached as f64);
         }
     }
 }

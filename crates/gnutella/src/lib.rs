@@ -37,6 +37,7 @@ pub mod fragmentation;
 pub mod iterative;
 pub mod population;
 pub mod topology;
+pub mod wavefront;
 
 pub use dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
 pub use fixed::FixedExtentCurve;
@@ -44,4 +45,5 @@ pub use flood::{flood, FloodOutcome};
 pub use fragmentation::{attack, AttackOutcome, AttackStrategy};
 pub use iterative::{iterative_deepening, DeepeningOutcome, DeepeningPolicy};
 pub use population::Population;
+pub use simkit::sim::{Runnable, SimReport};
 pub use topology::Topology;

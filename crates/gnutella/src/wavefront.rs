@@ -1,0 +1,209 @@
+//! Generation-stamped wavefront primitives for batched flooding.
+//!
+//! A TTL flood is structurally per-hop: every hop expands a frontier of
+//! newly reached peers across their adjacency lists. The dynamic engine
+//! therefore executes floods one *hop* per kernel event rather than one
+//! message per event, and this module holds the two pieces that make a
+//! hop cheap:
+//!
+//! * [`VisitTable`] — a dense visited set keyed by slot index, reset in
+//!   O(1) by bumping a generation token instead of clearing storage
+//!   (the slab/stamp idiom from the perf pass);
+//! * [`advance`] — one frontier expansion over slot-indexed adjacency
+//!   slices, reporting every transmission to a caller hook so trace
+//!   emission and result counting stay outside the loop structure.
+//!
+//! The expansion visits frontier peers in order and each peer's
+//! neighbors in adjacency order, so the discovery sequence is exactly
+//! the breadth-first order the old per-message loop produced — that is
+//! what keeps report aggregates and trace records byte-identical.
+
+/// A dense visited set over peer slots with O(1) whole-set reset.
+///
+/// Each slot holds the token of the last flood that visited it; a slot
+/// is "visited" under token `t` iff its stamp equals `t`. Starting a
+/// new flood is just [`VisitTable::token`] — no clearing, no per-query
+/// allocation.
+#[derive(Debug, Clone)]
+pub struct VisitTable {
+    stamps: Vec<u64>,
+    next_token: u64,
+}
+
+impl VisitTable {
+    /// A table covering `n` peer slots, all unvisited.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        VisitTable {
+            // Tokens start at 1, so the zero-initialised stamps mean
+            // "never visited" without a sentinel check.
+            stamps: vec![0; n],
+            next_token: 0,
+        }
+    }
+
+    /// Issues a fresh generation token; every slot appears unvisited
+    /// under it.
+    pub fn token(&mut self) -> u64 {
+        self.next_token += 1;
+        self.next_token
+    }
+
+    /// Marks `slot` visited under `token`, returning `true` iff this is
+    /// the first visit of this generation.
+    #[inline]
+    pub fn visit(&mut self, slot: u32, token: u64) -> bool {
+        let stamp = &mut self.stamps[slot as usize];
+        if *stamp == token {
+            false
+        } else {
+            *stamp = token;
+            true
+        }
+    }
+
+    /// True iff `slot` has been visited under `token`.
+    #[must_use]
+    pub fn seen(&self, slot: u32, token: u64) -> bool {
+        self.stamps[slot as usize] == token
+    }
+
+    /// Number of tracked slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stamps.len()
+    }
+
+    /// True iff the table tracks no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stamps.is_empty()
+    }
+}
+
+/// Expands one flood hop: every frontier peer forwards to all of its
+/// neighbors, and first-time receivers form the next frontier.
+///
+/// `on_probe(receiver, first_visit)` fires once per transmission, in
+/// the exact order the old per-message loop produced them (frontier
+/// order, then adjacency order), *after* the receiver's visit stamp is
+/// updated — so the hook sees the same first/duplicate classification
+/// the visited-set insert used to return. Returns the number of
+/// transmissions (the hop's message count, duplicates included).
+///
+/// `next` is appended to, not cleared — callers clear it between hops
+/// so the buffer's capacity is reused across the whole run.
+pub fn advance<'a, N, P>(
+    frontier: &[u32],
+    next: &mut Vec<u32>,
+    visits: &mut VisitTable,
+    token: u64,
+    neighbors: N,
+    mut on_probe: P,
+) -> u64
+where
+    N: Fn(u32) -> &'a [u32],
+    P: FnMut(u32, bool),
+{
+    let mut messages = 0u64;
+    for &u in frontier {
+        let nbrs = neighbors(u);
+        messages += nbrs.len() as u64;
+        for &v in nbrs {
+            let first = visits.visit(v, token);
+            on_probe(v, first);
+            if first {
+                next.push(v);
+            }
+        }
+    }
+    messages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 5-cycle: 0-1-2-3-4-0, adjacency in index order.
+    fn cycle5() -> Vec<Vec<u32>> {
+        vec![vec![1, 4], vec![0, 2], vec![1, 3], vec![2, 4], vec![0, 3]]
+    }
+
+    fn run_hop(
+        adj: &[Vec<u32>],
+        frontier: &[u32],
+        visits: &mut VisitTable,
+        token: u64,
+    ) -> (Vec<u32>, u64, Vec<(u32, bool)>) {
+        let mut next = Vec::new();
+        let mut probes = Vec::new();
+        let messages = advance(
+            frontier,
+            &mut next,
+            visits,
+            token,
+            |u| adj[u as usize].as_slice(),
+            |v, first| probes.push((v, first)),
+        );
+        (next, messages, probes)
+    }
+
+    #[test]
+    fn expands_in_frontier_then_adjacency_order() {
+        let adj = cycle5();
+        let mut visits = VisitTable::new(5);
+        let token = visits.token();
+        visits.visit(0, token);
+        let (next, messages, probes) = run_hop(&adj, &[0], &mut visits, token);
+        assert_eq!(next, vec![1, 4]);
+        assert_eq!(messages, 2);
+        assert_eq!(probes, vec![(1, true), (4, true)]);
+
+        let (next, messages, probes) = run_hop(&adj, &next, &mut visits, token);
+        // 1 forwards to {0, 2}, 4 forwards to {0, 3}: four messages,
+        // two of them duplicates back to the origin.
+        assert_eq!(next, vec![2, 3]);
+        assert_eq!(messages, 4);
+        assert_eq!(probes, vec![(0, false), (2, true), (0, false), (3, true)]);
+    }
+
+    #[test]
+    fn duplicate_within_a_hop_is_suppressed_once() {
+        // Both frontier peers point at the same receiver; only the
+        // first transmission is a first visit.
+        let adj = vec![vec![2], vec![2], vec![]];
+        let mut visits = VisitTable::new(3);
+        let token = visits.token();
+        let (next, messages, probes) = run_hop(&adj, &[0, 1], &mut visits, token);
+        assert_eq!(next, vec![2]);
+        assert_eq!(messages, 2);
+        assert_eq!(probes, vec![(2, true), (2, false)]);
+    }
+
+    #[test]
+    fn fresh_token_forgets_previous_generation() {
+        let mut visits = VisitTable::new(3);
+        let t1 = visits.token();
+        assert!(visits.visit(1, t1));
+        assert!(!visits.visit(1, t1));
+        assert!(visits.seen(1, t1));
+        let t2 = visits.token();
+        assert!(!visits.seen(1, t2), "new generation starts unvisited");
+        assert!(visits.visit(1, t2), "slot is first-visit again");
+        assert!(
+            !visits.seen(1, t1),
+            "old generation token no longer matches"
+        );
+    }
+
+    #[test]
+    fn empty_frontier_is_a_no_op() {
+        let adj = cycle5();
+        let mut visits = VisitTable::new(5);
+        let token = visits.token();
+        let (next, messages, probes) = run_hop(&adj, &[], &mut visits, token);
+        assert!(next.is_empty());
+        assert_eq!(messages, 0);
+        assert!(probes.is_empty());
+    }
+}

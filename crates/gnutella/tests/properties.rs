@@ -8,6 +8,7 @@ use gnutella::flood::flood;
 use gnutella::iterative::{iterative_deepening, DeepeningPolicy};
 use gnutella::population::Population;
 use gnutella::topology::Topology;
+use gnutella::wavefront::{advance, VisitTable};
 use simkit::rng::RngStream;
 use workload::content::CatalogParams;
 
@@ -96,6 +97,95 @@ fn fixed_extent_curve_monotone() {
             last = u;
         }
         assert!((curve.unsatisfaction_at(n) - curve.unsatisfiable_fraction()).abs() < 1e-12);
+    }
+}
+
+/// Runs a whole TTL flood through the wavefront hop loop — the same
+/// frontier/`advance` structure the dynamic engine drives one kernel
+/// event per hop — and returns the discovery order (peer, hop depth)
+/// plus the total message count.
+fn wavefront_flood(
+    topo: &Topology,
+    src: usize,
+    ttl: usize,
+    visits: &mut VisitTable,
+) -> (Vec<(usize, usize)>, u64) {
+    let token = visits.token();
+    visits.visit(src as u32, token);
+    let mut order = vec![(src, 0usize)];
+    let mut frontier = vec![src as u32];
+    let mut next = Vec::new();
+    let mut messages = 0u64;
+    for hop in 1..=ttl {
+        next.clear();
+        messages += advance(
+            &frontier,
+            &mut next,
+            visits,
+            token,
+            |u| topo.neighbors(u as usize),
+            |v, first| {
+                if first {
+                    order.push((v as usize, hop));
+                }
+            },
+        );
+        std::mem::swap(&mut frontier, &mut next);
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    (order, messages)
+}
+
+/// The wavefront loop reproduces the `bfs_within` oracle exactly on
+/// every generator family: same peers, same hop counts, same discovery
+/// order. Its message count equals the degree sum of the expanded peers
+/// (everyone at depth < TTL forwards to all neighbors).
+#[test]
+fn wavefront_matches_bfs_oracle() {
+    let mut gen = RngStream::from_seed(0x36, "cases");
+    for case in 0..36 {
+        let n = 12 + gen.below(140);
+        let src = gen.below(n);
+        let ttl = gen.below(9);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
+        let topo = match case % 3 {
+            0 => Topology::random_regular(n, 1 + gen.below(4), &mut rng),
+            1 => Topology::erdos_renyi(n, 0.05, &mut rng),
+            _ => Topology::preferential_attachment(n, 2, &mut rng),
+        };
+        let mut visits = VisitTable::new(n);
+        let (order, messages) = wavefront_flood(&topo, src, ttl, &mut visits);
+        let oracle = topo.bfs_within(src, ttl);
+        assert_eq!(order, oracle, "case {case}: discovery order diverged");
+        let expected: u64 = oracle
+            .iter()
+            .filter(|&&(_, d)| d < ttl)
+            .map(|&(u, _)| topo.degree(u) as u64)
+            .sum();
+        assert_eq!(messages, expected, "case {case}: message tally diverged");
+    }
+}
+
+/// Recycling one `VisitTable` across consecutive floods (a fresh token
+/// per query, as the engine's slab does) leaves no stale stamps: every
+/// query matches a run with a brand-new table.
+#[test]
+fn stamp_reuse_matches_fresh_tables() {
+    let mut gen = RngStream::from_seed(0x37, "cases");
+    for _ in 0..12 {
+        let n = 20 + gen.below(120);
+        let mut rng = RngStream::from_seed(gen.next_u64(), "prop");
+        let topo = Topology::random_regular(n, 3, &mut rng);
+        let mut shared = VisitTable::new(n);
+        for q in 0..8 {
+            let src = gen.below(n);
+            let ttl = gen.below(7);
+            let reused = wavefront_flood(&topo, src, ttl, &mut shared);
+            let from_fresh = wavefront_flood(&topo, src, ttl, &mut VisitTable::new(n));
+            assert_eq!(reused, from_fresh, "query {q}: recycled stamps leaked");
+        }
     }
 }
 

@@ -236,6 +236,16 @@ impl Config {
         self
     }
 
+    /// Validates the configuration and builds the simulator — the same
+    /// construction surface the guess and gnutella configs expose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GossipConfigError`] for inconsistent parameters.
+    pub fn build(self) -> Result<crate::engine::GossipSim, GossipConfigError> {
+        crate::engine::GossipSim::new(self)
+    }
+
     /// A config scaled down for fast tests: a small network, short run,
     /// and a proportionally smaller catalog.
     #[must_use]

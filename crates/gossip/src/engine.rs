@@ -17,10 +17,10 @@
 
 use simkit::hash::{self, FxHashMap};
 use simkit::rng::RngStream;
-use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport, Simulation};
 use simkit::stats::{CounterSet, Summary};
 use simkit::time::SimTime;
-use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
+use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
 use workload::content::{Catalog, PeerLibrary};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
@@ -76,7 +76,7 @@ struct Rumor {
 /// # Examples
 ///
 /// ```no_run
-/// use gossip::{Config, GossipSim};
+/// use gossip::{Config, GossipSim, Runnable};
 ///
 /// let report = GossipSim::new(Config::default())?.run();
 /// println!("unsatisfaction: {:.3}", report.unsatisfaction());
@@ -186,61 +186,6 @@ impl GossipSim {
             let gap = self.workload.sample_burst_gap(&mut self.rng);
             ctx.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
         }
-    }
-
-    /// Runs to completion.
-    #[must_use]
-    pub fn run(self) -> GossipReport {
-        self.run_traced(NullSink).0
-    }
-
-    /// Runs with a caller-provided trace sink, returning both the
-    /// report and the sink. With [`NullSink`] this monomorphizes to
-    /// exactly the untraced loop.
-    ///
-    /// Rumors still in flight at the horizon are settled (and their
-    /// `QueryEnd` records emitted) at the end instant, so a trace always
-    /// contains exactly one `query_end` per `query_start`.
-    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (GossipReport, T) {
-        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
-        if let Some(interval) = self.cfg.sample_interval {
-            params = params.with_sampling(interval);
-        }
-        let mut kernel = Kernel::new(params, sink);
-        self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
-        let events_processed = kernel.events_processed();
-        let mut sink = kernel.into_sink();
-        // Flush in-flight rumors at the horizon, in query order.
-        let mut pending: Vec<u64> = self.rumors.keys().copied().collect();
-        pending.sort_unstable();
-        let end = SimTime::ZERO + self.cfg.duration;
-        for qid in pending {
-            let rumor = self.rumors.remove(&qid).expect("pending rumor exists");
-            self.counters.incr("horizon_flushed");
-            let satisfied = self.settle(&rumor, end);
-            if sink.enabled() {
-                sink.record(
-                    end,
-                    TraceRecord::QueryEnd {
-                        query: qid,
-                        satisfied,
-                        probes: u32::try_from(rumor.messages).unwrap_or(u32::MAX),
-                        results: rumor.results,
-                    },
-                );
-            }
-        }
-        let report = GossipReport {
-            queries: self.queries,
-            unsatisfied: self.unsatisfied,
-            messages: self.messages,
-            peers_reached: self.peers_reached,
-            response_time: self.response_time,
-            counters: self.counters,
-            events_processed,
-        };
-        (report, sink)
     }
 
     fn on_death<T: TraceSink>(
@@ -505,6 +450,61 @@ impl<T: TraceSink> Simulation<T> for GossipSim {
         // Rebirth is in place and immediate, so every slot always holds
         // a live peer — the constant-population invariant.
         self.nodes.len() as u64
+    }
+}
+
+impl Runnable for GossipSim {
+    type Report = GossipReport;
+
+    /// Rumors still in flight at the horizon are settled (and their
+    /// `QueryEnd` records emitted) at the end instant, so a trace always
+    /// contains exactly one `query_end` per `query_start`.
+    fn run_traced<T: TraceSink>(mut self, sink: T) -> (GossipReport, T) {
+        let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
+        if let Some(interval) = self.cfg.sample_interval {
+            params = params.with_sampling(interval);
+        }
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
+        let events_processed = kernel.events_processed();
+        let mut sink = kernel.into_sink();
+        // Flush in-flight rumors at the horizon, in query order.
+        let mut pending: Vec<u64> = self.rumors.keys().copied().collect();
+        pending.sort_unstable();
+        let end = SimTime::ZERO + self.cfg.duration;
+        for qid in pending {
+            let rumor = self.rumors.remove(&qid).expect("pending rumor exists");
+            self.counters.incr("horizon_flushed");
+            let satisfied = self.settle(&rumor, end);
+            if sink.enabled() {
+                sink.record(
+                    end,
+                    TraceRecord::QueryEnd {
+                        query: qid,
+                        satisfied,
+                        probes: u32::try_from(rumor.messages).unwrap_or(u32::MAX),
+                        results: rumor.results,
+                    },
+                );
+            }
+        }
+        let report = GossipReport {
+            queries: self.queries,
+            unsatisfied: self.unsatisfied,
+            messages: self.messages,
+            peers_reached: self.peers_reached,
+            response_time: self.response_time,
+            counters: self.counters,
+            events_processed,
+        };
+        (report, sink)
+    }
+}
+
+impl SimReport for GossipReport {
+    fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 }
 

@@ -26,7 +26,7 @@
 //! # Quick start
 //!
 //! ```no_run
-//! use gossip::{Config, GossipSim};
+//! use gossip::{Config, GossipSim, Runnable};
 //!
 //! let report = GossipSim::new(Config::default())?.run();
 //! println!("messages/query = {:.1}", report.messages_per_query());
@@ -43,3 +43,4 @@ pub mod report;
 pub use config::{Config, GossipConfigError};
 pub use engine::{Event, GossipSim};
 pub use report::GossipReport;
+pub use simkit::sim::{Runnable, SimReport};

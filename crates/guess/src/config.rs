@@ -543,6 +543,16 @@ impl Config {
         self
     }
 
+    /// Validates the configuration and builds the simulator — the same
+    /// construction surface the gnutella and gossip configs expose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for inconsistent parameters.
+    pub fn build(self) -> Result<crate::engine::GuessSim, ConfigError> {
+        crate::engine::GuessSim::new(self)
+    }
+
     /// A config scaled down for fast tests: a small network, short run,
     /// and a proportionally smaller catalog.
     #[must_use]

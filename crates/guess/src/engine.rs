@@ -17,9 +17,9 @@
 //!   query.
 
 use simkit::rng::RngStream;
-use simkit::sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
+use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport, Simulation};
 use simkit::time::SimTime;
-use simkit::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
+use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
 use workload::content::Catalog;
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
@@ -66,6 +66,7 @@ pub enum Event {
 /// ```no_run
 /// use guess::config::Config;
 /// use guess::engine::GuessSim;
+/// use guess::Runnable;
 ///
 /// let report = GuessSim::new(Config::default())?.run();
 /// println!("probes/query = {:.1}", report.probes_per_query());
@@ -279,35 +280,6 @@ impl GuessSim {
             let gap = self.workload.sample_burst_gap(&mut self.rng_query);
             ctx.schedule(now + gap, Event::Burst { slot, addr });
         }
-    }
-
-    /// Runs the simulation to completion and returns the aggregated report.
-    #[must_use]
-    pub fn run(self) -> RunReport {
-        self.run_traced(NullSink).0
-    }
-
-    /// Runs the simulation with a caller-provided trace sink, returning
-    /// both the report and the sink. With [`NullSink`] this monomorphizes
-    /// to exactly the untraced loop.
-    pub fn run_traced<T: TraceSink>(mut self, sink: T) -> (RunReport, T) {
-        let params = KernelParams::new(self.cfg.run.duration)
-            .with_warmup(self.cfg.run.warmup)
-            .with_sampling(self.cfg.run.sample_interval);
-        let mut kernel = Kernel::new(params, sink);
-        self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
-        // Loads of peers still alive at the end of the run.
-        for &addr in &self.slots {
-            let p = &self.peers[addr.index()];
-            if p.is_alive() {
-                self.metrics.record_load(p.probes_received());
-            }
-        }
-        let events_processed = kernel.events_processed();
-        let mut report = self.metrics.finish();
-        report.events_processed = events_processed;
-        (report, kernel.into_sink())
     }
 
     /// True if the event's subject still occupies its slot.
@@ -749,6 +721,36 @@ impl<T: TraceSink> Simulation<T> for GuessSim {
             .iter()
             .filter(|a| self.peers[a.index()].is_alive())
             .count() as u64
+    }
+}
+
+impl Runnable for GuessSim {
+    type Report = RunReport;
+
+    fn run_traced<T: TraceSink>(mut self, sink: T) -> (RunReport, T) {
+        let params = KernelParams::new(self.cfg.run.duration)
+            .with_warmup(self.cfg.run.warmup)
+            .with_sampling(self.cfg.run.sample_interval);
+        let mut kernel = Kernel::new(params, sink);
+        self.schedule_initial(&mut kernel.ctx());
+        kernel.run(&mut self);
+        // Loads of peers still alive at the end of the run.
+        for &addr in &self.slots {
+            let p = &self.peers[addr.index()];
+            if p.is_alive() {
+                self.metrics.record_load(p.probes_received());
+            }
+        }
+        let events_processed = kernel.events_processed();
+        let mut report = self.metrics.finish();
+        report.events_processed = events_processed;
+        (report, kernel.into_sink())
+    }
+}
+
+impl SimReport for RunReport {
+    fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 }
 

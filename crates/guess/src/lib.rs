@@ -17,6 +17,7 @@
 //! use guess::config::Config;
 //! use guess::engine::GuessSim;
 //! use guess::policy::SelectionPolicy;
+//! use guess::Runnable;
 //!
 //! let mut cfg = Config::default();
 //! cfg.protocol = cfg.protocol.with_uniform_policy(SelectionPolicy::Mfs);
@@ -69,3 +70,4 @@ pub use engine::GuessSim;
 pub use metrics::{MetricsCollector, QueryOutcome, RunReport};
 pub use payments::PaymentParams;
 pub use policy::{ReplacementPolicy, SelectionPolicy};
+pub use simkit::sim::{Runnable, SimReport};

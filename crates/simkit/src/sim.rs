@@ -52,7 +52,43 @@
 use crate::event::{EventHandle, EventQueue};
 use crate::rng::RngStream;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{NullSink, TraceRecord, TraceSink};
+use crate::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
+
+/// The unified run surface every engine exposes.
+///
+/// The three simulators (GUESS, Gnutella, gossip) construct differently
+/// — each has its own validated config — but once built they all run
+/// the same way: consume `self`, drive the kernel to the horizon, and
+/// return the engine's aggregate report. This trait pins that shape so
+/// driver code (`repro`, the bench harness, cross-engine tests) can
+/// dispatch engines generically instead of tracking per-engine method
+/// names.
+///
+/// `run_traced` is the required method; `run` is the untraced
+/// convenience that every engine gets for free (a [`NullSink`]
+/// monomorphizes the traced body down to the bare loop).
+pub trait Runnable: Sized {
+    /// Aggregated results of a completed run.
+    type Report;
+
+    /// Runs to completion with a caller-provided trace sink, returning
+    /// both the report and the sink for inspection.
+    fn run_traced<T: TraceSink>(self, sink: T) -> (Self::Report, T);
+
+    /// Runs to completion untraced.
+    #[must_use]
+    fn run(self) -> Self::Report {
+        self.run_traced(NullSink).0
+    }
+}
+
+/// What every engine report can tell the harness about the run itself,
+/// independent of the engine's domain metrics.
+pub trait SimReport {
+    /// Kernel events processed over the whole run (warm-up included) —
+    /// the throughput denominator of `repro bench`.
+    fn events_processed(&self) -> u64;
+}
 
 /// A peer-lifetime distribution, as the kernel's churn driver sees it.
 ///
@@ -223,6 +259,25 @@ impl<E, T: TraceSink> SimCtx<'_, E, T> {
     pub fn emit(&mut self, at: SimTime, rec: TraceRecord) {
         if self.sink.enabled() {
             self.sink.record(at, rec);
+        }
+    }
+
+    /// Emits one [`TraceRecord::Probe`] per `(target, outcome)` pair —
+    /// all on behalf of the same query, kind, and instant. Engines that
+    /// process whole message batches per event (e.g. a flood hop) stage
+    /// the pairs in a reusable scratch buffer and hand them over in one
+    /// call instead of constructing records per message. A no-op for
+    /// disabled sinks.
+    #[inline]
+    pub fn emit_probes(
+        &mut self,
+        at: SimTime,
+        query: u64,
+        kind: ProbeKind,
+        probes: &[(u64, ProbeOutcome)],
+    ) {
+        if self.sink.enabled() {
+            self.sink.record_probes(at, query, kind, probes);
         }
     }
 }

@@ -147,6 +147,30 @@ pub trait TraceSink {
 
     /// Consumes one record stamped with its simulation time.
     fn record(&mut self, at: SimTime, rec: TraceRecord);
+
+    /// Consumes a batch of probe records — one per `(target, outcome)`
+    /// pair — all belonging to the same query and kind at one instant.
+    /// The default forwards each pair to [`TraceSink::record`]; sinks
+    /// with per-call overhead (e.g. buffered writers) may override.
+    fn record_probes(
+        &mut self,
+        at: SimTime,
+        query: u64,
+        kind: ProbeKind,
+        probes: &[(u64, ProbeOutcome)],
+    ) {
+        for &(target, outcome) in probes {
+            self.record(
+                at,
+                TraceRecord::Probe {
+                    query,
+                    target,
+                    kind,
+                    outcome,
+                },
+            );
+        }
+    }
 }
 
 /// The default sink: tracing off, zero cost.

@@ -13,6 +13,7 @@
 use guess_suite::guess::config::{BadPongBehavior, Config};
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::prelude::Runnable;
 
 fn poisoned(
     policy: SelectionPolicy,

@@ -11,6 +11,7 @@
 
 use guess_suite::guess::config::Config;
 use guess_suite::guess::engine::GuessSim;
+use guess_suite::prelude::Runnable;
 use guess_suite::simkit::time::SimDuration;
 
 fn strained(cache: usize, ping_secs: f64, queries: bool) -> Config {

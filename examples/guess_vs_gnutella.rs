@@ -15,6 +15,7 @@ use guess_suite::gnutella::{FixedExtentCurve, Topology};
 use guess_suite::guess::config::Config;
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::prelude::Runnable;
 use guess_suite::simkit::rng::RngStream;
 use guess_suite::workload::content::CatalogParams;
 

@@ -13,6 +13,7 @@
 use guess_suite::guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config};
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::prelude::Runnable;
 
 fn hostile(seed: u64) -> Config {
     let mut cfg = Config::default();

@@ -8,6 +8,7 @@
 use guess_suite::guess::config::Config;
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
+use guess_suite::prelude::Runnable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let contenders: [(&str, SelectionPolicy, bool); 6] = [

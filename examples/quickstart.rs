@@ -7,6 +7,7 @@
 
 use guess_suite::guess::config::Config;
 use guess_suite::guess::engine::GuessSim;
+use guess_suite::prelude::Runnable;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Table 1 + Table 2 defaults: 1000 peers, Random policies, 100-entry

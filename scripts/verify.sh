@@ -21,11 +21,12 @@ cargo test -q --release -p guess-bench --test quick_goldens -- --ignored
 
 # Bench smoke gate: the quick workload matrix completes under a generous
 # ceiling, emits valid BENCH JSON, and no quick workload's median has
-# regressed by more than 2x against the committed baseline.
+# regressed by more than 2x against the committed baseline (BENCH_2 —
+# the post-wavefront trajectory point).
 cargo test -q --release -p guess-bench --test bench_smoke -- --ignored
 rm -rf "$out/bench"
 cargo run --release -p guess-bench --bin repro -- bench --quick --iters 3 --out "$out/bench"
-python3 - "$out/bench/BENCH_0.json" BENCH_1.json <<'EOF'
+python3 - "$out/bench/BENCH_0.json" BENCH_2.json <<'EOF'
 import json, sys
 
 def medians(path):
@@ -44,6 +45,29 @@ for name, got in fresh.items():
     if got > 2.0 * want:
         bad.append(f"{name}: {got:.4f}s vs committed {want:.4f}s (>2x)")
 assert not bad, "bench medians regressed:\n" + "\n".join(bad)
+EOF
+
+# Per-engine gate through the --only filter: the gnutella wavefront path
+# is checked in isolation so a regression there cannot hide behind the
+# aggregate matrix (and the filter plumbing itself stays exercised).
+rm -rf "$out/bench-gnutella"
+cargo run --release -p guess-bench --bin repro -- \
+    bench --quick --iters 3 --only gnutella-quick --out "$out/bench-gnutella"
+python3 - "$out/bench-gnutella/BENCH_0.json" BENCH_2.json <<'EOF'
+import json, sys
+
+def medians(path):
+    doc = json.load(open(path))
+    table = next(b for b in doc["blocks"] if b.get("type") == "table")
+    cols = table["columns"]
+    w, m = cols.index("workload"), cols.index("median_s")
+    return {row[w]: row[m] for row in table["rows"]}
+
+fresh, base = medians(sys.argv[1]), medians(sys.argv[2])
+assert set(fresh) == {"gnutella-quick"}, f"--only filter leaked: {sorted(fresh)}"
+got, want = fresh["gnutella-quick"], base["gnutella-quick"]
+print(f"bench gate: gnutella-quick (solo) committed {want:.4f}s  fresh {got:.4f}s")
+assert got <= 2.0 * want, f"gnutella-quick regressed: {got:.4f}s vs {want:.4f}s (>2x)"
 EOF
 
 cargo run --release -p guess-bench --bin repro -- \

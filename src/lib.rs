@@ -14,11 +14,15 @@
 //!
 //! # Quick start
 //!
-//! ```no_run
-//! use guess_suite::guess::config::Config;
-//! use guess_suite::guess::engine::GuessSim;
+//! All three engines share one construction-and-run surface: a
+//! validating config with chained setters, `build()` to get the
+//! simulator, and the [`prelude::Runnable`] trait's `run()` /
+//! `run_traced()` to drive it.
 //!
-//! let report = GuessSim::new(Config::default())?.run();
+//! ```no_run
+//! use guess_suite::prelude::*;
+//!
+//! let report = GuessConfig::default().build()?.run();
 //! println!("probes/query = {:.1}", report.probes_per_query());
 //! # Ok::<(), guess_suite::guess::config::ConfigError>(())
 //! ```
@@ -26,11 +30,13 @@
 //! The other engines run the same way against the same workloads:
 //!
 //! ```no_run
-//! use guess_suite::gossip::{Config, GossipSim};
+//! use guess_suite::prelude::*;
 //!
-//! let report = GossipSim::new(Config::default())?.run();
+//! let report = GossipConfig::default().build()?.run();
 //! println!("messages/query = {:.1}", report.messages_per_query());
-//! # Ok::<(), guess_suite::gossip::GossipConfigError>(())
+//! let report = GnutellaConfig::default().build()?.run();
+//! println!("messages/query = {:.1}", report.messages_per_query());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! Runnable walk-throughs live in `examples/`:
@@ -49,3 +55,16 @@ pub use gossip;
 pub use guess;
 pub use simkit;
 pub use workload;
+
+/// The one-stop import for driving the three engines generically:
+/// each engine's config (under an engine-prefixed name), its simulator
+/// and report types, and the shared [`Runnable`] / [`SimReport`] run
+/// surface from `simkit`.
+pub mod prelude {
+    pub use gnutella::dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
+    pub use gossip::{Config as GossipConfig, GossipReport, GossipSim};
+    pub use guess::config::Config as GuessConfig;
+    pub use guess::engine::GuessSim;
+    pub use guess::RunReport;
+    pub use simkit::sim::{Runnable, SimReport};
+}

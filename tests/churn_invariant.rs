@@ -4,10 +4,11 @@
 //! replacement birth happen in the same event, so no tick can ever
 //! observe a hole.
 
-use gnutella::dynamic::{GnutellaConfig, GnutellaSim};
+use gnutella::dynamic::GnutellaConfig;
 use gossip::{Config as GossipConfig, GossipSim};
 use guess::config::Config;
 use guess::engine::GuessSim;
+use simkit::sim::Runnable;
 use simkit::time::SimDuration;
 use simkit::trace::{RecordingSink, TraceRecord};
 
@@ -71,19 +72,12 @@ fn gossip_live_count_stays_at_network_size_under_churn() {
 #[test]
 fn gnutella_live_count_stays_at_network_size_under_churn() {
     for seed in [11u64, 12] {
-        let cfg = GnutellaConfig {
-            network_size: 150,
-            duration: SimDuration::from_secs(400.0),
-            warmup: SimDuration::from_secs(50.0),
-            sample_interval: Some(SimDuration::from_secs(20.0)),
-            lifespan_multiplier: 0.1,
-            seed,
-            ..GnutellaConfig::default()
-        };
+        let cfg = GnutellaConfig::small_test(seed)
+            .with_warmup(SimDuration::from_secs(50.0))
+            .with_sample_interval(Some(SimDuration::from_secs(20.0)))
+            .with_lifespan_multiplier(0.1);
         let n = cfg.network_size as u64;
-        let (report, sink) = GnutellaSim::new(cfg)
-            .unwrap()
-            .run_traced(RecordingSink::new());
+        let (report, sink) = cfg.build().unwrap().run_traced(RecordingSink::new());
         assert!(report.counters.get("deaths") > 0);
         assert_constant_population(&sink, n, "gnutella", seed);
     }

@@ -10,6 +10,7 @@ use guess_suite::guess::policy::SelectionPolicy;
 use guess_suite::simkit::rng::RngStream;
 use guess_suite::simkit::time::SimDuration;
 use guess_suite::workload::content::CatalogParams;
+use simkit::sim::Runnable;
 
 const N: usize = 300;
 

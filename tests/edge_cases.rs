@@ -4,6 +4,7 @@ use guess_suite::guess::config::{BadPongBehavior, Config};
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::{ReplacementPolicy, SelectionPolicy};
 use guess_suite::simkit::time::SimDuration;
+use simkit::sim::Runnable;
 
 fn base(seed: u64) -> Config {
     let mut cfg = Config::small_test(seed);

@@ -5,6 +5,7 @@ use guess_suite::guess::config::Config;
 use guess_suite::guess::engine::GuessSim;
 use guess_suite::guess::policy::SelectionPolicy;
 use guess_suite::simkit::time::SimDuration;
+use simkit::sim::Runnable;
 
 fn small(seed: u64) -> Config {
     let mut cfg = Config::small_test(seed);
