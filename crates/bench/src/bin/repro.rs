@@ -5,6 +5,7 @@
 //! ```text
 //! repro all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
@@ -45,8 +46,17 @@ fn main() {
         return;
     }
     if args.iter().any(|a| a == "--list") {
+        println!("experiments (repro <name>):");
         for e in experiments::all() {
-            println!("{:<10} {}", e.name, e.description);
+            println!("  {:<14} {}", e.name, e.description);
+        }
+        println!("\nscenarios (repro scenario <name>):");
+        for s in guess_bench::scenarios::all() {
+            println!("  {:<14} [{}] {}", s.name, s.engine, s.description);
+        }
+        println!("\nbench workloads (repro bench --only <name>):");
+        for w in guess_bench::bench::workload_names(false) {
+            println!("  {w}");
         }
         return;
     }
@@ -57,6 +67,10 @@ fn main() {
     };
     if args.first().map(String::as_str) == Some("bench") {
         run_bench(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("scenario") {
+        run_scenarios(&args[1..], scale);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--trace") {
@@ -306,6 +320,94 @@ fn run_bench(args: &[String]) {
     );
 }
 
+/// `repro scenario <name>... [--quick] [--jobs N] [--out DIR] [--json]`
+/// — runs named scenarios from the catalog (see `--list`), each one a
+/// baseline-vs-intervened pair over the same seed.
+fn run_scenarios(args: &[String], scale: Scale) {
+    use guess_bench::scenarios;
+
+    let json = args.iter().any(|a| a == "--json");
+    let out_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if json && out_dir.is_none() {
+        eprintln!("--json needs --out <dir> to know where to write the files");
+        std::process::exit(2);
+    }
+    let jobs: usize = match args.iter().position(|a| a == "--jobs") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) => n,
+            _ => {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            }
+        },
+        None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+    };
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create output directory {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let mut names: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--out" || a == "--jobs" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            names.push(a);
+        }
+    }
+    let selected: Vec<scenarios::ScenarioExperiment> = if names.iter().any(|n| n.as_str() == "all")
+    {
+        scenarios::all()
+    } else {
+        let mut picked = Vec::new();
+        for name in &names {
+            match scenarios::find(name) {
+                Some(s) => picked.push(s),
+                None => {
+                    eprintln!("unknown scenario '{name}' (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        if picked.is_empty() {
+            eprintln!("usage: repro scenario <name>|all [--quick] [--jobs N] [--out DIR] [--json]");
+            std::process::exit(2);
+        }
+        picked
+    };
+    let ctx = Ctx::new(scale, jobs);
+    let overall = Instant::now();
+    for s in &selected {
+        let started = Instant::now();
+        let report = (s.run)(&ctx);
+        emit_named(
+            s.name,
+            s.description,
+            &report,
+            started.elapsed().as_secs_f64(),
+            out_dir.as_deref(),
+            json,
+            scale,
+        );
+    }
+    println!(
+        "ran {} scenario(s) at {:?} scale in {:.1}s",
+        selected.len(),
+        scale,
+        overall.elapsed().as_secs_f64()
+    );
+}
+
 /// Prints one finished experiment in the standard frame and writes its
 /// `--out` artifacts.
 fn emit(
@@ -316,20 +418,33 @@ fn emit(
     json: bool,
     scale: Scale,
 ) {
+    emit_named(e.name, e.description, report, secs, out_dir, json, scale);
+}
+
+/// The shared emit frame behind experiments and scenarios.
+fn emit_named(
+    name: &str,
+    description: &str,
+    report: &Report,
+    secs: f64,
+    out_dir: Option<&Path>,
+    json: bool,
+    scale: Scale,
+) {
     println!("==============================================================");
-    println!("== {} — {}", e.name, e.description);
+    println!("== {name} — {description}");
     println!("==============================================================");
     let text = report.render_text();
     println!("{text}");
-    println!("[{} completed in {secs:.1}s]\n", e.name);
+    println!("[{name} completed in {secs:.1}s]\n");
     if let Some(dir) = out_dir {
-        let path = dir.join(format!("{}.txt", e.name));
+        let path = dir.join(format!("{name}.txt"));
         if let Err(err) = std::fs::write(&path, &text) {
             eprintln!("failed to write {}: {err}", path.display());
         }
         if json {
-            let path = dir.join(format!("{}.json", e.name));
-            let doc = report.render_json(e.name, e.description, &format!("{scale:?}"));
+            let path = dir.join(format!("{name}.json"));
+            let doc = report.render_json(name, description, &format!("{scale:?}"));
             if let Err(err) = std::fs::write(&path, doc) {
                 eprintln!("failed to write {}: {err}", path.display());
             }
@@ -537,6 +652,7 @@ fn print_usage() {
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
          usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
+         repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]\n  \
          repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\

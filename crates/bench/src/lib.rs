@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod scenarios;
 pub mod table;
 pub mod tracefile;
 

@@ -1,0 +1,114 @@
+//! Quick-scale golden guard for the scenario catalog: every scenario's
+//! rendered quick report must stay byte-identical to the committed
+//! manifest, mirroring `quick_goldens.rs` for the experiments.
+//!
+//! The scenario manifest is separate from the experiment manifest on
+//! purpose: `quick_goldens.rs` asserts its entry count equals the
+//! experiment registry's, and scenarios are a second catalog with their
+//! own registry.
+//!
+//! The catalog takes a minute or two at quick scale, so the heavy tests
+//! are `#[ignore]`d for plain `cargo test`; `scripts/verify.sh` runs
+//! them explicitly. To refresh after an intentional output change:
+//!
+//! ```text
+//! cargo test -p guess-bench --test scenario_goldens -- --ignored --nocapture
+//! ```
+//!
+//! and copy the `name  hash` lines into
+//! `tests/golden/scenarios.fnv1a.txt`.
+
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
+use guess_bench::scenarios;
+
+const MANIFEST: &str = include_str!("golden/scenarios.fnv1a.txt");
+
+/// FNV-1a, 64-bit: tiny, dependency-free, and stable across platforms.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn manifest_entries() -> Vec<(&'static str, u64)> {
+    MANIFEST
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let name = parts.next().expect("manifest line has a name");
+            let hash = parts.next().expect("manifest line has a hash");
+            let hash = u64::from_str_radix(hash.trim_start_matches("0x"), 16)
+                .expect("manifest hash parses as hex");
+            (name, hash)
+        })
+        .collect()
+}
+
+#[test]
+#[ignore = "runs the quick scenario catalog (~minutes); invoked by scripts/verify.sh"]
+fn quick_scenario_reports_match_committed_hashes() {
+    let entries = manifest_entries();
+    let registry = scenarios::all();
+    assert_eq!(
+        entries.len(),
+        registry.len(),
+        "manifest and catalog disagree on the scenario count; \
+         refresh tests/golden/scenarios.fnv1a.txt"
+    );
+    let jobs = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let ctx = Ctx::new(Scale::Quick, jobs);
+    let mut mismatches = Vec::new();
+    for (name, expected) in entries {
+        let s = scenarios::find(name).unwrap_or_else(|| {
+            panic!("manifest names unknown scenario '{name}'; refresh the manifest")
+        });
+        let got = fnv1a(&(s.run)(&ctx).render_text());
+        println!("{name}  0x{got:016x}");
+        if got != expected {
+            mismatches.push(format!(
+                "{name}: expected 0x{expected:016x}, got 0x{got:016x}"
+            ));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "scenario reports drifted from the committed goldens (RNG-stream \
+         perturbation, or an intentional change needing a manifest refresh):\n{}",
+        mismatches.join("\n")
+    );
+}
+
+#[test]
+#[ignore = "runs one scenario twice (~seconds at quick scale); invoked by scripts/verify.sh"]
+fn scenario_reports_are_identical_across_jobs_levels() {
+    // The cheapest catalog entry, run under two different concurrency
+    // budgets: both runs of the pair carry their own seeds, so the
+    // rendered report must not move by a byte.
+    let s = scenarios::find("param-flip").expect("catalog entry exists");
+    let one = (s.run)(&Ctx::new(Scale::Quick, 1)).render_text();
+    let four = (s.run)(&Ctx::new(Scale::Quick, 4)).render_text();
+    assert_eq!(one, four, "scenario report drifted between --jobs levels");
+}
+
+#[test]
+fn manifest_is_wellformed_and_covers_the_catalog() {
+    let entries = manifest_entries();
+    assert!(!entries.is_empty());
+    let mut names: Vec<&str> = entries.iter().map(|(n, _)| *n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), entries.len(), "duplicate manifest entries");
+    for s in scenarios::all() {
+        assert!(
+            entries.iter().any(|(n, _)| *n == s.name),
+            "scenario '{}' missing from tests/golden/scenarios.fnv1a.txt",
+            s.name
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Property test: an *empty* scenario timeline is byte-identical to a
+//! plain `run()` on every engine, and the equality holds at any `--jobs`
+//! level (the paired runs execute as independent [`Ctx::map`] work
+//! units, so scheduling must never leak into the reports).
+//!
+//! This is the golden-safety contract of `Kernel::run_scenario`: with no
+//! control events scheduled, the scenario loop pops the exact same event
+//! sequence as the plain loop.
+
+use gnutella::dynamic::GnutellaConfig;
+use gossip::Config as GossipConfig;
+use guess::config::Config as GuessConfig;
+use guess::engine::GuessSim;
+use guess_bench::runner::Ctx;
+use guess_bench::scale::Scale;
+use simkit::scenario::Scenario;
+use simkit::sim::Runnable;
+
+#[test]
+fn empty_timeline_matches_plain_run_at_any_jobs_level() {
+    for jobs in [1, 4] {
+        let ctx = Ctx::new(Scale::Quick, jobs);
+
+        let guess = ctx.map(vec![false, true], |intervened| {
+            let sim = GuessSim::new(GuessConfig::small_test(0xA11)).expect("valid config");
+            if intervened {
+                format!("{:?}", sim.run_scenario(&Scenario::new()).expect("empty"))
+            } else {
+                format!("{:?}", sim.run())
+            }
+        });
+        assert_eq!(guess[0], guess[1], "guess drifted at jobs={jobs}");
+
+        let gnutella = ctx.map(vec![false, true], |intervened| {
+            let sim = GnutellaConfig::small_test(0xA12)
+                .build()
+                .expect("valid config");
+            if intervened {
+                format!("{:?}", sim.run_scenario(&Scenario::new()).expect("empty"))
+            } else {
+                format!("{:?}", sim.run())
+            }
+        });
+        assert_eq!(gnutella[0], gnutella[1], "gnutella drifted at jobs={jobs}");
+
+        let gossip = ctx.map(vec![false, true], |intervened| {
+            let sim = GossipConfig::small_test(0xA13)
+                .build()
+                .expect("valid config");
+            if intervened {
+                format!("{:?}", sim.run_scenario(&Scenario::new()).expect("empty"))
+            } else {
+                format!("{:?}", sim.run())
+            }
+        });
+        assert_eq!(gossip[0], gossip[1], "gossip drifted at jobs={jobs}");
+    }
+}

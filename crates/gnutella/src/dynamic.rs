@@ -33,10 +33,42 @@ use workload::query::{QueryModel, QueryWorkload};
 use crate::wavefront::VisitTable;
 
 mod flood;
+mod scenario_ops;
 mod types;
 
 use flood::FloodState;
 pub use types::{GnutellaConfig, GnutellaReport, InvalidGnutellaConfig};
+
+/// The runtime side of the config/state split: the knobs a
+/// [`simkit::scenario::Scenario`] may legally flip mid-run. Initialized
+/// from the validated [`GnutellaConfig`] at build time and mutated only
+/// by [`simkit::scenario::Intervenable::intervene`]; `cfg` itself stays
+/// immutable after `GnutellaSim::new`. Hot-path reads of these knobs go
+/// through here, so an intervention-free run reads exactly the
+/// configured values.
+#[derive(Debug, Clone)]
+struct Runtime {
+    /// Current per-peer query rate (mirrors the workload).
+    query_rate: f64,
+    /// Flood TTL in hops.
+    ttl: usize,
+    /// Degree the overlay repairs toward.
+    target_degree: usize,
+    /// Active partition: slots in different `slot % groups` classes
+    /// drop each other's messages. `None` means fully connected.
+    partition: Option<u32>,
+}
+
+impl Runtime {
+    fn from_config(cfg: &GnutellaConfig) -> Self {
+        Runtime {
+            query_rate: cfg.query_rate,
+            ttl: cfg.ttl,
+            target_degree: cfg.target_degree,
+            partition: None,
+        }
+    }
+}
 
 /// The engine's event alphabet (public because it is the
 /// [`Simulation::Event`] associated type).
@@ -78,6 +110,7 @@ struct Node {
 /// ```
 pub struct GnutellaSim {
     cfg: GnutellaConfig,
+    rt: Runtime,
     nodes: Vec<Node>,
     /// Slot-indexed adjacency: `adj[u]` lists `u`'s open connections.
     /// Kept dense and separate from [`Node`] so a flood hop can borrow
@@ -118,9 +151,11 @@ impl GnutellaSim {
         let workload = QueryWorkload::with_rate(cfg.query_rate)
             .map_err(|_| InvalidGnutellaConfig::BadQueryRate)?;
         let n = cfg.network_size;
+        let rt = Runtime::from_config(&cfg);
         let mut sim = GnutellaSim {
             rng: RngStream::from_seed(cfg.seed, "gnutella"),
             cfg,
+            rt,
             nodes: Vec::new(),
             adj: vec![Vec::new(); n],
             qmodel,
@@ -188,15 +223,22 @@ impl GnutellaSim {
     }
 
     /// Opens connections until `slot` reaches its target degree (each
-    /// handshake costs maintenance messages on both sides).
+    /// handshake costs maintenance messages on both sides). Under an
+    /// active partition, handshakes to the other side fail — the
+    /// candidate is burned but no connection opens.
     fn top_up_connections(&mut self, slot: usize) {
         let n = self.nodes.len();
         let mut guard = 0;
-        while self.adj[slot].len() < self.cfg.target_degree && guard < 20 * n {
+        while self.adj[slot].len() < self.rt.target_degree && guard < 20 * n {
             guard += 1;
             let other = self.rng.below(n);
             if other == slot || self.adj[slot].contains(&(other as u32)) {
                 continue;
+            }
+            if let Some(groups) = self.rt.partition {
+                if slot as u32 % groups != other as u32 % groups {
+                    continue;
+                }
             }
             self.adj[slot].push(other as u32);
             self.adj[other].push(slot as u32);
@@ -289,17 +331,25 @@ impl<T: TraceSink> Simulation<T> for GnutellaSim {
     }
 }
 
-impl Runnable for GnutellaSim {
-    type Report = GnutellaReport;
-
-    fn run_traced<T: TraceSink>(mut self, sink: T) -> (GnutellaReport, T) {
+impl GnutellaSim {
+    /// The one driver both run surfaces share: `scenario: None` is the
+    /// plain run, `Some` routes through [`Kernel::run_scenario`]. The
+    /// two paths are byte-identical for an empty timeline.
+    fn run_inner<T: TraceSink>(
+        mut self,
+        sink: T,
+        scenario: Option<&simkit::scenario::Scenario>,
+    ) -> Result<(GnutellaReport, T), simkit::scenario::ScenarioError> {
         let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
         if let Some(interval) = self.cfg.sample_interval {
             params = params.with_sampling(interval);
         }
         let mut kernel = Kernel::new(params, sink);
         self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
+        match scenario {
+            None => kernel.run(&mut self),
+            Some(s) => kernel.run_scenario(&mut self, s)?,
+        }
         let report = GnutellaReport {
             queries: self.queries,
             unsatisfied: self.unsatisfied,
@@ -308,7 +358,24 @@ impl Runnable for GnutellaSim {
             counters: self.counters,
             events_processed: kernel.events_processed(),
         };
-        (report, kernel.into_sink())
+        Ok((report, kernel.into_sink()))
+    }
+}
+
+impl Runnable for GnutellaSim {
+    type Report = GnutellaReport;
+
+    fn run_traced<T: TraceSink>(self, sink: T) -> (GnutellaReport, T) {
+        self.run_inner(sink, None)
+            .expect("runs without a scenario cannot fail")
+    }
+
+    fn run_scenario_traced<T: TraceSink>(
+        self,
+        scenario: &simkit::scenario::Scenario,
+        sink: T,
+    ) -> Result<(GnutellaReport, T), simkit::scenario::ScenarioError> {
+        self.run_inner(sink, Some(scenario))
     }
 }
 

@@ -66,12 +66,15 @@ impl GnutellaSim {
             );
         }
         let target = self.qmodel.sample_target(&mut self.rng);
-        let ttl = self.cfg.ttl as u32;
-        let n = self.cfg.network_size;
+        let ttl = self.rt.ttl as u32;
+        let n = self.nodes.len();
         let flood = if let Some(slot) = self.free_floods.pop() {
             let st = &mut self.floods[slot as usize];
             st.qid = qid;
             st.target = target;
+            // Mass joins may have grown the network past the size this
+            // recycled table was built with.
+            st.visits.grow_to(n);
             st.token = st.visits.token();
             st.hops_left = ttl;
             st.messages = 0;
@@ -125,6 +128,7 @@ impl GnutellaSim {
             // Disjoint field borrows: the hop reads adjacency, peer
             // libraries, and the query model while mutating this
             // flood's visit table and frontier buffers.
+            let partition = self.rt.partition;
             let GnutellaSim {
                 ref adj,
                 ref nodes,
@@ -143,10 +147,23 @@ impl GnutellaSim {
             } = floods[idx];
             next.clear();
             let neighbors = |u: u32| adj[u as usize].as_slice();
+            // An active partition drops cross-group transmissions:
+            // never sent, never counted, never traced. The adjacency
+            // itself is untouched, so a heal restores the old links.
+            let edge_ok = move |u: u32, v: u32| match partition {
+                None => true,
+                Some(groups) => u % groups == v % groups,
+            };
             if ctx.tracing() {
                 probe_scratch.clear();
-                hop_messages =
-                    wavefront::advance(frontier, next, visits, token, neighbors, |v, first| {
+                hop_messages = wavefront::advance_filtered(
+                    frontier,
+                    next,
+                    visits,
+                    token,
+                    neighbors,
+                    edge_ok,
+                    |v, first| {
                         let node = &nodes[v as usize];
                         probe_scratch.push((
                             node.incarnation,
@@ -162,17 +179,25 @@ impl GnutellaSim {
                                 hop_results += 1;
                             }
                         }
-                    });
+                    },
+                );
             } else {
-                hop_messages =
-                    wavefront::advance(frontier, next, visits, token, neighbors, |v, first| {
+                hop_messages = wavefront::advance_filtered(
+                    frontier,
+                    next,
+                    visits,
+                    token,
+                    neighbors,
+                    edge_ok,
+                    |v, first| {
                         if first {
                             hop_reached += 1;
                             if qmodel.answers(&nodes[v as usize].library, target) {
                                 hop_results += 1;
                             }
                         }
-                    });
+                    },
+                );
             }
         }
         let qid = self.floods[idx].qid;

@@ -49,6 +49,16 @@ impl VisitTable {
         self.next_token
     }
 
+    /// Grows the table to cover `n` slots (no-op when it already does).
+    /// New slots start never-visited. Mass-join interventions add peers
+    /// past the size the table was built with; recycled slab tables
+    /// must be told about them before their next flood.
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.stamps.len() {
+            self.stamps.resize(n, 0);
+        }
+    }
+
     /// Marks `slot` visited under `token`, returning `true` iff this is
     /// the first visit of this generation.
     #[inline]
@@ -99,17 +109,51 @@ pub fn advance<'a, N, P>(
     visits: &mut VisitTable,
     token: u64,
     neighbors: N,
-    mut on_probe: P,
+    on_probe: P,
 ) -> u64
 where
     N: Fn(u32) -> &'a [u32],
     P: FnMut(u32, bool),
 {
+    advance_filtered(
+        frontier,
+        next,
+        visits,
+        token,
+        neighbors,
+        |_, _| true,
+        on_probe,
+    )
+}
+
+/// As [`advance`], but each transmission `u → v` first passes through
+/// `edge_ok(u, v)`; an edge the filter rejects is not sent at all — not
+/// counted as a message, not reported to `on_probe`, and its receiver
+/// stays unvisited (by *this* edge). Network partitions use this to
+/// drop cross-group messages while leaving the overlay's adjacency
+/// intact, so a heal restores the original links. With an always-true
+/// filter this is exactly [`advance`].
+pub fn advance_filtered<'a, N, F, P>(
+    frontier: &[u32],
+    next: &mut Vec<u32>,
+    visits: &mut VisitTable,
+    token: u64,
+    neighbors: N,
+    mut edge_ok: F,
+    mut on_probe: P,
+) -> u64
+where
+    N: Fn(u32) -> &'a [u32],
+    F: FnMut(u32, u32) -> bool,
+    P: FnMut(u32, bool),
+{
     let mut messages = 0u64;
     for &u in frontier {
-        let nbrs = neighbors(u);
-        messages += nbrs.len() as u64;
-        for &v in nbrs {
+        for &v in neighbors(u) {
+            if !edge_ok(u, v) {
+                continue;
+            }
+            messages += 1;
             let first = visits.visit(v, token);
             on_probe(v, first);
             if first {
@@ -194,6 +238,45 @@ mod tests {
             !visits.seen(1, t1),
             "old generation token no longer matches"
         );
+    }
+
+    #[test]
+    fn filtered_edges_are_never_sent() {
+        // Partition the 5-cycle into even/odd slots: only 2-4 and 4-0
+        // style even-even edges survive an `u % 2 == v % 2` filter.
+        let adj = cycle5();
+        let mut visits = VisitTable::new(5);
+        let token = visits.token();
+        visits.visit(0, token);
+        let mut next = Vec::new();
+        let mut probes = Vec::new();
+        let messages = advance_filtered(
+            &[0],
+            &mut next,
+            &mut visits,
+            token,
+            |u| adj[u as usize].as_slice(),
+            |u, v| u % 2 == v % 2,
+            |v, first| probes.push((v, first)),
+        );
+        // 0's neighbors are {1, 4}; 1 is cross-group and dropped.
+        assert_eq!(next, vec![4]);
+        assert_eq!(messages, 1, "dropped edges are not counted");
+        assert_eq!(probes, vec![(4, true)]);
+    }
+
+    #[test]
+    fn grow_to_extends_with_unvisited_slots() {
+        let mut visits = VisitTable::new(2);
+        let token = visits.token();
+        visits.visit(1, token);
+        visits.grow_to(4);
+        assert_eq!(visits.len(), 4);
+        assert!(visits.seen(1, token), "old stamps survive the resize");
+        assert!(!visits.seen(3, token));
+        assert!(visits.visit(3, token), "new slot is first-visit");
+        visits.grow_to(3);
+        assert_eq!(visits.len(), 4, "shrinking is a no-op");
     }
 
     #[test]

@@ -29,6 +29,8 @@ use workload::query::{QueryModel, QueryTarget, QueryWorkload};
 use crate::config::{Config, GossipConfigError};
 use crate::report::GossipReport;
 
+mod scenario_ops;
+
 /// The engine's event alphabet (public because it is the
 /// [`Simulation::Event`] associated type).
 #[derive(Debug, Clone, Copy)]
@@ -71,6 +73,33 @@ struct Rumor {
     measured: bool,
 }
 
+/// Runtime-mutable knobs, split from the immutable [`Config`] so
+/// scenario interventions have a legal mutation surface. Initialised
+/// from the config and rewritten only by validated parameter flips
+/// (or partition/heal); `cfg` itself is never written after
+/// [`GossipSim::new`].
+struct Runtime {
+    query_rate: f64,
+    fanout: usize,
+    round_ttl: u32,
+    pull_probability: f64,
+    /// Active partition: slots in different `slot % groups` classes
+    /// cannot exchange pushes. `None` means fully connected.
+    partition: Option<u32>,
+}
+
+impl Runtime {
+    fn from_config(cfg: &Config) -> Self {
+        Runtime {
+            query_rate: cfg.query_rate,
+            fanout: cfg.fanout,
+            round_ttl: cfg.round_ttl,
+            pull_probability: cfg.pull_probability,
+            partition: None,
+        }
+    }
+}
+
 /// The push/pull epidemic search simulator.
 ///
 /// # Examples
@@ -84,6 +113,7 @@ struct Rumor {
 /// ```
 pub struct GossipSim {
     cfg: Config,
+    rt: Runtime,
     nodes: Vec<Node>,
     qmodel: QueryModel,
     files: FileCountModel,
@@ -127,6 +157,7 @@ impl GossipSim {
         let network_size = cfg.network_size;
         let mut sim = GossipSim {
             rng: RngStream::from_seed(cfg.seed, "gossip"),
+            rt: Runtime::from_config(&cfg),
             cfg,
             nodes: Vec::new(),
             qmodel,
@@ -293,6 +324,11 @@ impl GossipSim {
         };
         self.counters.incr("rounds");
         let n = self.nodes.len();
+        // A mass join may have grown the population since this rumor
+        // started; newcomers have never heard it.
+        if rumor.infected.len() < n {
+            rumor.infected.resize(n, NEVER_HEARD);
+        }
         let spreaders = std::mem::take(&mut rumor.active);
         let mut next_active: Vec<usize> = Vec::new();
         // A fresh stamp token per round: `active_stamp[t] == token` means
@@ -308,7 +344,7 @@ impl GossipSim {
                 self.counters.incr("spreaders_lost");
                 continue;
             }
-            for _ in 0..self.cfg.fanout {
+            for _ in 0..self.rt.fanout {
                 // Uniform random contact, excluding the spreader itself.
                 let mut t = self.rng.below(n);
                 while t == s {
@@ -316,6 +352,26 @@ impl GossipSim {
                 }
                 rumor.messages += 1;
                 self.counters.incr("pushes");
+                if let Some(groups) = self.rt.partition {
+                    if s as u32 % groups != t as u32 % groups {
+                        // The push was sent (and counted) but the
+                        // partition eats it in transit: no infection,
+                        // no pull, no dedup bookkeeping.
+                        self.counters.incr("partition_drops");
+                        if ctx.tracing() {
+                            ctx.emit(
+                                now,
+                                TraceRecord::Probe {
+                                    query: qid,
+                                    target: self.nodes[t].incarnation,
+                                    kind: ProbeKind::Push,
+                                    outcome: ProbeOutcome::Refused,
+                                },
+                            );
+                        }
+                        continue;
+                    }
+                }
                 let t_inc = self.nodes[t].incarnation;
                 let known = rumor.infected[t];
                 if known == t_inc {
@@ -333,7 +389,7 @@ impl GossipSim {
                             },
                         );
                     }
-                    if self.rng.chance(self.cfg.pull_probability) {
+                    if self.rng.chance(self.rt.pull_probability) {
                         rumor.messages += 1;
                         self.counters.incr("pulls");
                         if self.active_stamp[t] != token {
@@ -388,7 +444,7 @@ impl GossipSim {
         let done = if rumor.results >= self.cfg.num_desired_results {
             self.counters.incr("satisfied_early");
             true
-        } else if rumor.round >= self.cfg.round_ttl {
+        } else if rumor.round >= self.rt.round_ttl {
             self.counters.incr("ttl_exhausted");
             true
         } else if rumor.active.is_empty() {
@@ -453,20 +509,29 @@ impl<T: TraceSink> Simulation<T> for GossipSim {
     }
 }
 
-impl Runnable for GossipSim {
-    type Report = GossipReport;
-
+impl GossipSim {
+    /// The one driver both run surfaces share: `scenario: None` is the
+    /// plain run, `Some` routes through [`Kernel::run_scenario`]. The
+    /// two paths are byte-identical for an empty timeline.
+    ///
     /// Rumors still in flight at the horizon are settled (and their
     /// `QueryEnd` records emitted) at the end instant, so a trace always
     /// contains exactly one `query_end` per `query_start`.
-    fn run_traced<T: TraceSink>(mut self, sink: T) -> (GossipReport, T) {
+    fn run_inner<T: TraceSink>(
+        mut self,
+        sink: T,
+        scenario: Option<&simkit::scenario::Scenario>,
+    ) -> Result<(GossipReport, T), simkit::scenario::ScenarioError> {
         let mut params = KernelParams::new(self.cfg.duration).with_warmup(self.cfg.warmup);
         if let Some(interval) = self.cfg.sample_interval {
             params = params.with_sampling(interval);
         }
         let mut kernel = Kernel::new(params, sink);
         self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
+        match scenario {
+            None => kernel.run(&mut self),
+            Some(s) => kernel.run_scenario(&mut self, s)?,
+        }
         let events_processed = kernel.events_processed();
         let mut sink = kernel.into_sink();
         // Flush in-flight rumors at the horizon, in query order.
@@ -498,7 +563,24 @@ impl Runnable for GossipSim {
             counters: self.counters,
             events_processed,
         };
-        (report, sink)
+        Ok((report, sink))
+    }
+}
+
+impl Runnable for GossipSim {
+    type Report = GossipReport;
+
+    fn run_traced<T: TraceSink>(self, sink: T) -> (GossipReport, T) {
+        self.run_inner(sink, None)
+            .expect("runs without a scenario cannot fail")
+    }
+
+    fn run_scenario_traced<T: TraceSink>(
+        self,
+        scenario: &simkit::scenario::Scenario,
+        sink: T,
+    ) -> Result<(GossipReport, T), simkit::scenario::ScenarioError> {
+        self.run_inner(sink, Some(scenario))
     }
 }
 

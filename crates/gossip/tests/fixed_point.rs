@@ -1,0 +1,64 @@
+//! Theory spot-check: infect-and-die push gossip reaches the classic
+//! epidemic fixed point.
+//!
+//! With pure push (no pull), fanout `f`, no churn, and no early
+//! satisfaction, the final infected fraction `x` of a large uniform
+//! population solves `x = 1 - e^{-f.x}`: every infected node makes `f`
+//! uniform contacts exactly once, so a node stays uninfected iff all
+//! `f.x.n` contacts miss it. The known solutions are ~0.7968 for `f=2`
+//! and ~0.9405 for `f=3`; the simulator's mean reach must land on them.
+
+use gossip::{Config, Runnable};
+use simkit::time::SimDuration;
+
+/// Solves `x = 1 - e^{-f.x}` by fixed-point iteration (the map is a
+/// contraction near the solution for f >= 2).
+fn fixed_point_fraction(fanout: usize) -> f64 {
+    let f = fanout as f64;
+    let mut x = 0.9;
+    for _ in 0..200 {
+        x = 1.0 - (-f * x).exp();
+    }
+    x
+}
+
+#[test]
+fn infect_and_die_reach_matches_the_epidemic_fixed_point() {
+    for (fanout, known) in [(2usize, 0.7968), (3, 0.9405)] {
+        let fp = fixed_point_fraction(fanout);
+        assert!(
+            (fp - known).abs() < 5e-4,
+            "fanout {fanout}: iteration finds the known solution ({fp:.4} vs {known:.4})"
+        );
+
+        // Pure push, churnless, never satisfied early, TTL far beyond
+        // the epidemic's natural O(log n) duration: the only way a
+        // rumor ends is dying out at the fixed point.
+        let n = 1000usize;
+        let report = Config::default()
+            .with_network_size(n)
+            .with_fanout(fanout)
+            .with_pull_probability(0.0)
+            .with_round_ttl(64)
+            .with_num_desired_results(1_000_000)
+            .with_lifespan_multiplier(1000.0)
+            .with_query_rate(2e-3)
+            .with_duration(SimDuration::from_secs(200.0))
+            .with_warmup(SimDuration::ZERO)
+            .with_seed(0xF1)
+            .build()
+            .expect("valid config")
+            .run();
+        assert_eq!(report.counters.get("deaths"), 0, "run is churnless");
+        assert_eq!(report.counters.get("pulls"), 0, "pure push");
+        assert_eq!(report.counters.get("satisfied_early"), 0);
+        assert!(report.queries > 100, "enough samples: {}", report.queries);
+        // `peers_reached` excludes the originator; the fixed-point
+        // fraction includes it.
+        let measured = (report.peers_reached.mean() + 1.0) / n as f64;
+        assert!(
+            (measured - fp).abs() < 0.05,
+            "fanout {fanout}: measured reach {measured:.4} vs fixed point {fp:.4}"
+        );
+    }
+}

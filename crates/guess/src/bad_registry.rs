@@ -83,6 +83,15 @@ impl BadRegistry {
         }
     }
 
+    /// Grows the registry to cover `network_size` slots (no-op when it
+    /// already does). Mass-join interventions add slots past the
+    /// construction-time population; the new slots start vacant.
+    pub fn grow_to(&mut self, network_size: usize) {
+        if network_size > self.slots.len() {
+            self.slots.resize(network_size, SlotEntry::default());
+        }
+    }
+
     /// Registers the newborn bad peer `addr` occupying `slot`.
     pub fn insert(&mut self, slot: SlotId, addr: PeerAddr) {
         let e = &mut self.slots[slot.index()];

@@ -39,6 +39,7 @@ use crate::policy::{select_top_k, ProbeQueue};
 
 mod query_exec;
 mod sampling;
+mod scenario_ops;
 
 /// Number of distinct fabricated dead addresses each malicious peer cycles
 /// through in its poisoned pongs.
@@ -47,6 +48,40 @@ const FABRICATED_POOL_SIZE: usize = 40;
 /// Inflated `NumRes` claim carried by poisoned pong entries, so that
 /// results-trusting policies rank them first.
 const POISON_NUM_RES: u32 = 50;
+
+/// The runtime side of the config/state split: the knobs a
+/// [`simkit::scenario::Scenario`] may legally flip mid-run. Initialized
+/// from the validated [`Config`] at build time and mutated *only* by
+/// [`simkit::scenario::Intervenable::intervene`]; the `Config` itself
+/// stays immutable after `GuessSim::new`. Every hot-path read of one of
+/// these knobs goes through here, so a run with no interventions reads
+/// exactly the configured values and stays byte-identical.
+#[derive(Debug, Clone)]
+struct Runtime {
+    /// Current per-peer query rate (queries/sec); mirrors the workload.
+    query_rate: f64,
+    /// Fraction of newborns that are malicious.
+    bad_peer_fraction: f64,
+    /// Ping interval assigned to newborns.
+    ping_interval: simkit::time::SimDuration,
+    /// Walk width for honest queries.
+    parallel_probes: usize,
+    /// Active network partition: peers in different `slot % groups`
+    /// classes cannot reach each other. `None` means fully connected.
+    partition: Option<u32>,
+}
+
+impl Runtime {
+    fn from_config(cfg: &Config) -> Self {
+        Runtime {
+            query_rate: cfg.system.query_rate,
+            bad_peer_fraction: cfg.system.bad_peer_fraction,
+            ping_interval: cfg.protocol.ping_interval,
+            parallel_probes: cfg.protocol.parallel_probes,
+            partition: None,
+        }
+    }
+}
 
 /// The engine's event alphabet (public because it is the
 /// [`Simulation::Event`] associated type). The periodic metrics snapshot
@@ -76,6 +111,7 @@ pub enum Event {
 #[derive(Debug)]
 pub struct GuessSim {
     cfg: Config,
+    rt: Runtime,
     peers: Vec<PeerState>,
     slots: Vec<PeerAddr>,
     alloc: AddrAllocator,
@@ -118,8 +154,10 @@ impl GuessSim {
             .map_err(|_| ConfigError::BadQueryRate)?;
 
         let network_size = cfg.system.network_size;
+        let rt = Runtime::from_config(&cfg);
         let mut sim = GuessSim {
             cfg,
+            rt,
             peers: Vec::new(),
             slots: Vec::new(),
             alloc: AddrAllocator::new(),
@@ -207,7 +245,7 @@ impl GuessSim {
     fn birth_peer(&mut self, slot: SlotId, now: SimTime) -> PeerAddr {
         let addr = self.alloc.allocate();
         debug_assert_eq!(addr.index(), self.peers.len());
-        let bad = self.rng_churn.chance(self.cfg.system.bad_peer_fraction);
+        let bad = self.rng_churn.chance(self.rt.bad_peer_fraction);
         let (behavior, advertised, library) = if bad {
             // Malicious peers advertise the largest plausible library to
             // game metadata-trusting policies, but hold nothing.
@@ -234,7 +272,7 @@ impl GuessSim {
             self.cfg.protocol.cache_size,
             self.cfg.system.max_probes_per_second,
         );
-        peer.set_ping_interval(self.cfg.protocol.ping_interval);
+        peer.set_ping_interval(self.rt.ping_interval);
         if let Some(pp) = self.cfg.protocol.probe_payments {
             peer.open_account(crate::payments::ProbeAccount::new(pp, now));
         }
@@ -271,9 +309,9 @@ impl GuessSim {
         // Stagger the first ping uniformly within one interval so the
         // network's pings do not arrive in lockstep.
         let ping_phase = if initial {
-            self.cfg.protocol.ping_interval * self.rng_churn.f64()
+            self.rt.ping_interval * self.rng_churn.f64()
         } else {
-            self.cfg.protocol.ping_interval
+            self.rt.ping_interval
         };
         ctx.schedule(now + ping_phase, Event::Ping { slot, addr });
         if self.cfg.run.simulate_queries && self.peers[addr.index()].behavior() == Behavior::Good {
@@ -285,6 +323,21 @@ impl GuessSim {
     /// True if the event's subject still occupies its slot.
     fn is_current(&self, slot: SlotId, addr: PeerAddr) -> bool {
         self.slots[slot.index()] == addr
+    }
+
+    /// True when no active partition separates `a` from `b`. Peers in
+    /// different `slot % groups` classes cannot exchange messages; to
+    /// the sender the target is indistinguishable from a dead peer.
+    /// Callers must check liveness first: fabricated dead stubs carry a
+    /// meaningless slot.
+    fn reachable(&self, a: PeerAddr, b: PeerAddr) -> bool {
+        match self.rt.partition {
+            None => true,
+            Some(groups) => {
+                let g = groups as usize;
+                self.peers[a.index()].slot().index() % g == self.peers[b.index()].slot().index() % g
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -316,7 +369,10 @@ impl GuessSim {
         // link cache.
         let newborn = self.birth_peer(slot, now);
         self.slots[slot.index()] = newborn;
-        if let Some(friend) = self.random_live_peer(Some(newborn)) {
+        if let Some(friend) = self
+            .random_live_peer(Some(newborn))
+            .filter(|&f| self.reachable(newborn, f))
+        {
             let mut entries = std::mem::take(&mut self.entry_scratch);
             entries.clear();
             entries.extend_from_slice(self.peers[friend.index()].link_cache().entries());
@@ -418,7 +474,7 @@ impl GuessSim {
         let entry = picked.first().copied()?; // empty cache: nothing to maintain
         let dst = entry.addr();
         self.metrics.counters_mut().incr("pings_sent");
-        if !self.peers[dst.index()].is_alive() {
+        if !self.peers[dst.index()].is_alive() || !self.reachable(pinger, dst) {
             if ctx.tracing() {
                 ctx.emit(
                     now,
@@ -508,7 +564,7 @@ impl GuessSim {
         let Some(dst) = self.random_live_peer(Some(pinger)) else {
             return;
         };
-        if self.peers[dst.index()].behavior() == Behavior::Good {
+        if self.peers[dst.index()].behavior() == Behavior::Good && self.reachable(pinger, dst) {
             self.apply_introduction(dst, pinger, now, ctx);
         }
     }
@@ -724,16 +780,24 @@ impl<T: TraceSink> Simulation<T> for GuessSim {
     }
 }
 
-impl Runnable for GuessSim {
-    type Report = RunReport;
-
-    fn run_traced<T: TraceSink>(mut self, sink: T) -> (RunReport, T) {
+impl GuessSim {
+    /// The one driver both run surfaces share: `scenario: None` is the
+    /// plain run, `Some` routes through [`Kernel::run_scenario`]. The
+    /// two paths are byte-identical for an empty timeline.
+    fn run_inner<T: TraceSink>(
+        mut self,
+        sink: T,
+        scenario: Option<&simkit::scenario::Scenario>,
+    ) -> Result<(RunReport, T), simkit::scenario::ScenarioError> {
         let params = KernelParams::new(self.cfg.run.duration)
             .with_warmup(self.cfg.run.warmup)
             .with_sampling(self.cfg.run.sample_interval);
         let mut kernel = Kernel::new(params, sink);
         self.schedule_initial(&mut kernel.ctx());
-        kernel.run(&mut self);
+        match scenario {
+            None => kernel.run(&mut self),
+            Some(s) => kernel.run_scenario(&mut self, s)?,
+        }
         // Loads of peers still alive at the end of the run.
         for &addr in &self.slots {
             let p = &self.peers[addr.index()];
@@ -744,7 +808,24 @@ impl Runnable for GuessSim {
         let events_processed = kernel.events_processed();
         let mut report = self.metrics.finish();
         report.events_processed = events_processed;
-        (report, kernel.into_sink())
+        Ok((report, kernel.into_sink()))
+    }
+}
+
+impl Runnable for GuessSim {
+    type Report = RunReport;
+
+    fn run_traced<T: TraceSink>(self, sink: T) -> (RunReport, T) {
+        self.run_inner(sink, None)
+            .expect("runs without a scenario cannot fail")
+    }
+
+    fn run_scenario_traced<T: TraceSink>(
+        self,
+        scenario: &simkit::scenario::Scenario,
+        sink: T,
+    ) -> Result<(RunReport, T), simkit::scenario::ScenarioError> {
+        self.run_inner(sink, Some(scenario))
     }
 }
 

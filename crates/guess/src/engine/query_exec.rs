@@ -55,7 +55,7 @@ impl GuessSim {
         let mut k = if selfish {
             self.cfg.system.selfish_parallelism
         } else {
-            self.cfg.protocol.parallel_probes
+            self.rt.parallel_probes
         };
         let mut resultless_streak = 0u32;
 
@@ -106,7 +106,7 @@ impl GuessSim {
             }
             rounds += 1.0 / k as f64;
 
-            if !self.peers[dst.index()].is_alive() {
+            if !self.peers[dst.index()].is_alive() || !self.reachable(prober, dst) {
                 dead += 1;
                 if ctx.tracing() {
                     ctx.emit(

@@ -1,0 +1,306 @@
+//! Scenario interventions: the [`Intervenable`] side of `GuessSim`.
+//!
+//! Split out of the main engine module like `query_exec`; this is still
+//! the same `GuessSim`. Every intervention routes through the engine's
+//! existing machinery — joins and leaves through the churn paths
+//! ([`GuessSim::birth_peer`] / `on_death`), flash crowds through
+//! [`GuessSim::execute_query`], parameter flips through
+//! [`Config::validate`] — and mutates only the [`super::Runtime`] side
+//! of the config/state split. `self.cfg` is never written after
+//! `GuessSim::new`.
+
+use simkit::scenario::{Intervenable, Intervention, Param, ScenarioError};
+
+use super::*;
+
+impl GuessSim {
+    /// Grows the network by `count` newborn slots. Each newborn goes
+    /// through the ordinary birth path (same RNG streams, same cache
+    /// seeding as a churn replacement) and gets its death / ping /
+    /// burst events scheduled.
+    fn mass_join<T: TraceSink>(
+        &mut self,
+        count: usize,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        for _ in 0..count {
+            let slot = SlotId(self.slots.len() as u32);
+            self.bad.grow_to(self.slots.len() + 1);
+            let newborn = self.birth_peer(slot, now);
+            self.slots.push(newborn);
+            // Seed the newborn's cache from a random live friend,
+            // exactly like a churn replacement.
+            if let Some(friend) = self
+                .random_live_peer(Some(newborn))
+                .filter(|&f| self.reachable(newborn, f))
+            {
+                let mut entries = std::mem::take(&mut self.entry_scratch);
+                entries.clear();
+                entries.extend_from_slice(self.peers[friend.index()].link_cache().entries());
+                let policy = self.cfg.protocol.cache_replacement;
+                for &e in &entries {
+                    if e.addr() != newborn {
+                        let outcome = self.peers[newborn.index()].link_cache_mut().offer(
+                            e,
+                            policy,
+                            &mut self.rng_policy,
+                        );
+                        self.trace_eviction(ctx, now, newborn, outcome);
+                    }
+                }
+                self.entry_scratch = entries;
+            }
+            self.schedule_peer_events(slot, newborn, now, false, ctx);
+        }
+    }
+
+    /// Kills `count` uniformly chosen live peers through the normal
+    /// death path (replacements included — the population stays
+    /// constant; the wave's damage is the mass cache cold-start).
+    fn mass_leave<T: TraceSink>(
+        &mut self,
+        count: usize,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        for _ in 0..count {
+            let s = self.rng_churn.below(self.slots.len());
+            let slot = SlotId(s as u32);
+            let addr = self.slots[s];
+            // The victim's originally scheduled death event becomes
+            // stale and is ignored by the `is_current` guard.
+            self.on_death(slot, addr, now, ctx);
+        }
+    }
+
+    /// Injects `queries` extra queries immediately, from uniformly
+    /// chosen live sources, through the normal query executor.
+    fn flash_crowd<T: TraceSink>(
+        &mut self,
+        queries: usize,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        for _ in 0..queries {
+            let src = self.slots[self.rng_query.below(self.slots.len())];
+            self.execute_query(src, now, ctx);
+        }
+    }
+
+    /// Applies a parameter flip: overlays the current runtime values
+    /// plus the flip onto a copy of the immutable config, re-validates
+    /// through [`Config::validate`], and only then installs the new
+    /// value into the runtime state.
+    fn param_flip(&mut self, param: &Param) -> Result<(), ScenarioError> {
+        let mut probe = self.cfg.clone();
+        probe.system.query_rate = self.rt.query_rate;
+        probe.system.bad_peer_fraction = self.rt.bad_peer_fraction;
+        probe.protocol.ping_interval = self.rt.ping_interval;
+        probe.protocol.parallel_probes = self.rt.parallel_probes;
+        match *param {
+            Param::QueryRate(r) => probe.system.query_rate = r,
+            Param::BadPeerFraction(f) => probe.system.bad_peer_fraction = f,
+            Param::PingInterval(i) => probe.protocol.ping_interval = i,
+            Param::ParallelProbes(k) => probe.protocol.parallel_probes = k,
+            _ => {
+                return Err(ScenarioError::Unsupported {
+                    engine: "guess",
+                    action: param.name(),
+                })
+            }
+        }
+        probe
+            .validate()
+            .map_err(|e| ScenarioError::InvalidParam(e.to_string()))?;
+        if probe.system.query_rate != self.rt.query_rate {
+            self.workload = QueryWorkload::with_rate(probe.system.query_rate)
+                .map_err(|e| ScenarioError::InvalidParam(e.to_string()))?;
+        }
+        self.rt.query_rate = probe.system.query_rate;
+        self.rt.bad_peer_fraction = probe.system.bad_peer_fraction;
+        self.rt.ping_interval = probe.protocol.ping_interval;
+        self.rt.parallel_probes = probe.protocol.parallel_probes;
+        Ok(())
+    }
+}
+
+impl<T: TraceSink> Intervenable<T> for GuessSim {
+    fn intervene(
+        &mut self,
+        now: SimTime,
+        action: &Intervention,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) -> Result<(), ScenarioError> {
+        self.metrics.counters_mut().incr("interventions");
+        match *action {
+            Intervention::MassJoin { count } => self.mass_join(count, now, ctx),
+            Intervention::MassLeave { count } => self.mass_leave(count, now, ctx),
+            Intervention::FlashCrowd { queries } => self.flash_crowd(queries, now, ctx),
+            Intervention::ParamFlip(ref param) => self.param_flip(param)?,
+            Intervention::Partition { groups } => {
+                if groups < 2 {
+                    return Err(ScenarioError::BadPartition { groups });
+                }
+                self.rt.partition = Some(groups);
+            }
+            Intervention::Heal => self.rt.partition = None,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::scenario::Scenario;
+    use simkit::time::SimDuration;
+
+    fn tiny(seed: u64) -> Config {
+        let mut cfg = Config::small_test(seed);
+        cfg.run.duration = SimDuration::from_secs(200.0);
+        cfg.run.warmup = SimDuration::from_secs(50.0);
+        cfg
+    }
+
+    #[test]
+    fn empty_scenario_equals_plain_run() {
+        let plain = GuessSim::new(tiny(31)).unwrap().run();
+        let scen = GuessSim::new(tiny(31))
+            .unwrap()
+            .run_scenario(&Scenario::new())
+            .unwrap();
+        assert_eq!(plain.queries, scen.queries);
+        assert_eq!(plain.unsatisfied, scen.unsatisfied);
+        assert_eq!(plain.loads, scen.loads);
+        assert_eq!(plain.counters.get("births"), scen.counters.get("births"));
+    }
+
+    #[test]
+    fn mass_join_grows_the_population() {
+        let n = tiny(32).system.network_size;
+        let scenario = Scenario::new().at(100.0).mass_join(40);
+        let report = GuessSim::new(tiny(32))
+            .unwrap()
+            .run_scenario(&scenario)
+            .unwrap();
+        let baseline = GuessSim::new(tiny(32)).unwrap().run();
+        assert_eq!(report.counters.get("interventions"), 1);
+        assert!(
+            report.counters.get("births") >= baseline.counters.get("births") + 40,
+            "join wave must add at least 40 births over the {n}-peer baseline"
+        );
+    }
+
+    #[test]
+    fn mass_leave_forces_a_death_wave() {
+        // Drop churn to near zero so every death is the scenario's.
+        let mut cfg = tiny(33);
+        cfg.system.lifespan_multiplier = 1000.0;
+        let scenario = Scenario::new().at(100.0).mass_leave(30);
+        let report = GuessSim::new(cfg.clone())
+            .unwrap()
+            .run_scenario(&scenario)
+            .unwrap();
+        let baseline = GuessSim::new(cfg).unwrap().run();
+        assert_eq!(baseline.counters.get("deaths"), 0, "baseline is churnless");
+        assert_eq!(report.counters.get("deaths"), 30, "exactly the wave");
+        assert_eq!(
+            report.counters.get("births"),
+            report.counters.get("deaths") + 120,
+            "every victim is replaced"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_injects_queries() {
+        // The flash lands after warm-up, so all 200 injected queries
+        // are recorded on top of the organic ones (which diverge from
+        // the baseline only by RNG-stream noise).
+        let scenario = Scenario::new().at(100.0).flash_crowd(200);
+        let report = GuessSim::new(tiny(34))
+            .unwrap()
+            .run_scenario(&scenario)
+            .unwrap();
+        assert!(
+            report.queries >= 200,
+            "flash crowd queries must be recorded: {}",
+            report.queries
+        );
+        assert_eq!(report.counters.get("interventions"), 1);
+    }
+
+    #[test]
+    fn param_flip_revalidates() {
+        let bad = Scenario::new().at(100.0).param_flip(Param::QueryRate(-1.0));
+        let err = GuessSim::new(tiny(35))
+            .unwrap()
+            .run_scenario(&bad)
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidParam(_)));
+
+        let unsupported = Scenario::new().at(100.0).param_flip(Param::Fanout(4));
+        let err = GuessSim::new(tiny(35))
+            .unwrap()
+            .run_scenario(&unsupported)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::Unsupported {
+                engine: "guess",
+                action: "fanout",
+            }
+        );
+    }
+
+    #[test]
+    fn attack_onset_flip_births_malicious_peers() {
+        let mut cfg = tiny(36);
+        cfg.system.lifespan_multiplier = 0.2; // churn fast enough to matter
+        let scenario = Scenario::new()
+            .at(60.0)
+            .param_flip(Param::BadPeerFraction(0.8));
+        let report = GuessSim::new(cfg).unwrap().run_scenario(&scenario).unwrap();
+        assert!(
+            report.good_entries.is_some(),
+            "cache health sampling still runs"
+        );
+    }
+
+    #[test]
+    fn partition_starves_cross_group_probes_until_heal() {
+        let partitioned = Scenario::new().at(60.0).partition(2);
+        let healed = Scenario::new().at(60.0).partition(2).at(130.0).heal();
+        let p = GuessSim::new(tiny(37))
+            .unwrap()
+            .run_scenario(&partitioned)
+            .unwrap();
+        let h = GuessSim::new(tiny(37))
+            .unwrap()
+            .run_scenario(&healed)
+            .unwrap();
+        let baseline = GuessSim::new(tiny(37)).unwrap().run();
+        assert!(
+            p.unsatisfaction() >= baseline.unsatisfaction(),
+            "a partition cannot make satisfaction better: {:.3} vs {:.3}",
+            p.unsatisfaction(),
+            baseline.unsatisfaction()
+        );
+        assert!(
+            h.unsatisfaction() <= p.unsatisfaction(),
+            "healing cannot be worse than staying partitioned: {:.3} vs {:.3}",
+            h.unsatisfaction(),
+            p.unsatisfaction()
+        );
+    }
+
+    #[test]
+    fn bad_partition_spec_is_rejected() {
+        let scenario = Scenario::new().at(60.0).partition(1);
+        let err = GuessSim::new(tiny(38))
+            .unwrap()
+            .run_scenario(&scenario)
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::BadPartition { groups: 1 });
+    }
+}

@@ -18,6 +18,9 @@
 //! * [`sim`] — the shared simulation kernel: the [`sim::Simulation`]
 //!   trait, the kernel-owned event-loop driver, churn, warm-up gating
 //!   and periodic sampling;
+//! * [`scenario`] — scripted mid-run intervention timelines
+//!   ([`Scenario`]) delivered through the [`scenario::Intervenable`]
+//!   trait;
 //! * [`trace`] — the structured trace layer: typed records and
 //!   pluggable [`trace::TraceSink`]s, zero-cost when disabled.
 //!
@@ -55,6 +58,7 @@ pub mod dist;
 pub mod event;
 pub mod hash;
 pub mod rng;
+pub mod scenario;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -62,6 +66,7 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use rng::RngStream;
+pub use scenario::{Intervenable, Intervention, Param, Scenario, ScenarioError};
 pub use sim::{ChurnDriver, Kernel, KernelParams, SimCtx, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{NullSink, TraceRecord, TraceSink};

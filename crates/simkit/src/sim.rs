@@ -51,6 +51,7 @@
 
 use crate::event::{EventHandle, EventQueue};
 use crate::rng::RngStream;
+use crate::scenario::{Intervenable, Scenario, ScenarioError};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{NullSink, ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
 
@@ -79,6 +80,30 @@ pub trait Runnable: Sized {
     #[must_use]
     fn run(self) -> Self::Report {
         self.run_traced(NullSink).0
+    }
+
+    /// Runs to completion under a [`Scenario`] timeline with a
+    /// caller-provided trace sink. The empty scenario is guaranteed
+    /// byte-identical to [`Runnable::run_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] when an intervention names a knob the
+    /// engine does not have, fails config re-validation, or carries a
+    /// malformed partition spec.
+    fn run_scenario_traced<T: TraceSink>(
+        self,
+        scenario: &Scenario,
+        sink: T,
+    ) -> Result<(Self::Report, T), ScenarioError>;
+
+    /// Runs to completion under a [`Scenario`] timeline, untraced.
+    ///
+    /// # Errors
+    ///
+    /// As [`Runnable::run_scenario_traced`].
+    fn run_scenario(self, scenario: &Scenario) -> Result<Self::Report, ScenarioError> {
+        Ok(self.run_scenario_traced(scenario, NullSink)?.0)
     }
 }
 
@@ -160,12 +185,16 @@ impl<L: Lifetimes> ChurnDriver<L> {
     }
 }
 
-/// The kernel's own event wrapper: engine events plus the periodic
-/// sample tick the kernel drives itself.
+/// The kernel's own event wrapper: engine events, the periodic sample
+/// tick the kernel drives itself, and scenario control events. A
+/// control event carries the generation stamp of its compiled timeline
+/// entry ([`Scenario::compile`]); plain [`Kernel::run`] never schedules
+/// one.
 #[derive(Debug, Clone, Copy)]
 enum KernelEvent<E> {
     User(E),
     Sample,
+    Control(u32),
 }
 
 /// Clock horizon, warm-up boundary, and sampling cadence of one run.
@@ -400,8 +429,88 @@ impl<E, T: TraceSink> Kernel<E, T> {
                         .expect("sample tick only exists when sampling is on");
                     self.queue.schedule(now + interval, KernelEvent::Sample);
                 }
+                KernelEvent::Control(generation) => {
+                    // Plain runs never schedule control events; one here
+                    // means a caller mixed `run` into a scenario run.
+                    debug_assert!(false, "control event {generation} popped by a plain run");
+                }
             }
         }
+    }
+
+    /// As [`Kernel::run`], but first schedules one control event per
+    /// entry of the compiled `scenario` timeline (entries past the
+    /// horizon are dropped) and dispatches each to
+    /// [`Intervenable::intervene`] as it fires. Control events are
+    /// scheduled before anything is popped, so an empty timeline leaves
+    /// the event sequence — and therefore the run — byte-identical to
+    /// [`Kernel::run`].
+    ///
+    /// # Errors
+    ///
+    /// Aborts the run and returns the first [`ScenarioError`] an
+    /// intervention raises.
+    pub fn run_scenario<S>(&mut self, sim: &mut S, scenario: &Scenario) -> Result<(), ScenarioError>
+    where
+        S: Intervenable<T, Event = E>,
+    {
+        let compiled = scenario.compile();
+        for (generation, entry) in compiled.iter().enumerate() {
+            if entry.at <= self.params.end {
+                let stamp = u32::try_from(generation).expect("timeline fits u32");
+                self.queue.schedule(entry.at, KernelEvent::Control(stamp));
+            }
+        }
+        if !self.started {
+            self.started = true;
+            if let Some(interval) = self.params.sample_interval {
+                self.queue
+                    .schedule(self.queue.now() + interval, KernelEvent::Sample);
+            }
+        }
+        while let Some((now, event)) = self.queue.pop() {
+            if now > self.params.end {
+                break;
+            }
+            match event {
+                KernelEvent::User(ev) => {
+                    let mut ctx = SimCtx {
+                        queue: &mut self.queue,
+                        warmup_end: self.params.warmup_end,
+                        sink: &mut self.sink,
+                    };
+                    sim.handle(now, ev, &mut ctx);
+                }
+                KernelEvent::Sample => {
+                    if now >= self.params.warmup_end {
+                        sim.sample(now);
+                    }
+                    if self.sink.enabled() {
+                        self.sink.record(
+                            now,
+                            TraceRecord::Sample {
+                                live: sim.live_peers(),
+                            },
+                        );
+                    }
+                    let interval = self
+                        .params
+                        .sample_interval
+                        .expect("sample tick only exists when sampling is on");
+                    self.queue.schedule(now + interval, KernelEvent::Sample);
+                }
+                KernelEvent::Control(generation) => {
+                    let action = compiled[generation as usize].action;
+                    let mut ctx = SimCtx {
+                        queue: &mut self.queue,
+                        warmup_end: self.params.warmup_end,
+                        sink: &mut self.sink,
+                    };
+                    sim.intervene(now, &action, &mut ctx)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Consumes the kernel, returning the trace sink for inspection.
@@ -546,6 +655,85 @@ mod tests {
         assert_eq!(sim.died_at, Some(SimTime::from_secs(7.5)));
         let sink = kernel.into_sink();
         assert_eq!(sink.joins, 1);
+    }
+
+    impl<T: TraceSink> crate::scenario::Intervenable<T> for Echo {
+        fn intervene(
+            &mut self,
+            now: SimTime,
+            action: &crate::scenario::Intervention,
+            ctx: &mut SimCtx<'_, u32, T>,
+        ) -> Result<(), crate::scenario::ScenarioError> {
+            match action {
+                crate::scenario::Intervention::FlashCrowd { queries } => {
+                    // Inject extra engine events immediately.
+                    for _ in 0..*queries {
+                        ctx.schedule(now, 0);
+                    }
+                    Ok(())
+                }
+                other => Err(crate::scenario::ScenarioError::Unsupported {
+                    engine: "echo",
+                    action: other.label(),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_scenario_matches_plain_run() {
+        let mut plain = Echo::new(u32::MAX, 1.0);
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        kernel.run(&mut plain);
+
+        let mut scen = Echo::new(u32::MAX, 1.0);
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        kernel
+            .run_scenario(&mut scen, &crate::scenario::Scenario::new())
+            .expect("empty scenario cannot fail");
+        assert_eq!(plain.handled, scen.handled);
+    }
+
+    #[test]
+    fn control_events_fire_at_their_instant() {
+        let mut sim = Echo::new(u32::MAX, 10.0); // one self-event at t=0 only
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let scenario = crate::scenario::Scenario::new().at(2.0).flash_crowd(3);
+        kernel.run_scenario(&mut sim, &scenario).expect("supported");
+        // t=0 seed event + 3 injected at t=2 (each reschedules at t=12,
+        // past the horizon).
+        assert_eq!(sim.handled, 4);
+    }
+
+    #[test]
+    fn control_events_past_the_horizon_are_dropped() {
+        let mut sim = Echo::new(u32::MAX, 10.0);
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let scenario = crate::scenario::Scenario::new().at(50.0).flash_crowd(3);
+        kernel.run_scenario(&mut sim, &scenario).expect("dropped");
+        assert_eq!(sim.handled, 1, "late control event never fires");
+    }
+
+    #[test]
+    fn unsupported_intervention_aborts_the_run() {
+        let mut sim = Echo::new(u32::MAX, 1.0);
+        let mut kernel = Kernel::new(KernelParams::new(SimDuration::from_secs(5.0)), NullSink);
+        kernel.ctx().schedule(SimTime::ZERO, 0);
+        let scenario = crate::scenario::Scenario::new().at(2.0).heal();
+        let err = kernel.run_scenario(&mut sim, &scenario).unwrap_err();
+        assert_eq!(
+            err,
+            crate::scenario::ScenarioError::Unsupported {
+                engine: "echo",
+                action: "heal",
+            }
+        );
+        assert!(sim.handled >= 2, "ran up to the failing control event");
+        assert!(sim.handled < 6, "aborted before the horizon");
     }
 
     #[test]

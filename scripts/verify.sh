@@ -19,6 +19,21 @@ cargo test --doc --workspace -q
 cargo test -q --release -p guess-bench --test determinism
 cargo test -q --release -p guess-bench --test quick_goldens -- --ignored
 
+# Scenario gates: an empty timeline is byte-identical to a plain run on
+# every engine, the six-entry catalog matches its own committed manifest
+# (tests/golden/scenarios.fnv1a.txt), and a catalog entry renders
+# identically across --jobs levels.
+cargo test -q --release -p guess-bench --test scenario_noop
+cargo test -q --release -p guess-bench --test scenario_goldens -- --ignored
+
+# Scenario CLI smoke: one catalog entry end to end through the repro
+# driver, with the text artifact present and the JSON parsing.
+rm -rf "$out/scenarios"
+cargo run --release -p guess-bench --bin repro -- \
+    scenario param-flip --quick --jobs 2 --json --out "$out/scenarios"
+[ -s "$out/scenarios/param-flip.txt" ] || { echo "missing $out/scenarios/param-flip.txt" >&2; exit 1; }
+python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/scenarios/param-flip.json"
+
 # Bench smoke gate: the quick workload matrix completes under a generous
 # ceiling, emits valid BENCH JSON, and no quick workload's median has
 # regressed by more than 2x against the committed baseline (BENCH_2 —
