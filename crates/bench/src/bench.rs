@@ -8,10 +8,13 @@
 //! iterations is a stable signal.
 //!
 //! Results are emitted through the structured [`Report`] JSON as
-//! `BENCH_<n>.json` files — the repo's perf trajectory. `BENCH_0.json`
-//! (pre-optimization), `BENCH_1.json` (post slab/calendar-queue pass),
-//! and `BENCH_2.json` (post wavefront-flood rewrite) are committed
-//! baselines; ad-hoc output directories are gitignored.
+//! `BENCH_<n>.json` files — the repo's perf trajectory, whose canonical
+//! home is the repo root (the `repro bench` default out dir).
+//! `BENCH_0.json` (pre-optimization), `BENCH_1.json` (post
+//! slab/calendar-queue pass), `BENCH_2.json` (post wavefront-flood
+//! rewrite), and `BENCH_3.json` (arena memory layout, first carrying
+//! `bytes_per_peer` and the `guess-1m` row) are committed baselines;
+//! the `BENCH_*.json` gitignore pattern keeps ad-hoc runs untracked.
 //! `scripts/verify.sh` replays the quick workloads and fails on a >2×
 //! median regression against the committed baseline — both on the
 //! aggregate matrix and per-engine via `--only <workload>`.
@@ -44,6 +47,12 @@ pub struct BenchResult {
     pub min_secs: f64,
     /// Median iteration, seconds.
     pub median_secs: f64,
+    /// Simulated peers in the workload's network.
+    pub peers: usize,
+    /// Peak heap growth of the first iteration divided by `peers` —
+    /// the engine's large-N memory footprint (see
+    /// [`crate::alloc_meter`]).
+    pub bytes_per_peer: u64,
 }
 
 impl BenchResult {
@@ -75,6 +84,8 @@ struct Workload {
     name: &'static str,
     engine: &'static str,
     scale: Scale,
+    /// Simulated peers — the denominator of `bytes_per_peer`.
+    peers: usize,
     run: Box<dyn Fn() -> u64>,
 }
 
@@ -93,6 +104,7 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             },
             engine: "guess",
             scale,
+            peers: base_config(scale, BENCH_SEED).system.network_size,
             run: Box::new(move || {
                 let cfg = base_config(scale, BENCH_SEED);
                 events_of(cfg.build().expect("bench config validates"))
@@ -105,6 +117,7 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             },
             engine: "gnutella",
             scale,
+            peers: gnutella::dynamic::GnutellaConfig::default().network_size,
             run: Box::new(move || {
                 let cfg = gnutella::dynamic::GnutellaConfig::default()
                     .with_duration(scale.duration())
@@ -120,6 +133,7 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             },
             engine: "gossip",
             scale,
+            peers: gossip::Config::default().network_size,
             run: Box::new(move || {
                 let cfg = gossip::Config::default()
                     .with_seed(BENCH_SEED)
@@ -129,7 +143,33 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             }),
         });
     }
+    if !quick_only {
+        // Million-peer GUESS run: the large-N memory-layout showcase.
+        // Maintenance-only (queries off) over a short horizon — the
+        // point is arena footprint (`bytes_per_peer`) and that a
+        // million-peer network populates, churns, and samples (the
+        // stride-sampled metrics path engages above the 50k threshold).
+        list.push(Workload {
+            name: "guess-1m",
+            engine: "guess",
+            scale: Scale::Full,
+            peers: MILLION,
+            run: Box::new(|| events_of(million_peer_config().build().expect("valid config"))),
+        });
+    }
     list
+}
+
+const MILLION: usize = 1_000_000;
+
+/// The `guess-1m` configuration: paper-default protocol parameters at
+/// `NetworkSize = 1e6`, queries off, a 120-second horizon.
+fn million_peer_config() -> guess::config::Config {
+    let mut cfg = base_config(Scale::Full, BENCH_SEED).with_network_size(MILLION);
+    cfg.run.duration = simkit::time::SimDuration::from_secs(120.0);
+    cfg.run.warmup = simkit::time::SimDuration::from_secs(30.0);
+    cfg.run.simulate_queries = false;
+    cfg
 }
 
 /// Median of already-measured wall times (mean of the middle pair for
@@ -183,12 +223,22 @@ pub fn run_workloads(
         }
         let mut walls = Vec::with_capacity(iters);
         let mut events = 0u64;
+        let mut bytes_per_peer = 0u64;
         for i in 0..iters {
+            // Meter the first iteration only: the peak heap growth over
+            // the pre-run level is the simulation's working set (later
+            // iterations see allocator reuse and would under-read).
+            let metered_from = crate::alloc_meter::current_bytes();
+            if i == 0 {
+                crate::alloc_meter::reset_peak();
+            }
             let started = Instant::now();
             let got = (w.run)();
             walls.push(started.elapsed().as_secs_f64());
             if i == 0 {
                 events = got;
+                let grown = crate::alloc_meter::peak_bytes().saturating_sub(metered_from);
+                bytes_per_peer = grown as u64 / w.peers.max(1) as u64;
             } else {
                 debug_assert_eq!(got, events, "bench workloads must be deterministic");
             }
@@ -202,14 +252,17 @@ pub fn run_workloads(
             events,
             min_secs: walls[0],
             median_secs: median(&walls),
+            peers: w.peers,
+            bytes_per_peer,
         };
         println!(
-            "  {:<16} {:>10} events  min {:>8.3}s  median {:>8.3}s  {:>12.0} events/s",
+            "  {:<16} {:>10} events  min {:>8.3}s  median {:>8.3}s  {:>12.0} events/s  {:>8} B/peer",
             r.name,
             r.events,
             r.min_secs,
             r.median_secs,
-            r.events_per_sec()
+            r.events_per_sec(),
+            r.bytes_per_peer
         );
         results.push(r);
     }
@@ -231,6 +284,8 @@ pub fn build_report(results: &[BenchResult]) -> Report {
             "min_s",
             "median_s",
             "events_per_s",
+            "peers",
+            "bytes_per_peer",
         ],
     );
     for r in results {
@@ -243,6 +298,8 @@ pub fn build_report(results: &[BenchResult]) -> Report {
             Cell::float(r.min_secs, 4),
             Cell::float(r.median_secs, 4),
             Cell::float(r.events_per_sec(), 0),
+            Cell::size(r.peers),
+            Cell::uint(r.bytes_per_peer),
         ]);
     }
     Report::new()
@@ -280,8 +337,26 @@ mod tests {
         let quick: Vec<&str> = workloads(true).iter().map(|w| w.name).collect();
         let all: Vec<&str> = workloads(false).iter().map(|w| w.name).collect();
         assert_eq!(quick.len(), 3);
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 7);
         assert_eq!(&all[..quick.len()], &quick[..]);
+    }
+
+    #[test]
+    fn million_peer_workload_is_full_only_and_validates() {
+        assert!(!workloads(true).iter().any(|w| w.name == "guess-1m"));
+        let w = workloads(false)
+            .into_iter()
+            .find(|w| w.name == "guess-1m")
+            .expect("full matrix carries guess-1m");
+        assert_eq!(w.peers, MILLION);
+        let cfg = million_peer_config();
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.system.network_size, MILLION);
+        assert!(!cfg.run.simulate_queries);
+        assert!(
+            cfg.run.metrics_sample_threshold < MILLION,
+            "the million-peer run must exercise the sampled-metrics path"
+        );
     }
 
     #[test]
@@ -294,13 +369,15 @@ mod tests {
             events: 1000,
             min_secs: 0.5,
             median_secs: 0.8,
+            peers: 1000,
+            bytes_per_peer: 512,
         };
         assert!((r.events_per_sec() - 1250.0).abs() < 1e-9);
         let report = build_report(std::slice::from_ref(&r));
         let json = report.render_json("bench", "wall-clock benchmark", "Quick");
-        assert!(
-            json.contains("\"guess-quick\", \"guess\", \"Quick\", 3, 1000, 0.5000, 0.8000, 1250")
-        );
+        assert!(json.contains(
+            "\"guess-quick\", \"guess\", \"Quick\", 3, 1000, 0.5000, 0.8000, 1250, 1000, 512"
+        ));
     }
 
     #[test]

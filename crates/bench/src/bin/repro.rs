@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--quick] [--jobs N] [--out <dir>] [--json]
-//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro all [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]
+//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]
 //! repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]
 //! repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
@@ -22,6 +22,12 @@
 //! experiments and across the sweep points inside each one. Every sweep
 //! point carries its own RNG seed, so the reports are byte-identical at
 //! any `--jobs` level; only wall-clock time changes.
+//!
+//! `--shard i/m` keeps only every `m`-th selected experiment starting
+//! at index `i` — the grid split into `m` independently runnable work
+//! units (separate machines, separate invocations). Seed-addressed
+//! determinism makes the merge trivial: the union of the shards'
+//! `--out` files is byte-identical to the unsharded run's output.
 //!
 //! `--trace <path>` runs one base-configuration simulation with the
 //! structured trace layer on, streaming every record to `<path>` as
@@ -118,6 +124,16 @@ fn main() {
         },
         None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     };
+    let shard: Option<(usize, usize)> = match args.iter().position(|a| a == "--shard") {
+        Some(i) => match args.get(i + 1).map(|v| parse_shard(v)) {
+            Some(Some(spec)) => Some(spec),
+            _ => {
+                eprintln!("--shard needs i/m with 0 <= i < m (e.g. --shard 0/4)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
     if let Some(dir) = &out_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create output directory {}: {e}", dir.display());
@@ -132,7 +148,7 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" || a == "--trace" || a == "--engine" {
+        if a == "--out" || a == "--jobs" || a == "--trace" || a == "--engine" || a == "--shard" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -158,6 +174,34 @@ fn main() {
         }
         picked
     };
+    // Shard by position in the selection: experiment `k` belongs to
+    // shard `k % m`. Every experiment seeds its own RNG streams, so each
+    // work unit is addressed by its own seeds and renders the same
+    // report inside any shard — the union of per-shard `--out` files is
+    // byte-identical to the unsharded run's.
+    let selected: Vec<experiments::Experiment> = match shard {
+        Some((i, m)) => selected
+            .into_iter()
+            .enumerate()
+            .filter(|(k, _)| k % m == i)
+            .map(|(_, e)| e)
+            .collect(),
+        None => selected,
+    };
+    if let Some((i, m)) = shard {
+        println!(
+            "shard {i}/{m}: {} experiment(s) [{}]",
+            selected.len(),
+            selected
+                .iter()
+                .map(|e| e.name)
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        if selected.is_empty() {
+            return;
+        }
+    }
 
     let ctx = Ctx::new(scale, jobs);
     let overall = Instant::now();
@@ -226,9 +270,12 @@ fn main() {
 /// `repro bench [--quick] [--iters N] [--only WORKLOAD]... [--out DIR]`
 /// — the wall-clock benchmark harness. Runs fixed-seed engine
 /// workloads, prints min/median wall time and events/sec, and appends
-/// the next `BENCH_<n>.json` to the perf trajectory in DIR (default
-/// `bench_out/`, which is gitignored; committed baselines live in the
-/// repo root). `--only` is repeatable and restricts the run to the
+/// the next `BENCH_<n>.json` to the perf trajectory in DIR. The default
+/// DIR is the repo root — the canonical home of the trajectory, where
+/// the committed baselines already live — so an unqualified
+/// `repro bench` continues the sequence they start (the `BENCH_*.json`
+/// gitignore pattern keeps ad-hoc runs untracked; baselines are
+/// force-added). `--only` is repeatable and restricts the run to the
 /// named workloads, so a single engine can be gated on its own.
 fn run_bench(args: &[String]) {
     let mut only: Vec<String> = Vec::new();
@@ -270,10 +317,7 @@ fn run_bench(args: &[String]) {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
-        .map_or_else(
-            || std::path::PathBuf::from("bench_out"),
-            std::path::PathBuf::from,
-        );
+        .map_or_else(|| std::path::PathBuf::from("."), std::path::PathBuf::from);
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("cannot create output directory {}: {e}", out_dir.display());
         std::process::exit(1);
@@ -647,17 +691,26 @@ fn run_traced_gossip(path: &Path, scale: Scale) {
     }
 }
 
+/// Parses a `--shard` spec of the form `i/m` with `0 <= i < m`.
+fn parse_shard(spec: &str) -> Option<(usize, usize)> {
+    let (i, m) = spec.split_once('/')?;
+    let (i, m) = (i.parse().ok()?, m.parse().ok()?);
+    (m >= 1 && i < m).then_some((i, m))
+}
+
 fn print_usage() {
     println!(
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
-         usage:\n  repro all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
-         repro <experiment>... [--quick] [--jobs N] [--out <dir>] [--json]\n  \
+         usage:\n  repro all [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]\n  \
+         repro <experiment>... [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]\n  \
          repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
          repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]\n  \
          repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \
          reports are byte-identical at any N\n\
+         --shard i/m  run every m-th selected experiment starting at i;\n          \
+         per-shard outputs merge byte-identically to the unsharded run\n\
          --out DIR also write each report to DIR/<name>.txt\n\
          --json    with --out, also write structured DIR/<name>.json\n\
          --trace F run one traced simulation, write JSONL to F,\n          \

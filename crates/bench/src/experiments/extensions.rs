@@ -13,6 +13,7 @@
 use gnutella::dynamic::{GnutellaConfig, GnutellaReport};
 use gnutella::fragmentation::{attack, AttackStrategy};
 use gnutella::Topology;
+use gossip::{Config as GossipConfig, GossipReport, GossipSim};
 use guess::config::{AdaptiveParallelism, AdaptivePing, BadPongBehavior};
 use guess::engine::GuessSim;
 use guess::payments::PaymentParams;
@@ -329,6 +330,7 @@ pub fn run_payments(ctx: &Ctx) -> Report {
 enum Side {
     Guess(Box<RunReport>),
     Gnutella(Box<GnutellaReport>),
+    Gossip(Box<GossipReport>),
 }
 
 /// GUESS vs a churn-aware Gnutella overlay on identical workloads.
@@ -398,9 +400,118 @@ pub fn run_forwarding(ctx: &Ctx) -> Report {
         ))
 }
 
+/// Three-way amplification/maintenance comparison: GUESS probing vs
+/// Gnutella flooding vs epidemic gossip on identical workloads. Extends
+/// `forwarding` with the third mechanism class; a fresh experiment (own
+/// seeds) so the two-way report stays byte-identical.
+#[must_use]
+pub fn run_forwarding3(ctx: &Ctx) -> Report {
+    let scale = ctx.scale();
+    let n = network_for(scale);
+    let mut sides = ctx.map(vec![0usize, 1, 2], |i| match i {
+        0 => {
+            let gcfg = base_config(scale, 0xf0d3)
+                .with_network_size(n)
+                .with_query_pong(SelectionPolicy::Mfs);
+            Side::Guess(Box::new(GuessSim::new(gcfg).expect("valid config").run()))
+        }
+        1 => {
+            let dyn_cfg = GnutellaConfig::default()
+                .with_network_size(n)
+                .with_duration(scale.duration())
+                .with_warmup(scale.warmup())
+                .with_seed(0xf0d3);
+            Side::Gnutella(Box::new(dyn_cfg.build().expect("valid config").run()))
+        }
+        _ => {
+            let gcfg = GossipConfig::default()
+                .with_network_size(n)
+                .with_duration(scale.duration())
+                .with_warmup(scale.warmup())
+                .with_seed(0xf0d3);
+            Side::Gossip(Box::new(GossipSim::new(gcfg).expect("valid config").run()))
+        }
+    });
+    let (Side::Guess(guess_report), Side::Gnutella(gnutella_report), Side::Gossip(gossip_report)) =
+        (sides.remove(0), sides.remove(0), sides.remove(0))
+    else {
+        unreachable!("map preserves item order");
+    };
+    let guess_maintenance = guess_report.counters.get("pings_sent") * 2; // ping + pong
+    let gnutella_maintenance = gnutella_report.counters.get("connect_messages");
+
+    // Per-query messages the *originator* itself sends: every GUESS
+    // probe, one flood message per neighbor, one push per gossip fanout.
+    // Query cost over that is the attack amplification of §3.3.
+    let guess_sent = guess_report.probes_per_query();
+    let gnutella_sent = GnutellaConfig::default().target_degree as f64;
+    let gossip_sent = GossipConfig::default().fanout as f64;
+
+    let mut table = TableBlock::new(
+        "forwarding3",
+        vec![
+            "mechanism",
+            "query cost (msgs)",
+            "unsatisfied",
+            "maintenance msgs",
+            "amplification",
+        ],
+    );
+    table.row(vec![
+        Cell::text("GUESS (QueryPong=MFS)"),
+        Cell::float(guess_report.probes_per_query(), 1),
+        Cell::float(guess_report.unsatisfaction(), 3),
+        Cell::uint(guess_maintenance),
+        Cell::float(1.0, 1),
+    ]);
+    table.row(vec![
+        Cell::text("Gnutella flood ttl=7"),
+        Cell::float(gnutella_report.messages_per_query(), 1),
+        Cell::float(gnutella_report.unsatisfaction(), 3),
+        Cell::uint(gnutella_maintenance),
+        Cell::float(gnutella_report.messages_per_query() / gnutella_sent, 1),
+    ]);
+    table.row(vec![
+        Cell::text("Gossip push/pull"),
+        Cell::float(gossip_report.messages_per_query(), 1),
+        Cell::float(gossip_report.unsatisfaction(), 3),
+        Cell::uint(0u64),
+        Cell::float(gossip_report.messages_per_query() / gossip_sent, 1),
+    ]);
+    Report::new()
+        .text(
+            "EXTENSION — three-way §3.2/§3.3 comparison on one workload:\n\
+             cache-directed probing vs flooding vs epidemic spread\n\n",
+        )
+        .table(table)
+        .text(format!(
+            "\nAmplification is the network-wide cost of one query over the {:.1}\n\
+             messages its originator sends (GUESS probes all come from the\n\
+             originator, so its amplification is 1 by construction). Gossip pays\n\
+             no maintenance here — rumor targets come from a membership oracle,\n\
+             not per-peer overlay state — but each query recruits the whole\n\
+             epidemic ({:.0} messages), sitting between GUESS ({:.1}) and the\n\
+             flood ({:.1}) on per-query cost.\n",
+            guess_sent,
+            gossip_report.messages_per_query(),
+            guess_report.probes_per_query(),
+            gnutella_report.messages_per_query(),
+        ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn forwarding3_report_has_all_three_rows() {
+        let ctx = Ctx::new(Scale::Quick, 3);
+        let out = run_forwarding3(&ctx).render_text();
+        assert!(out.contains("GUESS"));
+        assert!(out.contains("Gnutella flood"));
+        assert!(out.contains("Gossip push/pull"));
+        assert!(out.contains("amplification"));
+    }
 
     #[test]
     fn payments_report_renders() {

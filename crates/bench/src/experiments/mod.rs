@@ -189,6 +189,12 @@ pub fn all() -> Vec<Experiment> {
                 "EXTENSION fig8 family: three-way tradeoff — gossip fanout x TTL vs flooding vs GUESS",
             run: gossip_tradeoff::run,
         },
+        Experiment {
+            name: "forwarding3",
+            description:
+                "EXTENSION §3.2/§3.3: three-way amplification/maintenance — GUESS vs Gnutella vs gossip",
+            run: extensions::run_forwarding3,
+        },
     ]
 }
 
@@ -234,6 +240,7 @@ mod tests {
             "payments",
             "forwarding",
             "gossip",
+            "forwarding3",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

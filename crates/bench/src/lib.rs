@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod alloc_meter;
 pub mod bench;
 pub mod experiments;
 pub mod report;

@@ -79,6 +79,7 @@ pub fn base_config(scale: Scale, seed: u64) -> Config {
             cache_seed_size: 10,
             seed,
             simulate_queries: true,
+            ..RunParams::default()
         },
         catalog: CatalogParams::default(),
     }

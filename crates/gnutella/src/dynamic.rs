@@ -25,7 +25,7 @@ use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport
 use simkit::stats::{CounterSet, Summary};
 use simkit::time::{SimDuration, SimTime};
 use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
-use workload::content::{Catalog, CatalogParams, PeerLibrary};
+use workload::content::{Catalog, CatalogParams, LibraryArena, LibraryHandle};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
@@ -76,11 +76,11 @@ impl Runtime {
 #[allow(missing_docs)]
 pub enum Event {
     Burst {
-        slot: usize,
+        slot: u32,
         incarnation: u64,
     },
     Death {
-        slot: usize,
+        slot: u32,
         incarnation: u64,
     },
     /// Advances one hop of an in-flight flood (index into the flood
@@ -93,7 +93,10 @@ pub enum Event {
 
 struct Node {
     incarnation: u64,
-    library: PeerLibrary,
+    /// Handle into the engine's [`LibraryArena`]; freed and rebuilt at
+    /// every in-place rebirth, so churn recycles blocks instead of
+    /// leaking dead `Vec`s.
+    library: LibraryHandle,
 }
 
 /// The dynamic Gnutella simulator.
@@ -112,6 +115,8 @@ pub struct GnutellaSim {
     cfg: GnutellaConfig,
     rt: Runtime,
     nodes: Vec<Node>,
+    /// Every node's library items, shared contiguous storage.
+    libs: LibraryArena,
     /// Slot-indexed adjacency: `adj[u]` lists `u`'s open connections.
     /// Kept dense and separate from [`Node`] so a flood hop can borrow
     /// the whole overlay as neighbor slices without touching peer state.
@@ -157,6 +162,7 @@ impl GnutellaSim {
             cfg,
             rt,
             nodes: Vec::new(),
+            libs: LibraryArena::new(),
             adj: vec![Vec::new(); n],
             qmodel,
             files,
@@ -178,9 +184,11 @@ impl GnutellaSim {
         Ok(sim)
     }
 
-    fn fresh_library(&mut self) -> PeerLibrary {
+    fn fresh_library(&mut self) -> LibraryHandle {
         let count = self.files.sample_file_count(&mut self.rng);
-        self.qmodel.catalog().build_library(count, &mut self.rng)
+        self.qmodel
+            .catalog()
+            .build_library_in(count, &mut self.rng, &mut self.libs)
     }
 
     /// Creates the initial population and wires the overlay. Event
@@ -215,10 +223,19 @@ impl GnutellaSim {
                 &mut self.rng,
                 SimTime::ZERO,
                 incarnation,
-                Event::Death { slot, incarnation },
+                Event::Death {
+                    slot: slot as u32,
+                    incarnation,
+                },
             );
             let gap = self.workload.sample_burst_gap(&mut self.rng);
-            ctx.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
+            ctx.schedule(
+                SimTime::ZERO + gap,
+                Event::Burst {
+                    slot: slot as u32,
+                    incarnation,
+                },
+            );
         }
     }
 
@@ -267,6 +284,7 @@ impl GnutellaSim {
         // Rebirth in place, as in the GUESS simulator: constant population.
         self.nodes[slot].incarnation = self.next_incarnation;
         self.next_incarnation += 1;
+        self.libs.free(self.nodes[slot].library);
         self.nodes[slot].library = self.fresh_library();
         self.top_up_connections(slot);
         for nb in ex_neighbors {
@@ -280,7 +298,7 @@ impl GnutellaSim {
             now,
             new_inc,
             Event::Death {
-                slot,
+                slot: slot as u32,
                 incarnation: new_inc,
             },
         );
@@ -288,7 +306,7 @@ impl GnutellaSim {
         ctx.schedule(
             now + gap,
             Event::Burst {
-                slot,
+                slot: slot as u32,
                 incarnation: new_inc,
             },
         );
@@ -309,7 +327,13 @@ impl GnutellaSim {
             self.flood_query(slot, now, ctx);
         }
         let gap = self.workload.sample_burst_gap(&mut self.rng);
-        ctx.schedule(now + gap, Event::Burst { slot, incarnation });
+        ctx.schedule(
+            now + gap,
+            Event::Burst {
+                slot: slot as u32,
+                incarnation,
+            },
+        );
     }
 }
 
@@ -318,8 +342,12 @@ impl<T: TraceSink> Simulation<T> for GnutellaSim {
 
     fn handle(&mut self, now: SimTime, event: Event, ctx: &mut SimCtx<'_, Event, T>) {
         match event {
-            Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now, ctx),
-            Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now, ctx),
+            Event::Death { slot, incarnation } => {
+                self.on_death(slot as usize, incarnation, now, ctx);
+            }
+            Event::Burst { slot, incarnation } => {
+                self.on_burst(slot as usize, incarnation, now, ctx);
+            }
             Event::FloodHop { flood } => self.on_flood_hop(flood, now, ctx),
         }
     }

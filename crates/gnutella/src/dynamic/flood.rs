@@ -132,6 +132,7 @@ impl GnutellaSim {
             let GnutellaSim {
                 ref adj,
                 ref nodes,
+                ref libs,
                 ref qmodel,
                 ref mut floods,
                 ref mut probe_scratch,
@@ -175,7 +176,7 @@ impl GnutellaSim {
                         ));
                         if first {
                             hop_reached += 1;
-                            if qmodel.answers(&node.library, target) {
+                            if qmodel.answers_in(libs, node.library, target) {
                                 hop_results += 1;
                             }
                         }
@@ -192,7 +193,7 @@ impl GnutellaSim {
                     |v, first| {
                         if first {
                             hop_reached += 1;
-                            if qmodel.answers(&nodes[v as usize].library, target) {
+                            if qmodel.answers_in(libs, nodes[v as usize].library, target) {
                                 hop_results += 1;
                             }
                         }

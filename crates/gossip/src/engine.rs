@@ -21,7 +21,7 @@ use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport
 use simkit::stats::{CounterSet, Summary};
 use simkit::time::SimTime;
 use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink};
-use workload::content::{Catalog, PeerLibrary};
+use workload::content::{Catalog, LibraryArena, LibraryHandle};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryTarget, QueryWorkload};
@@ -37,16 +37,19 @@ mod scenario_ops;
 #[allow(missing_docs)]
 pub enum Event {
     /// A peer's bursty query-generation clock fires.
-    Burst { slot: usize, incarnation: u64 },
+    Burst { slot: u32, incarnation: u64 },
     /// A peer's sampled lifetime expires.
-    Death { slot: usize, incarnation: u64 },
+    Death { slot: u32, incarnation: u64 },
     /// One gossip round of a live rumor.
     Round { query: u64 },
 }
 
 struct Node {
     incarnation: u64,
-    library: PeerLibrary,
+    /// Handle into the engine's [`LibraryArena`]; freed and rebuilt at
+    /// every in-place rebirth, so churn recycles blocks instead of
+    /// leaking dead `Vec`s.
+    library: LibraryHandle,
 }
 
 /// "This slot never heard the rumor" sentinel in [`Rumor::infected`].
@@ -65,8 +68,10 @@ struct Rumor {
     /// Distinct slots ever infected (the dense counterpart of the old
     /// map's `len()`), including the originator.
     heard: usize,
-    /// Slots spreading in the upcoming round.
-    active: Vec<usize>,
+    /// Slots spreading in the upcoming round (u32: half the bytes of a
+    /// `usize` vector, which matters when thousands of rumors are in
+    /// flight over a million-slot population).
+    active: Vec<u32>,
     messages: u64,
     results: u32,
     /// Whether this query counts toward metrics (started after warm-up).
@@ -115,6 +120,8 @@ pub struct GossipSim {
     cfg: Config,
     rt: Runtime,
     nodes: Vec<Node>,
+    /// Every node's library items, shared contiguous storage.
+    libs: LibraryArena,
     qmodel: QueryModel,
     files: FileCountModel,
     churn: ChurnDriver<LifetimeModel>,
@@ -160,6 +167,7 @@ impl GossipSim {
             rt: Runtime::from_config(&cfg),
             cfg,
             nodes: Vec::new(),
+            libs: LibraryArena::new(),
             qmodel,
             files,
             churn: ChurnDriver::new(lifetimes),
@@ -180,9 +188,11 @@ impl GossipSim {
         Ok(sim)
     }
 
-    fn fresh_library(&mut self) -> PeerLibrary {
+    fn fresh_library(&mut self) -> LibraryHandle {
         let count = self.files.sample_file_count(&mut self.rng);
-        self.qmodel.catalog().build_library(count, &mut self.rng)
+        self.qmodel
+            .catalog()
+            .build_library_in(count, &mut self.rng, &mut self.libs)
     }
 
     /// Creates the initial population. Event scheduling happens in
@@ -212,10 +222,19 @@ impl GossipSim {
                 &mut self.rng,
                 SimTime::ZERO,
                 incarnation,
-                Event::Death { slot, incarnation },
+                Event::Death {
+                    slot: slot as u32,
+                    incarnation,
+                },
             );
             let gap = self.workload.sample_burst_gap(&mut self.rng);
-            ctx.schedule(SimTime::ZERO + gap, Event::Burst { slot, incarnation });
+            ctx.schedule(
+                SimTime::ZERO + gap,
+                Event::Burst {
+                    slot: slot as u32,
+                    incarnation,
+                },
+            );
         }
     }
 
@@ -237,6 +256,7 @@ impl GossipSim {
         // matches.
         self.nodes[slot].incarnation = self.next_incarnation;
         self.next_incarnation += 1;
+        self.libs.free(self.nodes[slot].library);
         self.nodes[slot].library = self.fresh_library();
         let new_inc = self.nodes[slot].incarnation;
         self.counters.incr("births");
@@ -246,7 +266,7 @@ impl GossipSim {
             now,
             new_inc,
             Event::Death {
-                slot,
+                slot: slot as u32,
                 incarnation: new_inc,
             },
         );
@@ -254,7 +274,7 @@ impl GossipSim {
         ctx.schedule(
             now + gap,
             Event::Burst {
-                slot,
+                slot: slot as u32,
                 incarnation: new_inc,
             },
         );
@@ -275,7 +295,13 @@ impl GossipSim {
             self.start_query(slot, now, ctx);
         }
         let gap = self.workload.sample_burst_gap(&mut self.rng);
-        ctx.schedule(now + gap, Event::Burst { slot, incarnation });
+        ctx.schedule(
+            now + gap,
+            Event::Burst {
+                slot: slot as u32,
+                incarnation,
+            },
+        );
     }
 
     /// Starts one rumor at `src` and schedules its first round. The
@@ -307,7 +333,7 @@ impl GossipSim {
             round: 0,
             infected,
             heard: 1,
-            active: vec![src],
+            active: vec![src as u32],
             messages: 0,
             results: 0,
             measured: ctx.after_warmup(now),
@@ -330,13 +356,14 @@ impl GossipSim {
             rumor.infected.resize(n, NEVER_HEARD);
         }
         let spreaders = std::mem::take(&mut rumor.active);
-        let mut next_active: Vec<usize> = Vec::new();
+        let mut next_active: Vec<u32> = Vec::new();
         // A fresh stamp token per round: `active_stamp[t] == token` means
         // t is already in `next_active` (O(1) dedup, insertion order
         // preserved by the Vec itself).
         self.active_token += 1;
         let token = self.active_token;
         for s in spreaders {
+            let s = s as usize;
             // A spreader that died (and was replaced) since it was
             // activated takes its rumor knowledge to the grave.
             let still_informed = rumor.infected[s] == self.nodes[s].incarnation;
@@ -394,7 +421,7 @@ impl GossipSim {
                         self.counters.incr("pulls");
                         if self.active_stamp[t] != token {
                             self.active_stamp[t] = token;
-                            next_active.push(t);
+                            next_active.push(t as u32);
                         }
                         if ctx.tracing() {
                             ctx.emit(
@@ -420,9 +447,12 @@ impl GossipSim {
                     rumor.infected[t] = t_inc;
                     if self.active_stamp[t] != token {
                         self.active_stamp[t] = token;
-                        next_active.push(t);
+                        next_active.push(t as u32);
                     }
-                    if self.qmodel.answers(&self.nodes[t].library, rumor.target) {
+                    if self
+                        .qmodel
+                        .answers_in(&self.libs, self.nodes[t].library, rumor.target)
+                    {
                         rumor.results += 1;
                     }
                     if ctx.tracing() {
@@ -496,8 +526,12 @@ impl<T: TraceSink> Simulation<T> for GossipSim {
 
     fn handle(&mut self, now: SimTime, event: Event, ctx: &mut SimCtx<'_, Event, T>) {
         match event {
-            Event::Death { slot, incarnation } => self.on_death(slot, incarnation, now, ctx),
-            Event::Burst { slot, incarnation } => self.on_burst(slot, incarnation, now, ctx),
+            Event::Death { slot, incarnation } => {
+                self.on_death(slot as usize, incarnation, now, ctx);
+            }
+            Event::Burst { slot, incarnation } => {
+                self.on_burst(slot as usize, incarnation, now, ctx);
+            }
             Event::Round { query } => self.on_round(query, now, ctx),
         }
     }

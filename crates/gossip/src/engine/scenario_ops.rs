@@ -40,10 +40,19 @@ impl GossipSim {
                 &mut self.rng,
                 now,
                 incarnation,
-                Event::Death { slot, incarnation },
+                Event::Death {
+                    slot: slot as u32,
+                    incarnation,
+                },
             );
             let gap = self.workload.sample_burst_gap(&mut self.rng);
-            ctx.schedule(now + gap, Event::Burst { slot, incarnation });
+            ctx.schedule(
+                now + gap,
+                Event::Burst {
+                    slot: slot as u32,
+                    incarnation,
+                },
+            );
         }
     }
 

@@ -12,15 +12,26 @@ use std::fmt;
 ///
 /// Addresses are allocated monotonically by [`AddrAllocator`] and never
 /// reused, so an address held in a stale cache entry always identifies the
-/// same (possibly long-dead) peer.
+/// same (possibly long-dead) peer. Addresses are 32-bit: a [`CacheEntry`]
+/// (`crate::entry::CacheEntry`) stays 24 bytes and peer tables stay dense
+/// even at 10^6 slots; u32 still leaves room for ~4.3 billion peer
+/// instances over a run's lifetime, far beyond any churn schedule the
+/// simulators can execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PeerAddr(u64);
+pub struct PeerAddr(u32);
 
 impl PeerAddr {
     /// The raw address value (useful as a dense index into peer tables).
     #[must_use]
     pub fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Raw constructor for crate-internal plumbing (arena filler slots).
+    /// Never hand one of these out as a real peer identity — only
+    /// [`AddrAllocator`] mints those.
+    pub(crate) const fn from_raw(raw: u32) -> Self {
+        PeerAddr(raw)
     }
 }
 
@@ -45,7 +56,7 @@ impl fmt::Display for PeerAddr {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct AddrAllocator {
-    next: u64,
+    next: u32,
 }
 
 impl AddrAllocator {
@@ -56,9 +67,17 @@ impl AddrAllocator {
     }
 
     /// Allocates the next address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the 32-bit address space is exhausted (would require
+    /// ~4.3 billion peer instances in one run).
     pub fn allocate(&mut self) -> PeerAddr {
         let addr = PeerAddr(self.next);
-        self.next += 1;
+        self.next = self
+            .next
+            .checked_add(1)
+            .expect("PeerAddr space exhausted (u32)");
         addr
     }
 

@@ -223,6 +223,15 @@ pub struct RunParams {
     /// Generate and execute queries. The connectivity experiments (§6.1,
     /// Figs 6–7) turn queries off to isolate ping-driven maintenance.
     pub simulate_queries: bool,
+    /// Population size above which the periodic cache-health and
+    /// connectivity snapshots switch from exhaustive sweeps to seeded
+    /// stride sampling. At or below the threshold the sweeps touch every
+    /// slot and draw nothing from the metrics RNG stream, so small-N
+    /// runs are byte-identical whether or not sampling is configured.
+    pub metrics_sample_threshold: usize,
+    /// Number of slots each sampled snapshot visits once the threshold
+    /// is exceeded (clamped to the population size).
+    pub metrics_sample_size: usize,
 }
 
 impl Default for RunParams {
@@ -234,6 +243,8 @@ impl Default for RunParams {
             cache_seed_size: 10,
             seed: 0x6a55,
             simulate_queries: true,
+            metrics_sample_threshold: 50_000,
+            metrics_sample_size: 10_000,
         }
     }
 }
@@ -284,6 +295,8 @@ pub enum ConfigError {
     BadAdaptiveParallelism,
     /// Payment parameters non-finite, negative, or initial > max.
     BadPaymentParams,
+    /// `metrics_sample_size` was zero.
+    ZeroMetricsSample,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -312,6 +325,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadPaymentParams => {
                 "payment parameters must be finite, non-negative, with initial <= max"
             }
+            ConfigError::ZeroMetricsSample => "metrics sample size must be positive",
         };
         f.write_str(s)
     }
@@ -358,6 +372,9 @@ impl Config {
         }
         if self.run.cache_seed_size >= self.system.network_size {
             return Err(ConfigError::SeedTooLarge);
+        }
+        if self.run.metrics_sample_size == 0 {
+            return Err(ConfigError::ZeroMetricsSample);
         }
         if !(0.0..1.0).contains(&self.system.selfish_fraction)
             || self.system.selfish_parallelism == 0
@@ -543,6 +560,15 @@ impl Config {
         self
     }
 
+    /// Sets when and how hard the measurement sweeps sample: exhaustive
+    /// at populations up to `threshold`, `size` sampled slots beyond it.
+    #[must_use]
+    pub fn with_metrics_sampling(mut self, threshold: usize, size: usize) -> Self {
+        self.run.metrics_sample_threshold = threshold;
+        self.run.metrics_sample_size = size;
+        self
+    }
+
     /// Validates the configuration and builds the simulator — the same
     /// construction surface the gnutella and gossip configs expose.
     ///
@@ -573,6 +599,7 @@ impl Config {
                 cache_seed_size: 3,
                 seed,
                 simulate_queries: true,
+                ..RunParams::default()
             },
             catalog: CatalogParams {
                 items: 4000,

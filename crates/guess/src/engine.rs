@@ -20,7 +20,7 @@ use simkit::rng::RngStream;
 use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport, Simulation};
 use simkit::time::SimTime;
 use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
-use workload::content::Catalog;
+use workload::content::{Catalog, LibraryArena, LibraryHandle};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
 use workload::query::{QueryModel, QueryWorkload};
@@ -31,7 +31,7 @@ use crate::capacity::Admission;
 use crate::config::{BadPongBehavior, Config, ConfigError};
 use crate::entry::CacheEntry;
 use crate::graph::UnionFind;
-use crate::link_cache::InsertOutcome;
+use crate::link_cache::{CacheArena, InsertOutcome};
 use crate::message::Pong;
 use crate::metrics::{MetricsCollector, QueryOutcome, RunReport};
 use crate::peer::{Behavior, PeerState};
@@ -114,6 +114,12 @@ pub struct GuessSim {
     rt: Runtime,
     peers: Vec<PeerState>,
     slots: Vec<PeerAddr>,
+    /// Every live peer's link-cache block; dead peers' blocks are freed
+    /// at death and recycled by their replacements, so the arena's
+    /// footprint tracks the *population*, not the churn history.
+    caches: CacheArena,
+    /// Every live peer's library items, same recycling discipline.
+    libs: LibraryArena,
     alloc: AddrAllocator,
     bad: BadRegistry,
     churn: ChurnDriver<LifetimeModel>,
@@ -124,6 +130,12 @@ pub struct GuessSim {
     rng_query: RngStream,
     rng_policy: RngStream,
     rng_intro: RngStream,
+    /// Drawn from only by the sampled measurement sweeps, and only once
+    /// the population exceeds `metrics_sample_threshold` — runs that
+    /// stay at or below the threshold never touch this stream, so their
+    /// other streams (and reports) are byte-identical with sampling
+    /// configured or not.
+    rng_metrics: RngStream,
     metrics: MetricsCollector,
     next_query: u64,
     /// Per-address "last query that considered this address" stamps —
@@ -154,12 +166,15 @@ impl GuessSim {
             .map_err(|_| ConfigError::BadQueryRate)?;
 
         let network_size = cfg.system.network_size;
+        let cache_size = cfg.protocol.cache_size;
         let rt = Runtime::from_config(&cfg);
         let mut sim = GuessSim {
             cfg,
             rt,
             peers: Vec::new(),
             slots: Vec::new(),
+            caches: CacheArena::with_peer_capacity(cache_size, network_size),
+            libs: LibraryArena::new(),
             alloc: AddrAllocator::new(),
             bad: BadRegistry::new(network_size),
             churn: ChurnDriver::new(lifetimes),
@@ -170,6 +185,7 @@ impl GuessSim {
             rng_query: RngStream::from_seed(seed, "query"),
             rng_policy: RngStream::from_seed(seed, "policy"),
             rng_intro: RngStream::from_seed(seed, "intro"),
+            rng_metrics: RngStream::from_seed(seed, "metrics"),
             metrics: MetricsCollector::new(),
             next_query: 0,
             // Pre-sized for the initial population; grows with churn.
@@ -223,11 +239,8 @@ impl GuessSim {
                 let advertised = self.peers[other.index()].advertised_files();
                 let entry = CacheEntry::new(other, SimTime::ZERO, advertised);
                 let policy = self.cfg.protocol.cache_replacement;
-                let _ = self.peers[me.index()].link_cache_mut().offer(
-                    entry,
-                    policy,
-                    &mut self.rng_policy,
-                );
+                let h = self.peers[me.index()].cache();
+                let _ = self.caches.offer(h, entry, policy, &mut self.rng_policy);
             }
         }
     }
@@ -252,14 +265,14 @@ impl GuessSim {
             (
                 Behavior::Malicious,
                 self.files.max_files(),
-                workload::content::PeerLibrary::empty(),
+                LibraryHandle::EMPTY,
             )
         } else {
             let count = self.files.sample_file_count(&mut self.rng_churn);
-            let library = self
-                .qmodel
-                .catalog()
-                .build_library(count, &mut self.rng_churn);
+            let library =
+                self.qmodel
+                    .catalog()
+                    .build_library_in(count, &mut self.rng_churn, &mut self.libs);
             (Behavior::Good, count, library)
         };
         let mut peer = PeerState::new(
@@ -269,7 +282,7 @@ impl GuessSim {
             now,
             advertised,
             library,
-            self.cfg.protocol.cache_size,
+            self.caches.alloc(),
             self.cfg.system.max_probes_per_second,
         );
         peer.set_ping_interval(self.rt.ping_interval);
@@ -356,11 +369,16 @@ impl GuessSim {
         }
         self.churn.died(ctx, now, addr.index() as u64);
         self.metrics.counters_mut().incr("deaths");
-        let load = {
+        let (load, cache_h, lib_h) = {
             let p = &mut self.peers[addr.index()];
             p.kill();
-            p.probes_received()
+            let (cache_h, lib_h) = p.release_storage();
+            (p.probes_received(), cache_h, lib_h)
         };
+        // The dead peer's arena blocks go straight back on the free
+        // lists; its replacement (or a later newborn) recycles them.
+        self.caches.free(cache_h);
+        self.libs.free(lib_h);
         self.metrics.record_load(load);
         self.bad.remove(slot, addr);
 
@@ -375,15 +393,13 @@ impl GuessSim {
         {
             let mut entries = std::mem::take(&mut self.entry_scratch);
             entries.clear();
-            entries.extend_from_slice(self.peers[friend.index()].link_cache().entries());
+            let fh = self.peers[friend.index()].cache();
+            entries.extend_from_slice(self.caches.entries(fh));
             let policy = self.cfg.protocol.cache_replacement;
+            let nh = self.peers[newborn.index()].cache();
             for &e in &entries {
                 if e.addr() != newborn {
-                    let outcome = self.peers[newborn.index()].link_cache_mut().offer(
-                        e,
-                        policy,
-                        &mut self.rng_policy,
-                    );
+                    let outcome = self.caches.offer(nh, e, policy, &mut self.rng_policy);
                     self.trace_eviction(ctx, now, newborn, outcome);
                 }
             }
@@ -463,10 +479,10 @@ impl GuessSim {
         ctx: &mut SimCtx<'_, Event, T>,
     ) -> Option<bool> {
         let picked = {
-            let cache = self.peers[pinger.index()].link_cache();
+            let h = self.peers[pinger.index()].cache();
             select_top_k(
                 self.cfg.protocol.ping_probe,
-                cache.entries(),
+                self.caches.entries(h),
                 1,
                 &mut self.rng_policy,
             )
@@ -486,7 +502,8 @@ impl GuessSim {
                     },
                 );
             }
-            self.peers[pinger.index()].link_cache_mut().remove(dst);
+            let h = self.peers[pinger.index()].cache();
+            self.caches.remove(h, dst);
             if self.cfg.protocol.distrust_pongs {
                 self.note_dead_entry(pinger, dst);
             }
@@ -505,12 +522,14 @@ impl GuessSim {
             );
         }
         // The neighbor answers: refresh our TS for it and absorb its pong.
-        self.peers[pinger.index()].link_cache_mut().touch(dst, now);
+        let h = self.peers[pinger.index()].cache();
+        self.caches.touch(h, dst, now);
         if self.cfg.protocol.distrust_pongs {
             self.peers[pinger.index()].reputation_mut().note_alive(dst);
         }
         self.apply_introduction(dst, pinger, now, ctx);
-        self.peers[dst.index()].link_cache_mut().touch(pinger, now);
+        let dh = self.peers[dst.index()].cache();
+        self.caches.touch(dh, pinger, now);
         let pong = self.build_pong(dst, self.cfg.protocol.ping_pong, now);
         self.absorb_pong(pinger, dst, &pong, now, ctx);
         self.metrics.counters_mut().incr("pings_answered");
@@ -548,7 +567,8 @@ impl GuessSim {
         if self.peers[owner.index()].reputation().blacklisted_count() > before {
             self.metrics.counters_mut().incr("sources_blacklisted");
             if let Some(source) = source {
-                self.peers[owner.index()].link_cache_mut().remove(source);
+                let h = self.peers[owner.index()].cache();
+                self.caches.remove(h, source);
             }
         }
     }
@@ -587,10 +607,8 @@ impl GuessSim {
         let advertised = self.peers[initiator.index()].advertised_files();
         let entry = CacheEntry::new(initiator, now, advertised);
         let policy = self.cfg.protocol.cache_replacement;
-        let outcome =
-            self.peers[dst.index()]
-                .link_cache_mut()
-                .offer(entry, policy, &mut self.rng_policy);
+        let h = self.peers[dst.index()].cache();
+        let outcome = self.caches.offer(h, entry, policy, &mut self.rng_policy);
         self.trace_eviction(ctx, now, dst, outcome);
         self.metrics.counters_mut().incr("introductions");
     }
@@ -606,10 +624,10 @@ impl GuessSim {
             return self.build_poison_pong(responder, now);
         }
         let entries = {
-            let cache = self.peers[responder.index()].link_cache();
+            let h = self.peers[responder.index()].cache();
             select_top_k(
                 policy,
-                cache.entries(),
+                self.caches.entries(h),
                 self.cfg.protocol.pong_size,
                 &mut self.rng_policy,
             )
@@ -724,11 +742,8 @@ impl GuessSim {
                     .reputation_mut()
                     .note_shared(source, entry.addr());
             }
-            let outcome = self.peers[receiver.index()].link_cache_mut().offer(
-                entry,
-                policy,
-                &mut self.rng_policy,
-            );
+            let h = self.peers[receiver.index()].cache();
+            let outcome = self.caches.offer(h, entry, policy, &mut self.rng_policy);
             self.trace_eviction(ctx, now, receiver, outcome);
         }
     }
@@ -918,6 +933,56 @@ mod tests {
         assert!(
             lcc > cfg.system.network_size as f64 * 0.8,
             "well-maintained overlay should be mostly connected, got {lcc}"
+        );
+    }
+
+    #[test]
+    fn sampled_metrics_at_stride_one_match_exhaustive_exactly() {
+        // Threshold 0 with sample size = N forces the sampled code path
+        // (stride 1, phase 0) over every slot — the reports must be
+        // byte-identical to the default exhaustive sweep.
+        let exhaustive = GuessSim::new(tiny(41)).unwrap().run();
+        let n = tiny(41).system.network_size;
+        let sampled = GuessSim::new(tiny(41).with_metrics_sampling(0, n))
+            .unwrap()
+            .run();
+        assert_eq!(exhaustive.queries, sampled.queries);
+        assert_eq!(exhaustive.loads, sampled.loads);
+        assert_eq!(exhaustive.live_fraction, sampled.live_fraction);
+        assert_eq!(exhaustive.live_absolute, sampled.live_absolute);
+        assert_eq!(exhaustive.good_entries, sampled.good_entries);
+        assert_eq!(exhaustive.largest_component, sampled.largest_component);
+    }
+
+    #[test]
+    fn sampled_metrics_approximate_the_exhaustive_sweep() {
+        // Stride-2 sampling estimates the same quantities from half the
+        // slots. The non-metrics streams are untouched, so the query
+        // metrics stay identical; the sampled estimates must land close.
+        let mut cfg = tiny(42);
+        cfg.protocol.ping_interval = SimDuration::from_secs(5.0);
+        let exhaustive = GuessSim::new(cfg.clone()).unwrap().run();
+        let n = cfg.system.network_size;
+        let sampled = GuessSim::new(cfg.with_metrics_sampling(0, n / 2))
+            .unwrap()
+            .run();
+        assert_eq!(exhaustive.queries, sampled.queries);
+        assert_eq!(exhaustive.loads, sampled.loads);
+        let (e_lcc, s_lcc) = (
+            exhaustive.largest_component.unwrap(),
+            sampled.largest_component.unwrap(),
+        );
+        assert!(
+            (s_lcc - e_lcc).abs() / e_lcc < 0.25,
+            "sampled LCC {s_lcc} vs exhaustive {e_lcc}"
+        );
+        let (e_live, s_live) = (
+            exhaustive.live_fraction.unwrap(),
+            sampled.live_fraction.unwrap(),
+        );
+        assert!(
+            (s_live - e_live).abs() < 0.1,
+            "sampled live fraction {s_live} vs exhaustive {e_live}"
         );
     }
 

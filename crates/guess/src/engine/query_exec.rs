@@ -68,7 +68,8 @@ impl GuessSim {
         self.query_first_visit(prober, stamp);
         let mut seed_entries = std::mem::take(&mut self.entry_scratch);
         seed_entries.clear();
-        seed_entries.extend_from_slice(self.peers[prober.index()].link_cache().entries());
+        let prober_cache = self.peers[prober.index()].cache();
+        seed_entries.extend_from_slice(self.caches.entries(prober_cache));
         for &e in &seed_entries {
             if self.query_first_visit(e.addr(), stamp) {
                 pool.push(e, &mut self.rng_policy);
@@ -119,7 +120,7 @@ impl GuessSim {
                         },
                     );
                 }
-                self.peers[prober.index()].link_cache_mut().remove(dst);
+                self.caches.remove(prober_cache, dst);
                 if distrust {
                     self.note_dead_entry(prober, dst);
                 }
@@ -147,7 +148,7 @@ impl GuessSim {
                 if !self.cfg.protocol.do_backoff {
                     // A dropped probe times out; the prober assumes
                     // death and evicts — the inherent throttle.
-                    self.peers[prober.index()].link_cache_mut().remove(dst);
+                    self.caches.remove(prober_cache, dst);
                 }
                 continue;
             }
@@ -173,7 +174,9 @@ impl GuessSim {
                 }
             }
             let res = if dst_behavior == Behavior::Good
-                && self.qmodel.answers(self.peers[dst.index()].library(), want)
+                && self
+                    .libs
+                    .contains(self.peers[dst.index()].library(), want.item)
             {
                 1u32
             } else {
@@ -200,14 +203,12 @@ impl GuessSim {
             // Both sides record the interaction (§2.1): the prober resets
             // NumRes for the target; the target refreshes TS for the
             // prober if cached, and may add the prober (introduction).
-            if !self.peers[prober.index()]
-                .link_cache_mut()
-                .record_results(dst, now, res)
-            {
+            if !self.caches.record_results(prober_cache, dst, now, res) {
                 // Probed from the query cache: the entry is not in the
                 // link cache; nothing to update.
             }
-            self.peers[dst.index()].link_cache_mut().touch(prober, now);
+            let dst_cache = self.peers[dst.index()].cache();
+            self.caches.touch(dst_cache, prober, now);
             self.apply_introduction(dst, prober, now, ctx);
 
             // The reply's pong feeds both the query cache (the probe pool)
@@ -241,11 +242,9 @@ impl GuessSim {
                     pool.push(entry, &mut self.rng_policy);
                 }
                 let policy = self.cfg.protocol.cache_replacement;
-                let outcome = self.peers[prober.index()].link_cache_mut().offer(
-                    entry,
-                    policy,
-                    &mut self.rng_policy,
-                );
+                let outcome = self
+                    .caches
+                    .offer(prober_cache, entry, policy, &mut self.rng_policy);
                 self.trace_eviction(ctx, now, prober, outcome);
             }
         }

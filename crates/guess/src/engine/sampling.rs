@@ -1,25 +1,56 @@
 //! Periodic measurement snapshots, driven by the kernel's sample tick
 //! (see [`simkit::sim::KernelParams::with_sampling`]).
+//!
+//! Both sweeps are exhaustive up to `metrics_sample_threshold` slots and
+//! switch to seeded stride sampling beyond it: visit every `stride`-th
+//! slot starting from a random phase, where `stride = n / sample_size`.
+//! A strided sample is uniform over slots (each slot is visited with
+//! probability `1/stride`), costs one RNG draw per sweep, and — unlike a
+//! reservoir — keeps the visit order identical to the exhaustive sweep,
+//! so at `stride == 1` the sampled path reproduces the exhaustive
+//! numbers bit for bit. Runs at or below the threshold never draw from
+//! the metrics stream at all, which keeps small-N reports byte-identical
+//! whether or not sampling is configured.
 
 use super::*;
 
 impl GuessSim {
+    /// The `(phase, stride)` plan for one sweep, or `None` for an
+    /// exhaustive sweep. Draws the phase from the metrics stream only
+    /// when sampling engages.
+    fn metrics_stride(&mut self) -> Option<(usize, usize)> {
+        let n = self.slots.len();
+        if n <= self.cfg.run.metrics_sample_threshold {
+            return None;
+        }
+        let size = self.cfg.run.metrics_sample_size.min(n);
+        let stride = (n / size).max(1);
+        let phase = self.rng_metrics.below(stride);
+        Some((phase, stride))
+    }
+
     pub(super) fn sample_cache_health(&mut self) {
+        let (phase, stride) = self.metrics_stride().unwrap_or((0, 1));
         let mut frac_sum = 0.0;
         let mut frac_n = 0usize;
         let mut live_sum = 0.0;
         let mut good_sum = 0.0;
         let mut peers_n = 0usize;
-        for &addr in &self.slots {
+        let n = self.slots.len();
+        let mut i = phase;
+        while i < n {
+            let addr = self.slots[i];
+            i += stride;
             let p = &self.peers[addr.index()];
             if !p.is_good() {
                 continue;
             }
             peers_n += 1;
-            let total = p.link_cache().len();
+            let h = p.cache();
+            let total = self.caches.len(h);
             let mut live = 0usize;
             let mut good_entries = 0usize;
-            for e in p.link_cache().iter() {
+            for e in self.caches.entries(h) {
                 let t = &self.peers[e.addr().index()];
                 if t.is_alive() {
                     live += 1;
@@ -35,6 +66,9 @@ impl GuessSim {
             live_sum += live as f64;
             good_sum += good_entries as f64;
         }
+        // Per-peer means are unbiased under uniform slot sampling — no
+        // rescaling needed, the denominators already count only visited
+        // peers.
         if peers_n > 0 {
             let frac = if frac_n > 0 {
                 frac_sum / frac_n as f64
@@ -51,22 +85,50 @@ impl GuessSim {
 
     pub(super) fn sample_connectivity(&mut self) {
         let n = self.slots.len();
+        let plan = self.metrics_stride();
         let mut uf = UnionFind::new(n);
-        for (i, &addr) in self.slots.iter().enumerate() {
-            let p = &self.peers[addr.index()];
+        let (phase, stride) = plan.unwrap_or((0, 1));
+        let mut i = phase;
+        while i < n {
+            let slot = i;
+            i += stride;
+            let p = &self.peers[self.slots[slot].index()];
             if !p.is_alive() {
                 continue;
             }
-            for e in p.link_cache().iter() {
+            for e in self.caches.entries(p.cache()) {
                 // A live peer is by definition the current occupant of
                 // its slot, so its SlotId is its dense index — no
                 // addr→index map needed.
                 let t = &self.peers[e.addr().index()];
                 if t.is_alive() {
-                    uf.union(i, t.slot().index());
+                    uf.union(slot, t.slot().index());
                 }
             }
         }
-        self.metrics.record_lcc(uf.largest_component());
+        match plan {
+            None => self.metrics.record_lcc(uf.largest_component()),
+            Some((phase, stride)) => {
+                // Only sampled slots contributed edges, so unsampled
+                // slots are artificial singletons and the raw largest
+                // component undercounts. Estimate instead: component
+                // mass *restricted to sampled slots*, scaled to the
+                // population. At stride 1 every slot is sampled and the
+                // estimate collapses to the exhaustive value exactly.
+                let mut mass = vec![0u32; n];
+                let mut visited = 0usize;
+                let mut largest = 0u32;
+                let mut i = phase;
+                while i < n {
+                    let root = uf.find(i);
+                    mass[root] += 1;
+                    largest = largest.max(mass[root]);
+                    visited += 1;
+                    i += stride;
+                }
+                let scaled = f64::from(largest) * n as f64 / visited as f64;
+                self.metrics.record_lcc(scaled.round() as usize);
+            }
+        }
     }
 }

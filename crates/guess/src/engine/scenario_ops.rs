@@ -37,15 +37,13 @@ impl GuessSim {
             {
                 let mut entries = std::mem::take(&mut self.entry_scratch);
                 entries.clear();
-                entries.extend_from_slice(self.peers[friend.index()].link_cache().entries());
+                let fh = self.peers[friend.index()].cache();
+                entries.extend_from_slice(self.caches.entries(fh));
                 let policy = self.cfg.protocol.cache_replacement;
+                let nh = self.peers[newborn.index()].cache();
                 for &e in &entries {
                     if e.addr() != newborn {
-                        let outcome = self.peers[newborn.index()].link_cache_mut().offer(
-                            e,
-                            policy,
-                            &mut self.rng_policy,
-                        );
+                        let outcome = self.caches.offer(nh, e, policy, &mut self.rng_policy);
                         self.trace_eviction(ctx, now, newborn, outcome);
                     }
                 }

@@ -214,6 +214,264 @@ impl LinkCache {
     }
 }
 
+/// Handle to one peer's cache block in a [`CacheArena`].
+///
+/// 4 bytes of peer state instead of an owned [`LinkCache`] (a `Vec`
+/// header, a hash index, and their heap blocks). [`CacheHandle::NULL`]
+/// marks peers that never cache anything (fabricated dead stubs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheHandle(u32);
+
+impl CacheHandle {
+    /// The null handle: no backing block; reads yield an empty cache.
+    pub const NULL: CacheHandle = CacheHandle(u32::MAX);
+
+    /// Returns true for the null handle.
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self.0 == u32::MAX
+    }
+}
+
+/// Arena of fixed-stride link caches, one block per live peer.
+///
+/// Every cache in a run shares the same capacity (`CacheSize` is not a
+/// scenario-flippable parameter), so blocks are uniform `stride`-entry
+/// windows into one contiguous `Vec<CacheEntry>`: allocation is a
+/// free-list pop, death returns the block for the replacement peer, and
+/// a million caches cost exactly `10^6 * stride * 24` bytes with no
+/// per-peer heap blocks or hash indexes.
+///
+/// Semantics are identical to [`LinkCache`] — same entry ordering
+/// (append / swap-remove), same RNG consumption, same [`InsertOutcome`]s
+/// — the only difference is that address lookups linearly scan the block
+/// instead of consulting a hash index. The scan consumes no randomness,
+/// so a run using the arena is bit-for-bit the run using per-peer
+/// [`LinkCache`]s (property-tested below).
+#[derive(Debug, Clone)]
+pub struct CacheArena {
+    stride: usize,
+    entries: Vec<CacheEntry>,
+    lens: Vec<u32>,
+    free: Vec<u32>,
+}
+
+impl CacheArena {
+    /// Creates an arena whose caches all have capacity `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero (same contract as [`LinkCache::new`]).
+    #[must_use]
+    pub fn new(stride: usize) -> Self {
+        assert!(stride > 0, "link cache capacity must be positive");
+        CacheArena {
+            stride,
+            entries: Vec::new(),
+            lens: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Creates an arena pre-sized for `peers` concurrent caches.
+    #[must_use]
+    pub fn with_peer_capacity(stride: usize, peers: usize) -> Self {
+        let mut a = Self::new(stride);
+        a.entries.reserve(peers * stride);
+        a.lens.reserve(peers);
+        a
+    }
+
+    /// The per-cache capacity (`CacheSize`).
+    #[must_use]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Allocates an empty cache block, recycling a freed one if possible.
+    pub fn alloc(&mut self) -> CacheHandle {
+        if let Some(h) = self.free.pop() {
+            self.lens[h as usize] = 0;
+            return CacheHandle(h);
+        }
+        let h = u32::try_from(self.lens.len()).expect("cache arena handle space exhausted");
+        assert!(h != u32::MAX, "cache arena handle space exhausted");
+        self.lens.push(0);
+        let filler = CacheEntry::new(PeerAddr::from_raw(u32::MAX), SimTime::ZERO, 0);
+        self.entries
+            .resize(self.entries.len() + self.stride, filler);
+        CacheHandle(h)
+    }
+
+    /// Returns a dead peer's block to the free list. The handle must not
+    /// be used afterwards; freeing [`CacheHandle::NULL`] is a no-op.
+    pub fn free(&mut self, h: CacheHandle) {
+        if h.is_null() {
+            return;
+        }
+        self.lens[h.0 as usize] = 0;
+        self.free.push(h.0);
+    }
+
+    /// Blocks ever allocated (live + freed).
+    #[must_use]
+    pub fn blocks(&self) -> usize {
+        self.lens.len()
+    }
+
+    fn base(&self, h: CacheHandle) -> usize {
+        h.0 as usize * self.stride
+    }
+
+    fn block(&self, h: CacheHandle) -> &[CacheEntry] {
+        let base = self.base(h);
+        &self.entries[base..base + self.lens[h.0 as usize] as usize]
+    }
+
+    /// Current number of entries in cache `h` (≤ stride).
+    #[must_use]
+    pub fn len(&self, h: CacheHandle) -> usize {
+        if h.is_null() {
+            return 0;
+        }
+        self.lens[h.0 as usize] as usize
+    }
+
+    /// Returns true if cache `h` holds no entries.
+    #[must_use]
+    pub fn is_empty(&self, h: CacheHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Returns true if cache `h` is at capacity.
+    #[must_use]
+    pub fn is_full(&self, h: CacheHandle) -> bool {
+        self.len(h) >= self.stride
+    }
+
+    /// The entries of cache `h`, in the same order a [`LinkCache`] would
+    /// hold them.
+    #[must_use]
+    pub fn entries(&self, h: CacheHandle) -> &[CacheEntry] {
+        if h.is_null() {
+            return &[];
+        }
+        self.block(h)
+    }
+
+    fn position(&self, h: CacheHandle, addr: PeerAddr) -> Option<usize> {
+        self.block(h).iter().position(|e| e.addr() == addr)
+    }
+
+    /// Membership test by address.
+    #[must_use]
+    pub fn contains(&self, h: CacheHandle, addr: PeerAddr) -> bool {
+        !h.is_null() && self.position(h, addr).is_some()
+    }
+
+    /// Borrows the entry for `addr` in cache `h`, if cached.
+    #[must_use]
+    pub fn get(&self, h: CacheHandle, addr: PeerAddr) -> Option<&CacheEntry> {
+        if h.is_null() {
+            return None;
+        }
+        let base = self.base(h);
+        self.position(h, addr).map(move |i| &self.entries[base + i])
+    }
+
+    /// Refreshes the `TS` of the entry for `addr`, if cached. Returns
+    /// true if an entry was touched.
+    pub fn touch(&mut self, h: CacheHandle, addr: PeerAddr, now: SimTime) -> bool {
+        let Some(i) = self.position(h, addr) else {
+            return false;
+        };
+        let base = self.base(h);
+        self.entries[base + i].touch(now);
+        true
+    }
+
+    /// Records a query-probe outcome against the entry for `addr`
+    /// (refresh `TS`, overwrite `NumRes`). Returns true if updated.
+    pub fn record_results(
+        &mut self,
+        h: CacheHandle,
+        addr: PeerAddr,
+        now: SimTime,
+        results: u32,
+    ) -> bool {
+        let Some(i) = self.position(h, addr) else {
+            return false;
+        };
+        let base = self.base(h);
+        self.entries[base + i].record_results(now, results);
+        true
+    }
+
+    /// Removes the entry for `addr` (a dead or refused neighbor) from
+    /// cache `h`. Returns the removed entry, if any. Same swap-remove
+    /// reordering as [`LinkCache::remove`].
+    pub fn remove(&mut self, h: CacheHandle, addr: PeerAddr) -> Option<CacheEntry> {
+        let i = self.position(h, addr)?;
+        let base = self.base(h);
+        let len = self.lens[h.0 as usize] as usize;
+        let removed = self.entries[base + i];
+        self.entries[base + i] = self.entries[base + len - 1];
+        self.lens[h.0 as usize] -= 1;
+        Some(removed)
+    }
+
+    /// Offers a new entry to cache `h` under the replacement policy.
+    /// Mirrors [`LinkCache::offer`] exactly, including RNG draw order.
+    pub fn offer(
+        &mut self,
+        h: CacheHandle,
+        entry: CacheEntry,
+        policy: ReplacementPolicy,
+        rng: &mut RngStream,
+    ) -> InsertOutcome {
+        debug_assert!(!h.is_null(), "offer to a stub cache");
+        let base = self.base(h);
+        let len = self.lens[h.0 as usize] as usize;
+        if self.entries[base..base + len]
+            .iter()
+            .any(|e| e.addr() == entry.addr())
+        {
+            return InsertOutcome::AlreadyPresent;
+        }
+        if len < self.stride {
+            self.entries[base + len] = entry;
+            self.lens[h.0 as usize] += 1;
+            return InsertOutcome::Inserted;
+        }
+        if policy == ReplacementPolicy::Random {
+            let r = rng.below(len + 1);
+            if r == len {
+                return InsertOutcome::Rejected;
+            }
+            let victim_addr = self.entries[base + r].addr();
+            // swap_remove(r) followed by push(entry), fused: the last
+            // entry drops into slot r and the newcomer takes the tail.
+            self.entries[base + r] = self.entries[base + len - 1];
+            self.entries[base + len - 1] = entry;
+            return InsertOutcome::Replaced(victim_addr);
+        }
+        let new_key = retention_key(policy, &entry, rng);
+        let weakest = self.entries[base..base + len]
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (retention_key(policy, e, rng), i))
+            .min()
+            .expect("cache is full, therefore non-empty");
+        if new_key <= weakest.0 {
+            return InsertOutcome::Rejected;
+        }
+        let victim_addr = self.entries[base + weakest.1].addr();
+        self.entries[base + weakest.1] = self.entries[base + len - 1];
+        self.entries[base + len - 1] = entry;
+        InsertOutcome::Replaced(victim_addr)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +604,131 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _ = LinkCache::new(0);
+    }
+
+    /// Drives a [`LinkCache`] and a [`CacheArena`] block through the same
+    /// randomized op sequence with lock-stepped RNG streams and asserts
+    /// bit-identical behavior: same outcomes, same entry order, same RNG
+    /// consumption. This is the goldens-safety argument for swapping the
+    /// engine onto the arena.
+    #[test]
+    fn arena_block_is_bit_identical_to_link_cache() {
+        for (seed, policy) in [
+            (1u64, ReplacementPolicy::Random),
+            (2, ReplacementPolicy::Lfs),
+            (3, ReplacementPolicy::Lru),
+            (4, ReplacementPolicy::Lr),
+        ] {
+            let mut alloc = AddrAllocator::new();
+            let mut drv = RngStream::from_seed(seed, "arena-driver");
+            let mut r_cache = RngStream::from_seed(seed, "arena-ops");
+            let mut r_arena = RngStream::from_seed(seed, "arena-ops");
+            let mut cache = LinkCache::new(6);
+            let mut arena = CacheArena::new(6);
+            let h = arena.alloc();
+            let mut known: Vec<PeerAddr> = Vec::new();
+            for step in 0..2000 {
+                let now = SimTime::from_secs(step as f64);
+                let op = if known.is_empty() { 0 } else { drv.below(10) };
+                match op {
+                    // Offer (most common): fresh or already-seen address.
+                    0..=5 => {
+                        let addr = if !known.is_empty() && drv.chance(0.3) {
+                            known[drv.below(known.len())]
+                        } else {
+                            let a = alloc.allocate();
+                            known.push(a);
+                            a
+                        };
+                        let e = CacheEntry::from_pong(
+                            addr,
+                            now,
+                            drv.below(1000) as u32,
+                            drv.below(5) as u32,
+                        );
+                        let a = cache.offer(e, policy, &mut r_cache);
+                        let b = arena.offer(h, e, policy, &mut r_arena);
+                        assert_eq!(a, b, "offer diverged at step {step}");
+                    }
+                    6 => {
+                        let addr = known[drv.below(known.len())];
+                        assert_eq!(cache.remove(addr), arena.remove(h, addr));
+                    }
+                    7 => {
+                        let addr = known[drv.below(known.len())];
+                        assert_eq!(cache.touch(addr, now), arena.touch(h, addr, now));
+                    }
+                    8 => {
+                        let addr = known[drv.below(known.len())];
+                        assert_eq!(
+                            cache.record_results(addr, now, 1),
+                            arena.record_results(h, addr, now, 1)
+                        );
+                    }
+                    _ => {
+                        let addr = known[drv.below(known.len())];
+                        assert_eq!(cache.contains(addr), arena.contains(h, addr));
+                        assert_eq!(cache.get(addr), arena.get(h, addr));
+                    }
+                }
+                assert_eq!(cache.entries(), arena.entries(h), "order diverged");
+                assert_eq!(cache.len(), arena.len(h));
+                assert_eq!(cache.is_full(), arena.is_full(h));
+            }
+            assert_eq!(
+                r_cache.next_u64(),
+                r_arena.next_u64(),
+                "RNG streams stayed in lockstep"
+            );
+        }
+    }
+
+    #[test]
+    fn arena_recycles_freed_blocks() {
+        let mut alloc = AddrAllocator::new();
+        let mut r = rng();
+        let mut arena = CacheArena::new(3);
+        let a = arena.alloc();
+        let b = arena.alloc();
+        assert_eq!(arena.blocks(), 2);
+        arena.offer(
+            a,
+            entry(&mut alloc, 1, 0.0),
+            ReplacementPolicy::Random,
+            &mut r,
+        );
+        arena.offer(
+            b,
+            entry(&mut alloc, 2, 0.0),
+            ReplacementPolicy::Random,
+            &mut r,
+        );
+        arena.free(a);
+        let c = arena.alloc();
+        assert_eq!(c, a, "freed block is recycled");
+        assert_eq!(arena.blocks(), 2, "no growth on recycle");
+        assert!(arena.is_empty(c), "recycled block starts empty");
+        assert_eq!(arena.len(b), 1, "other blocks untouched");
+    }
+
+    #[test]
+    fn null_handle_reads_as_empty() {
+        let arena = CacheArena::new(4);
+        let h = CacheHandle::NULL;
+        assert!(h.is_null());
+        assert_eq!(arena.len(h), 0);
+        assert!(arena.is_empty(h));
+        assert!(!arena.is_full(h));
+        assert_eq!(arena.entries(h), &[]);
+        let mut arena = arena;
+        arena.free(h); // no-op
+        assert_eq!(arena.blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_stride_arena_rejected() {
+        let _ = CacheArena::new(0);
     }
 
     #[test]

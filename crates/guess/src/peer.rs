@@ -1,11 +1,19 @@
 //! Per-peer simulation state.
+//!
+//! Bulk storage — the library item ids and the link-cache entries — does
+//! not live here: `PeerState` holds arena *handles*
+//! ([`workload::content::LibraryHandle`], [`crate::link_cache::CacheHandle`])
+//! into engine-owned arenas. A dead peer's record stays in the peer table
+//! forever (so stale cache entries still resolve), but its arena blocks
+//! are released at death and recycled by the replacement peer, which is
+//! what keeps long churny runs at a flat bytes-per-peer cost.
 
 use simkit::time::{SimDuration, SimTime};
-use workload::content::PeerLibrary;
+use workload::content::LibraryHandle;
 
 use crate::addr::{PeerAddr, SlotId};
 use crate::capacity::CapacityMeter;
-use crate::link_cache::LinkCache;
+use crate::link_cache::CacheHandle;
 use crate::payments::ProbeAccount;
 use crate::reputation::{ReputationParams, ReputationTracker};
 
@@ -36,8 +44,8 @@ pub struct PeerState {
     /// Advertised shared-file count. Honest peers advertise the truth;
     /// malicious peers inflate it to game metadata-trusting policies.
     advertised_files: u32,
-    library: PeerLibrary,
-    link_cache: LinkCache,
+    library: LibraryHandle,
+    cache: CacheHandle,
     capacity: CapacityMeter,
     probes_received: u64,
     selfish: bool,
@@ -47,7 +55,7 @@ pub struct PeerState {
 }
 
 impl PeerState {
-    /// Creates a live peer.
+    /// Creates a live peer owning the given arena blocks.
     #[must_use]
     #[allow(clippy::too_many_arguments)]
     pub fn new(
@@ -56,8 +64,8 @@ impl PeerState {
         behavior: Behavior,
         born: SimTime,
         advertised_files: u32,
-        library: PeerLibrary,
-        cache_capacity: usize,
+        library: LibraryHandle,
+        cache: CacheHandle,
         probe_limit: Option<u32>,
     ) -> Self {
         PeerState {
@@ -68,7 +76,7 @@ impl PeerState {
             born,
             advertised_files,
             library,
-            link_cache: LinkCache::new(cache_capacity),
+            cache,
             capacity: CapacityMeter::with_limit(probe_limit),
             probes_received: 0,
             selfish: false,
@@ -79,7 +87,9 @@ impl PeerState {
     }
 
     /// Creates a dead placeholder for a fabricated address (the dead IPs
-    /// malicious peers hand out in poisoned pongs).
+    /// malicious peers hand out in poisoned pongs). Stubs own no arena
+    /// blocks: the library handle is empty and the cache handle is null —
+    /// nothing ever probes *through* a stub.
     #[must_use]
     pub fn dead_stub(addr: PeerAddr, born: SimTime) -> Self {
         PeerState {
@@ -89,8 +99,8 @@ impl PeerState {
             alive: false,
             born,
             advertised_files: 0,
-            library: PeerLibrary::empty(),
-            link_cache: LinkCache::new(1),
+            library: LibraryHandle::EMPTY,
+            cache: CacheHandle::NULL,
             capacity: CapacityMeter::with_limit(None),
             probes_received: 0,
             selfish: false,
@@ -142,21 +152,16 @@ impl PeerState {
         self.advertised_files
     }
 
-    /// The peer's actual content library.
+    /// Handle to the peer's content library in the engine's library arena.
     #[must_use]
-    pub fn library(&self) -> &PeerLibrary {
-        &self.library
+    pub fn library(&self) -> LibraryHandle {
+        self.library
     }
 
-    /// The peer's link cache.
+    /// Handle to the peer's link cache in the engine's cache arena.
     #[must_use]
-    pub fn link_cache(&self) -> &LinkCache {
-        &self.link_cache
-    }
-
-    /// Mutable access to the link cache.
-    pub fn link_cache_mut(&mut self) -> &mut LinkCache {
-        &mut self.link_cache
+    pub fn cache(&self) -> CacheHandle {
+        self.cache
     }
 
     /// Mutable access to the capacity meter.
@@ -180,6 +185,16 @@ impl PeerState {
     /// notification is sent; others discover the death via failed probes.
     pub fn kill(&mut self) {
         self.alive = false;
+    }
+
+    /// Surrenders the peer's arena blocks at death: returns the handles
+    /// (for the engine to free) and leaves the record holding inert
+    /// null/empty handles so any later read sees an empty cache/library.
+    pub fn release_storage(&mut self) -> (CacheHandle, LibraryHandle) {
+        let released = (self.cache, self.library);
+        self.cache = CacheHandle::NULL;
+        self.library = LibraryHandle::EMPTY;
+        released
     }
 
     /// Whether this (honest) peer games the system with huge probe
@@ -233,8 +248,9 @@ impl PeerState {
 mod tests {
     use super::*;
     use crate::addr::AddrAllocator;
+    use crate::link_cache::CacheArena;
 
-    fn peer() -> PeerState {
+    fn peer_in(arena: &mut CacheArena) -> PeerState {
         let mut alloc = AddrAllocator::new();
         PeerState::new(
             alloc.allocate(),
@@ -242,20 +258,26 @@ mod tests {
             Behavior::Good,
             SimTime::ZERO,
             42,
-            PeerLibrary::empty(),
-            10,
+            LibraryHandle::EMPTY,
+            arena.alloc(),
             Some(100),
         )
     }
 
+    fn peer() -> PeerState {
+        peer_in(&mut CacheArena::new(10))
+    }
+
     #[test]
     fn newborn_is_alive_and_good() {
-        let p = peer();
+        let mut arena = CacheArena::new(10);
+        let p = peer_in(&mut arena);
         assert!(p.is_alive());
         assert!(p.is_good());
         assert_eq!(p.advertised_files(), 42);
         assert_eq!(p.probes_received(), 0);
-        assert_eq!(p.link_cache().capacity(), 10);
+        assert!(!p.cache().is_null());
+        assert_eq!(arena.len(p.cache()), 0);
     }
 
     #[test]
@@ -267,6 +289,21 @@ mod tests {
     }
 
     #[test]
+    fn release_storage_leaves_inert_handles() {
+        let mut arena = CacheArena::new(10);
+        let mut p = peer_in(&mut arena);
+        let original = p.cache();
+        p.kill();
+        let (cache, library) = p.release_storage();
+        assert_eq!(cache, original);
+        assert!(library.is_empty());
+        arena.free(cache);
+        assert!(p.cache().is_null(), "record keeps only the null handle");
+        assert!(p.library().is_empty());
+        assert_eq!(arena.alloc(), original, "block is recycled");
+    }
+
+    #[test]
     fn dead_stub_is_dead_from_birth() {
         let mut alloc = AddrAllocator::new();
         let s = PeerState::dead_stub(alloc.allocate(), SimTime::from_secs(5.0));
@@ -274,6 +311,7 @@ mod tests {
         assert!(!s.is_good());
         assert_eq!(s.born(), SimTime::from_secs(5.0));
         assert!(s.library().is_empty());
+        assert!(s.cache().is_null());
     }
 
     #[test]
@@ -318,8 +356,8 @@ mod tests {
             Behavior::Malicious,
             SimTime::ZERO,
             5000,
-            PeerLibrary::empty(),
-            10,
+            LibraryHandle::EMPTY,
+            CacheHandle::NULL,
             None,
         );
         assert!(p.is_alive());

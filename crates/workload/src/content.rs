@@ -9,6 +9,7 @@
 //! contains the queried item.
 
 use simkit::dist::{DiscreteDist, Zipf};
+use simkit::hash::FxHashMap;
 use simkit::rng::RngStream;
 
 /// Identifier of a catalog item. Lower ids are more popular.
@@ -130,6 +131,138 @@ impl Catalog {
     #[must_use]
     pub fn sample_query_item(&self, rng: &mut RngStream) -> ItemId {
         ItemId(self.query_pop.sample_index(rng) as u32)
+    }
+
+    /// Arena-backed variant of [`Catalog::build_library`]: same draws, same
+    /// RNG consumption, but the item ids land in `arena`'s shared backing
+    /// store instead of a fresh per-peer `Vec`. Returns a handle that the
+    /// caller must eventually [`LibraryArena::free`].
+    pub fn build_library_in(
+        &self,
+        num_files: u32,
+        rng: &mut RngStream,
+        arena: &mut LibraryArena,
+    ) -> LibraryHandle {
+        let mut ids = std::mem::take(&mut arena.scratch);
+        ids.clear();
+        ids.extend((0..num_files).map(|_| self.replication.sample_index(rng) as u32));
+        ids.sort_unstable();
+        ids.dedup();
+        let handle = arena.insert_sorted(&ids);
+        arena.scratch = ids;
+        handle
+    }
+}
+
+/// Handle to one peer's library inside a [`LibraryArena`].
+///
+/// A handle is `(offset, len)` into the arena's shared item vector — 8
+/// bytes of peer state instead of a 24-byte `Vec` header plus its own
+/// heap block. [`LibraryHandle::EMPTY`] denotes the empty library (free
+/// riders, fabricated stubs) and is always safe to read or free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LibraryHandle {
+    offset: u32,
+    len: u32,
+}
+
+impl LibraryHandle {
+    /// The empty library: zero items, no arena storage.
+    pub const EMPTY: LibraryHandle = LibraryHandle { offset: 0, len: 0 };
+
+    /// Number of distinct items held.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.len as usize
+    }
+
+    /// Returns true if the library holds nothing.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Contiguous storage for every live peer's library.
+///
+/// Libraries are immutable after construction (a peer's collection is
+/// fixed for its lifetime), so the arena only needs block allocation and
+/// recycling: freed blocks are kept on per-length free lists and reused
+/// for the next newborn with the same (post-dedup) item count. Because
+/// library sizes repeat heavily under the Saroiu file-count model, reuse
+/// keeps the backing vector's growth bounded through churn.
+#[derive(Debug, Clone, Default)]
+pub struct LibraryArena {
+    items: Vec<u32>,
+    /// Freed blocks, keyed by exact length.
+    free: FxHashMap<u32, Vec<u32>>,
+    /// Reusable draw buffer for [`Catalog::build_library_in`].
+    scratch: Vec<u32>,
+    /// Items currently reachable through live handles.
+    live: usize,
+}
+
+impl LibraryArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a sorted, deduplicated id slice; returns its handle.
+    fn insert_sorted(&mut self, ids: &[u32]) -> LibraryHandle {
+        debug_assert!(ids.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+        if ids.is_empty() {
+            return LibraryHandle::EMPTY;
+        }
+        let len = u32::try_from(ids.len()).expect("library exceeds u32 item count");
+        let offset = match self.free.get_mut(&len).and_then(Vec::pop) {
+            Some(off) => {
+                self.items[off as usize..off as usize + ids.len()].copy_from_slice(ids);
+                off
+            }
+            None => {
+                let off = u32::try_from(self.items.len()).expect("library arena exceeds u32 items");
+                self.items.extend_from_slice(ids);
+                off
+            }
+        };
+        self.live += ids.len();
+        LibraryHandle { offset, len }
+    }
+
+    /// The items of library `h`, in ascending id order.
+    #[must_use]
+    pub fn items(&self, h: LibraryHandle) -> &[u32] {
+        &self.items[h.offset as usize..h.offset as usize + h.len as usize]
+    }
+
+    /// Membership test for library `h`.
+    #[must_use]
+    pub fn contains(&self, h: LibraryHandle, item: ItemId) -> bool {
+        self.items(h).binary_search(&item.0).is_ok()
+    }
+
+    /// Returns library `h`'s block to the free list. The handle must not
+    /// be used afterwards; freeing [`LibraryHandle::EMPTY`] is a no-op.
+    pub fn free(&mut self, h: LibraryHandle) {
+        if h.len == 0 {
+            return;
+        }
+        self.live -= h.len as usize;
+        self.free.entry(h.len).or_default().push(h.offset);
+    }
+
+    /// Total items ever allocated (backing-vector length).
+    #[must_use]
+    pub fn allocated_items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Items currently reachable through live handles.
+    #[must_use]
+    pub fn live_items(&self) -> usize {
+        self.live
     }
 }
 
@@ -258,5 +391,65 @@ mod tests {
         let c = catalog();
         let mut rng = RngStream::from_seed(4, "c");
         assert!(c.build_library(0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn arena_library_matches_owned_library() {
+        // Same seed, same draws: the arena-backed builder must produce the
+        // exact item set (and consume the exact RNG stream) of the owned
+        // builder — this is what keeps goldens byte-identical.
+        let c = catalog();
+        let mut arena = LibraryArena::new();
+        let mut r1 = RngStream::from_seed(9, "c");
+        let mut r2 = RngStream::from_seed(9, "c");
+        for files in [0u32, 1, 7, 120, 300] {
+            let owned = c.build_library(files, &mut r1);
+            let h = c.build_library_in(files, &mut r2, &mut arena);
+            let owned_items: Vec<u32> = owned.iter().map(|i| i.0).collect();
+            assert_eq!(arena.items(h), owned_items.as_slice());
+            assert_eq!(h.len(), owned.len());
+            for item in owned.iter() {
+                assert!(arena.contains(h, item));
+            }
+        }
+        assert_eq!(r1.next_u64(), r2.next_u64(), "streams stayed in lockstep");
+    }
+
+    #[test]
+    fn arena_recycles_freed_blocks() {
+        let c = catalog();
+        let mut arena = LibraryArena::new();
+        let mut rng = RngStream::from_seed(5, "c");
+        let a = c.build_library_in(80, &mut rng, &mut arena);
+        let len_a = a.len();
+        let grown = arena.allocated_items();
+        assert_eq!(arena.live_items(), len_a);
+        arena.free(a);
+        assert_eq!(arena.live_items(), 0);
+        // A same-size successor must reuse the freed block, not grow.
+        let mut probe = None;
+        for _ in 0..200 {
+            let h = c.build_library_in(80, &mut rng, &mut arena);
+            if h.len() == len_a {
+                probe = Some(h);
+                break;
+            }
+            arena.free(h);
+        }
+        let h = probe.expect("a same-size library shows up within 200 draws");
+        assert_eq!(arena.allocated_items(), grown, "block was recycled");
+        assert_eq!(arena.live_items(), h.len());
+        assert!(arena.items(h).windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_handle_is_inert() {
+        let mut arena = LibraryArena::new();
+        let h = LibraryHandle::EMPTY;
+        assert!(h.is_empty());
+        assert_eq!(arena.items(h), &[] as &[u32]);
+        assert!(!arena.contains(h, ItemId(0)));
+        arena.free(h); // no-op
+        assert_eq!(arena.allocated_items(), 0);
     }
 }

@@ -9,7 +9,7 @@ use simkit::dist::{ContinuousDist, Exponential};
 use simkit::rng::RngStream;
 use simkit::time::SimDuration;
 
-use crate::content::{Catalog, ItemId, PeerLibrary};
+use crate::content::{Catalog, ItemId, LibraryArena, LibraryHandle, PeerLibrary};
 
 /// The paper's default per-user query rate, in queries per second.
 pub const DEFAULT_QUERY_RATE: f64 = 9.26e-3;
@@ -70,6 +70,18 @@ impl QueryModel {
     #[must_use]
     pub fn answers(&self, lib: &PeerLibrary, target: QueryTarget) -> bool {
         lib.contains(target.item)
+    }
+
+    /// Arena-handle variant of [`QueryModel::answers`] for engines that
+    /// keep peer libraries in a [`LibraryArena`].
+    #[must_use]
+    pub fn answers_in(
+        &self,
+        arena: &LibraryArena,
+        lib: LibraryHandle,
+        target: QueryTarget,
+    ) -> bool {
+        arena.contains(lib, target.item)
     }
 }
 

@@ -60,6 +60,17 @@ for name, got in fresh.items():
     if got > 2.0 * want:
         bad.append(f"{name}: {got:.4f}s vs committed {want:.4f}s (>2x)")
 assert not bad, "bench medians regressed:\n" + "\n".join(bad)
+
+# Memory accounting: every fresh row must carry a positive
+# bytes_per_peer figure from the counting allocator.
+doc = json.load(open(sys.argv[1]))
+table = next(b for b in doc["blocks"] if b.get("type") == "table")
+cols = table["columns"]
+assert "bytes_per_peer" in cols, f"bytes_per_peer column missing: {cols}"
+b = cols.index("bytes_per_peer")
+for row in table["rows"]:
+    assert int(row[b]) > 0, f"non-positive bytes_per_peer in row {row}"
+print(f"bench gate: bytes_per_peer present on {len(table['rows'])} row(s)")
 EOF
 
 # Per-engine gate through the --only filter: the gnutella wavefront path
@@ -94,6 +105,21 @@ for name in table3 fig9; do
     done
     python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/$name.json"
 done
+
+# Shard-determinism gate: splitting a grid across --shard invocations
+# and taking the union of the output files must be byte-identical to
+# the unsharded run (seed-addressed determinism makes merging trivial).
+rm -rf "$out/shard-all" "$out/shard-0" "$out/shard-1" "$out/shard-merged"
+cargo run --release -p guess-bench --bin repro -- \
+    table3 fig9 forwarding3 --quick --jobs 2 --json --out "$out/shard-all"
+cargo run --release -p guess-bench --bin repro -- \
+    table3 fig9 forwarding3 --quick --jobs 2 --json --shard 0/2 --out "$out/shard-0"
+cargo run --release -p guess-bench --bin repro -- \
+    table3 fig9 forwarding3 --quick --jobs 2 --json --shard 1/2 --out "$out/shard-1"
+mkdir -p "$out/shard-merged"
+cp "$out/shard-0"/* "$out/shard-1"/* "$out/shard-merged/"
+diff -r "$out/shard-all" "$out/shard-merged"
+echo "shard gate: 0/2 + 1/2 merge is byte-identical to the unsharded grid"
 
 # Traced runs: the binary itself reconciles each trace against the run
 # report (exits non-zero on mismatch); then check every line is JSON.
