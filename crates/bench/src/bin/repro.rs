@@ -3,9 +3,9 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]
-//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]
-//! repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]
+//! repro all [--quick] [--jobs N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
+//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
+//! repro scenario <name>|all [--quick] [--jobs N] [--metrics-threshold N] [--out <dir>] [--json]
 //! repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
@@ -124,6 +124,13 @@ fn main() {
         },
         None => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
     };
+    let metrics_threshold = match parse_metrics_threshold(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let shard: Option<(usize, usize)> = match args.iter().position(|a| a == "--shard") {
         Some(i) => match args.get(i + 1).map(|v| parse_shard(v)) {
             Some(Some(spec)) => Some(spec),
@@ -148,7 +155,13 @@ fn main() {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" || a == "--trace" || a == "--engine" || a == "--shard" {
+        if a == "--out"
+            || a == "--jobs"
+            || a == "--trace"
+            || a == "--engine"
+            || a == "--shard"
+            || a == "--metrics-threshold"
+        {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -203,7 +216,7 @@ fn main() {
         }
     }
 
-    let ctx = Ctx::new(scale, jobs);
+    let ctx = Ctx::new(scale, jobs).with_metrics_threshold(metrics_threshold);
     let overall = Instant::now();
     if ctx.jobs() == 1 {
         // Serial: run and print each experiment in turn, as the original
@@ -396,6 +409,13 @@ fn run_scenarios(args: &[String], scale: Scale) {
             std::process::exit(1);
         }
     }
+    let metrics_threshold = match parse_metrics_threshold(args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let mut names: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in args {
@@ -403,7 +423,7 @@ fn run_scenarios(args: &[String], scale: Scale) {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" {
+        if a == "--out" || a == "--jobs" || a == "--metrics-threshold" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -429,7 +449,7 @@ fn run_scenarios(args: &[String], scale: Scale) {
         }
         picked
     };
-    let ctx = Ctx::new(scale, jobs);
+    let ctx = Ctx::new(scale, jobs).with_metrics_threshold(metrics_threshold);
     let overall = Instant::now();
     for s in &selected {
         let started = Instant::now();
@@ -691,6 +711,20 @@ fn run_traced_gossip(path: &Path, scale: Scale) {
     }
 }
 
+/// Parses `--metrics-threshold N` if present. The value overrides
+/// `metrics_sample_threshold` in the configs of experiments that honor
+/// it (see [`Ctx::metrics_threshold`]): populations above `N` sample
+/// their periodic metric sweeps instead of walking every slot.
+fn parse_metrics_threshold(args: &[String]) -> Result<Option<usize>, String> {
+    match args.iter().position(|a| a == "--metrics-threshold") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) => Ok(Some(n)),
+            _ => Err("--metrics-threshold needs a non-negative integer".to_string()),
+        },
+        None => Ok(None),
+    }
+}
+
 /// Parses a `--shard` spec of the form `i/m` with `0 <= i < m`.
 fn parse_shard(spec: &str) -> Option<(usize, usize)> {
     let (i, m) = spec.split_once('/')?;
@@ -711,6 +745,8 @@ fn print_usage() {
          reports are byte-identical at any N\n\
          --shard i/m  run every m-th selected experiment starting at i;\n          \
          per-shard outputs merge byte-identically to the unsharded run\n\
+         --metrics-threshold N  populations above N stride-sample their\n          \
+         periodic metric sweeps instead of walking every slot\n\
          --out DIR also write each report to DIR/<name>.txt\n\
          --json    with --out, also write structured DIR/<name>.json\n\
          --trace F run one traced simulation, write JSONL to F,\n          \

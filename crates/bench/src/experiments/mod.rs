@@ -17,6 +17,7 @@ pub mod fig6_7_connectivity;
 pub mod fig8_tradeoff;
 pub mod fig9_12_policies;
 pub mod gossip_tradeoff;
+pub mod maintenance;
 pub mod response_time;
 pub mod table3_live_entries;
 
@@ -195,6 +196,12 @@ pub fn all() -> Vec<Experiment> {
                 "EXTENSION §3.2/§3.3: three-way amplification/maintenance — GUESS vs Gnutella vs gossip",
             run: extensions::run_forwarding3,
         },
+        Experiment {
+            name: "maintenance",
+            description:
+                "EXTENSION (CUP): pull vs push vs hybrid cache maintenance — staleness x bandwidth",
+            run: maintenance::run,
+        },
     ]
 }
 
@@ -241,6 +248,7 @@ mod tests {
             "forwarding",
             "gossip",
             "forwarding3",
+            "maintenance",
         ] {
             assert!(names.contains(&expected), "missing experiment {expected}");
         }

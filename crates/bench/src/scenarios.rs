@@ -86,6 +86,12 @@ pub fn all() -> Vec<ScenarioExperiment> {
             description: "gossip fanout flips 3 -> 1 -> 3 mid-run",
             run: run_param_flip,
         },
+        ScenarioExperiment {
+            name: "push-storm",
+            engine: "guess",
+            description: "mass death under push maintenance fires an invalidation storm",
+            run: run_push_storm,
+        },
     ]
 }
 
@@ -390,6 +396,52 @@ fn run_param_flip(ctx: &Ctx) -> Report {
              flips re-validate through the config's own rules before taking effect.\n\n"
         ))
         .table(gossip_table(&base, &scen))
+}
+
+fn run_push_storm(ctx: &Ctx) -> Report {
+    use guess::MaintenanceMode;
+
+    let scale = ctx.scale();
+    let n = network_for(scale);
+    let t = at(scale, 0.3);
+    let scenario = Scenario::new().at(t).mass_leave(n / 2);
+    let mut cfg = base_config(scale, 0x5c07)
+        .with_network_size(n)
+        .with_maintenance_mode(MaintenanceMode::Push);
+    // Strained churn keeps the interest registry full of entries worth
+    // invalidating when the wave hits.
+    cfg.system.lifespan_multiplier = 0.2;
+    if let Some(threshold) = ctx.metrics_threshold() {
+        let size = cfg.run.metrics_sample_size;
+        cfg = cfg.with_metrics_sampling(threshold, size);
+    }
+    let (base, scen) = run_guess_pair(ctx, cfg, &scenario);
+    let mut table = guess_table(&base, &scen);
+    table.row(vec![
+        Cell::text("push invalidations"),
+        Cell::uint(base.counters.get("push_invalidations")),
+        Cell::uint(scen.counters.get("push_invalidations")),
+    ]);
+    table.row(vec![
+        Cell::text("push refreshes"),
+        Cell::uint(base.counters.get("push_refreshes")),
+        Cell::uint(scen.counters.get("push_refreshes")),
+    ]);
+    table.row(vec![
+        Cell::text("push refused"),
+        Cell::uint(base.counters.get("push_refused")),
+        Cell::uint(scen.counters.get("push_refused")),
+    ]);
+    Report::new()
+        .text(format!(
+            "Scenario push-storm (guess, N={n}, strained churn, push maintenance):\n\
+             {} peers die at once at t={t:.0}s. Every death drains its interest list\n\
+             into an invalidation tree, so the wave lands as a burst of pushed\n\
+             invalidations contending with query probes for capacity — watch the\n\
+             pushed-invalidation and refused counts against the baseline.\n\n",
+            n / 2
+        ))
+        .table(table)
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! Simulation configuration: the paper's system parameters (Table 1),
 //! protocol parameters (Table 2), and run controls.
 
+use simkit::scenario::MaintenanceMode;
 use simkit::time::SimDuration;
 use workload::content::CatalogParams;
 
@@ -120,6 +121,52 @@ impl Default for AdaptiveParallelism {
     }
 }
 
+/// Parameters of the push-maintenance plane (the CUP-style extension:
+/// subjects push invalidations/refreshes to registered interest holders
+/// instead of waiting to be polled stale). Active only when
+/// [`ProtocolParams::maintenance_mode`] is not [`MaintenanceMode::Pull`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PushParams {
+    /// Direct deliveries a subject (or relay) makes per dissemination
+    /// step; remaining interest holders are split among those
+    /// recipients as relay lists (bounded fan-out tree). Refresh flushes
+    /// are additionally *capped* at this many deliveries (no relaying)
+    /// and rotate through the registry round-robin, so the steady-state
+    /// refresh bandwidth per subject is `fanout` messages per flush.
+    pub fanout: usize,
+    /// Relay hops an update may take below the subject before the
+    /// residue is dropped.
+    pub ttl: u32,
+    /// Window over which refresh pushes to the same interest set
+    /// coalesce into one dissemination.
+    pub coalesce_window: SimDuration,
+    /// Most interest registrations a subject retains (oldest evicted
+    /// first); bounds per-peer push state like `cache_size` bounds the
+    /// link cache.
+    pub interest_cap: usize,
+    /// Factor by which [`MaintenanceMode::Push`] stretches the ping
+    /// interval — pushes replace most polling, so pulls slow down.
+    /// `Hybrid` keeps full-rate pings and only adds invalidations.
+    pub ping_stretch: f64,
+}
+
+impl Default for PushParams {
+    fn default() -> Self {
+        // Tuned at full scale (N=1000, lifespan multipliers 1.0/0.2/0.05):
+        // narrow trees + a mild ping stretch beat the aggressive
+        // fanout-4/stretch-8 variants on coherence lag per message,
+        // because pings remain the only channel that *removes* dead
+        // entries and stretching them 8x starves it.
+        PushParams {
+            fanout: 2,
+            ttl: 3,
+            coalesce_window: SimDuration::from_secs(300.0),
+            interest_cap: 16,
+            ping_stretch: 2.0,
+        }
+    }
+}
+
 /// Protocol parameters — how GUESS itself is configured (paper Table 2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolParams {
@@ -166,6 +213,11 @@ pub struct ProtocolParams {
     /// Probe payments (§3.3's incentive against selfish volleys, modeled
     /// after PPay \[23\]); `None` disables the economy.
     pub probe_payments: Option<crate::payments::PaymentParams>,
+    /// How link caches are kept fresh: classic pull (the paper's
+    /// protocol, the default), CUP-style push, or both.
+    pub maintenance_mode: MaintenanceMode,
+    /// Tuning of the push plane; inert under [`MaintenanceMode::Pull`].
+    pub push: PushParams,
 }
 
 impl Default for ProtocolParams {
@@ -189,6 +241,8 @@ impl Default for ProtocolParams {
             adaptive_parallelism: None,
             distrust_pongs: false,
             probe_payments: None,
+            maintenance_mode: MaintenanceMode::Pull,
+            push: PushParams::default(),
         }
     }
 }
@@ -297,6 +351,9 @@ pub enum ConfigError {
     BadPaymentParams,
     /// `metrics_sample_size` was zero.
     ZeroMetricsSample,
+    /// Push-plane parameters inconsistent: zero fan-out/TTL/interest
+    /// cap, or a ping stretch below 1.
+    BadPushParams,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -326,6 +383,9 @@ impl std::fmt::Display for ConfigError {
                 "payment parameters must be finite, non-negative, with initial <= max"
             }
             ConfigError::ZeroMetricsSample => "metrics sample size must be positive",
+            ConfigError::BadPushParams => {
+                "push maintenance needs positive fan-out, ttl and interest cap, ping stretch >= 1"
+            }
         };
         f.write_str(s)
     }
@@ -391,6 +451,15 @@ impl Config {
             if ak.escalate_after == 0 || ak.max_k == 0 {
                 return Err(ConfigError::BadAdaptiveParallelism);
             }
+        }
+        let push = &self.protocol.push;
+        if push.fanout == 0
+            || push.ttl == 0
+            || push.interest_cap == 0
+            || !push.ping_stretch.is_finite()
+            || push.ping_stretch < 1.0
+        {
+            return Err(ConfigError::BadPushParams);
         }
         if let Some(pp) = self.protocol.probe_payments {
             let vals = [
@@ -560,6 +629,20 @@ impl Config {
         self
     }
 
+    /// Sets the cache maintenance mode (pull, push, or hybrid).
+    #[must_use]
+    pub fn with_maintenance_mode(mut self, mode: MaintenanceMode) -> Self {
+        self.protocol.maintenance_mode = mode;
+        self
+    }
+
+    /// Replaces the push-plane tuning parameters.
+    #[must_use]
+    pub fn with_push_params(mut self, push: PushParams) -> Self {
+        self.protocol.push = push;
+        self
+    }
+
     /// Sets when and how hard the measurement sweeps sample: exhaustive
     /// at populations up to `threshold`, `size` sampled slots beyond it.
     #[must_use]
@@ -722,6 +805,22 @@ mod tests {
             ..AdaptiveParallelism::default()
         });
         assert_eq!(c.validate(), Err(ConfigError::BadAdaptiveParallelism));
+
+        let mut c = Config::default();
+        c.protocol.push.fanout = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadPushParams));
+
+        let mut c = Config::default();
+        c.protocol.push.ttl = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadPushParams));
+
+        let mut c = Config::default();
+        c.protocol.push.interest_cap = 0;
+        assert_eq!(c.validate(), Err(ConfigError::BadPushParams));
+
+        let mut c = Config::default();
+        c.protocol.push.ping_stretch = 0.5;
+        assert_eq!(c.validate(), Err(ConfigError::BadPushParams));
     }
 
     #[test]
@@ -731,6 +830,7 @@ mod tests {
         assert!(c.protocol.adaptive_ping.is_none());
         assert!(c.protocol.adaptive_parallelism.is_none());
         assert!(!c.protocol.distrust_pongs);
+        assert_eq!(c.protocol.maintenance_mode, MaintenanceMode::Pull);
         let mut with_ext = c;
         with_ext.protocol.adaptive_ping = Some(AdaptivePing::default());
         with_ext.protocol.adaptive_parallelism = Some(AdaptiveParallelism::default());
@@ -759,7 +859,12 @@ mod tests {
             .with_queries(false)
             .with_bad_peers(0.1, BadPongBehavior::Bad)
             .with_selfish(0.2, 4)
-            .with_distrust_pongs(true);
+            .with_distrust_pongs(true)
+            .with_maintenance_mode(MaintenanceMode::Hybrid)
+            .with_push_params(PushParams {
+                fanout: 6,
+                ..PushParams::default()
+            });
         assert_eq!(c.run.seed, 0xbeef);
         assert_eq!(c.system.network_size, 500);
         assert_eq!(c.protocol.cache_size, 30);
@@ -776,6 +881,8 @@ mod tests {
         assert!((c.system.selfish_fraction - 0.2).abs() < 1e-12);
         assert_eq!(c.system.selfish_parallelism, 4);
         assert!(c.protocol.distrust_pongs);
+        assert_eq!(c.protocol.maintenance_mode, MaintenanceMode::Hybrid);
+        assert_eq!(c.protocol.push.fanout, 6);
         assert!(c.validate().is_ok());
     }
 

@@ -17,6 +17,7 @@
 //!   query.
 
 use simkit::rng::RngStream;
+use simkit::scenario::MaintenanceMode;
 use simkit::sim::{ChurnDriver, Kernel, KernelParams, Runnable, SimCtx, SimReport, Simulation};
 use simkit::time::SimTime;
 use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
@@ -35,7 +36,8 @@ use crate::link_cache::{CacheArena, InsertOutcome};
 use crate::message::Pong;
 use crate::metrics::{MetricsCollector, QueryOutcome, RunReport};
 use crate::peer::{Behavior, PeerState};
-use crate::policy::{select_top_k, ProbeQueue};
+use crate::policy::{select_top_k, ProbeQueue, SelectionPolicy};
+use crate::push::{Interest, PushJob, PushPlane, UpdateKind};
 
 mod query_exec;
 mod sampling;
@@ -69,6 +71,9 @@ struct Runtime {
     /// Active network partition: peers in different `slot % groups`
     /// classes cannot reach each other. `None` means fully connected.
     partition: Option<u32>,
+    /// How link caches are kept fresh: pull-only (the paper's protocol),
+    /// push invalidations + refreshes, or the hybrid of both.
+    maintenance: MaintenanceMode,
 }
 
 impl Runtime {
@@ -79,6 +84,7 @@ impl Runtime {
             ping_interval: cfg.protocol.ping_interval,
             parallel_probes: cfg.protocol.parallel_probes,
             partition: None,
+            maintenance: cfg.protocol.maintenance_mode,
         }
     }
 }
@@ -89,9 +95,28 @@ impl Runtime {
 #[derive(Debug, Clone, Copy)]
 #[allow(missing_docs)]
 pub enum Event {
-    Burst { slot: SlotId, addr: PeerAddr },
-    Ping { slot: SlotId, addr: PeerAddr },
-    Death { slot: SlotId, addr: PeerAddr },
+    Burst {
+        slot: SlotId,
+        addr: PeerAddr,
+    },
+    Ping {
+        slot: SlotId,
+        addr: PeerAddr,
+    },
+    Death {
+        slot: SlotId,
+        addr: PeerAddr,
+    },
+    /// One relay hop of an in-flight push dissemination tree; `id` names
+    /// a parked [`PushJob`] in the plane's slab.
+    PushStep {
+        id: u32,
+    },
+    /// Coalesced refresh flush for the subject occupying `slot`.
+    PushFlush {
+        slot: SlotId,
+        addr: PeerAddr,
+    },
 }
 
 /// A complete GUESS network simulation.
@@ -122,6 +147,9 @@ pub struct GuessSim {
     libs: LibraryArena,
     alloc: AddrAllocator,
     bad: BadRegistry,
+    /// Push-maintenance state: who watches whom, plus in-flight update
+    /// trees. Completely inert in `MaintenanceMode::Pull`.
+    push: PushPlane,
     churn: ChurnDriver<LifetimeModel>,
     files: FileCountModel,
     qmodel: QueryModel,
@@ -167,6 +195,7 @@ impl GuessSim {
 
         let network_size = cfg.system.network_size;
         let cache_size = cfg.protocol.cache_size;
+        let interest_cap = cfg.protocol.push.interest_cap;
         let rt = Runtime::from_config(&cfg);
         let mut sim = GuessSim {
             cfg,
@@ -177,6 +206,7 @@ impl GuessSim {
             libs: LibraryArena::new(),
             alloc: AddrAllocator::new(),
             bad: BadRegistry::new(network_size),
+            push: PushPlane::new(interest_cap, network_size),
             churn: ChurnDriver::new(lifetimes),
             files,
             qmodel,
@@ -240,7 +270,10 @@ impl GuessSim {
                 let entry = CacheEntry::new(other, SimTime::ZERO, advertised);
                 let policy = self.cfg.protocol.cache_replacement;
                 let h = self.peers[me.index()].cache();
-                let _ = self.caches.offer(h, entry, policy, &mut self.rng_policy);
+                let outcome = self.caches.offer(h, entry, policy, &mut self.rng_policy);
+                if !matches!(outcome, InsertOutcome::Rejected) {
+                    self.push_register(me, other);
+                }
             }
         }
     }
@@ -321,10 +354,11 @@ impl GuessSim {
         );
         // Stagger the first ping uniformly within one interval so the
         // network's pings do not arrive in lockstep.
+        let base = self.effective_ping_interval(self.rt.ping_interval);
         let ping_phase = if initial {
-            self.rt.ping_interval * self.rng_churn.f64()
+            base * self.rng_churn.f64()
         } else {
-            self.rt.ping_interval
+            base
         };
         ctx.schedule(now + ping_phase, Event::Ping { slot, addr });
         if self.cfg.run.simulate_queries && self.peers[addr.index()].behavior() == Behavior::Good {
@@ -371,7 +405,7 @@ impl GuessSim {
         self.metrics.counters_mut().incr("deaths");
         let (load, cache_h, lib_h) = {
             let p = &mut self.peers[addr.index()];
-            p.kill();
+            p.kill(now);
             let (cache_h, lib_h) = p.release_storage();
             (p.probes_received(), cache_h, lib_h)
         };
@@ -401,11 +435,30 @@ impl GuessSim {
                 if e.addr() != newborn {
                     let outcome = self.caches.offer(nh, e, policy, &mut self.rng_policy);
                     self.trace_eviction(ctx, now, newborn, outcome);
+                    if !matches!(outcome, InsertOutcome::Rejected) {
+                        self.push_register(newborn, e.addr());
+                    }
                 }
             }
             self.entry_scratch = entries;
         }
         self.schedule_peer_events(slot, newborn, now, false, ctx);
+
+        // The departed instance pushes its own obituary: every registered
+        // watcher gets an invalidation. Draining the list unconditionally
+        // keeps the registry clean for the slot's next occupant (a no-op
+        // take of an empty list in pull mode).
+        let watchers = self.push.take_interest(slot);
+        if self.rt.maintenance != MaintenanceMode::Pull && !watchers.is_empty() {
+            self.disseminate(
+                UpdateKind::Invalidate,
+                addr,
+                watchers,
+                self.cfg.protocol.push.ttl,
+                now,
+                ctx,
+            );
+        }
     }
 
     /// Emits a [`TraceRecord::CacheEvict`] when a cache offer displaced
@@ -465,8 +518,11 @@ impl GuessSim {
         } else {
             let outcome = self.good_ping(addr, now, ctx);
             self.adapt_ping_interval(addr, outcome);
+            // In push mode the ping doubles as the subject's re-publication
+            // cycle: watchers get a (coalesced) refresh of our entry.
+            self.maybe_request_refresh(slot, addr, now, ctx);
         }
-        let interval = self.peers[addr.index()].ping_interval();
+        let interval = self.effective_ping_interval(self.peers[addr.index()].ping_interval());
         ctx.schedule(now + interval, Event::Ping { slot, addr });
     }
 
@@ -478,10 +534,19 @@ impl GuessSim {
         now: SimTime,
         ctx: &mut SimCtx<'_, Event, T>,
     ) -> Option<bool> {
+        // Under push maintenance the refresh plane keeps re-dating live
+        // entries' TS, so the stretched (rarer) pings audit stalest-first:
+        // they converge on dead entries — the one job pushes can't do —
+        // instead of re-touching what refreshes already keep fresh.
+        let probe_policy = if self.rt.maintenance == MaintenanceMode::Push {
+            SelectionPolicy::Lru
+        } else {
+            self.cfg.protocol.ping_probe
+        };
         let picked = {
             let h = self.peers[pinger.index()].cache();
             select_top_k(
-                self.cfg.protocol.ping_probe,
+                probe_policy,
                 self.caches.entries(h),
                 1,
                 &mut self.rng_policy,
@@ -610,6 +675,9 @@ impl GuessSim {
         let h = self.peers[dst.index()].cache();
         let outcome = self.caches.offer(h, entry, policy, &mut self.rng_policy);
         self.trace_eviction(ctx, now, dst, outcome);
+        if !matches!(outcome, InsertOutcome::Rejected) {
+            self.push_register(dst, initiator);
+        }
         self.metrics.counters_mut().incr("introductions");
     }
 
@@ -745,7 +813,242 @@ impl GuessSim {
             let h = self.peers[receiver.index()].cache();
             let outcome = self.caches.offer(h, entry, policy, &mut self.rng_policy);
             self.trace_eviction(ctx, now, receiver, outcome);
+            if !matches!(outcome, InsertOutcome::Rejected) {
+                self.push_register(receiver, entry.addr());
+            }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Push maintenance (see crate::push and DESIGN.md)
+    // ------------------------------------------------------------------
+
+    /// The ping interval actually scheduled. Push mode relaxes pull
+    /// maintenance by `ping_stretch`: refreshes ride the rarer ping
+    /// cycle, so the polling bandwidth drops with it. Pull and hybrid
+    /// runs pass the base interval through untouched.
+    fn effective_ping_interval(
+        &self,
+        base: simkit::time::SimDuration,
+    ) -> simkit::time::SimDuration {
+        if self.rt.maintenance == MaintenanceMode::Push {
+            base * self.cfg.protocol.push.ping_stretch
+        } else {
+            base
+        }
+    }
+
+    /// Records `watcher`'s interest in `subject` after an entry about
+    /// `subject` landed in `watcher`'s cache — via a pong, an
+    /// introduction, or newborn cache seeding. Registration piggybacks
+    /// on the exchange that carried the entry (no extra message); it is
+    /// skipped when the subject cannot serve pushes — dead, malicious,
+    /// or unreachable.
+    fn push_register(&mut self, watcher: PeerAddr, subject: PeerAddr) {
+        if self.rt.maintenance == MaintenanceMode::Pull {
+            return;
+        }
+        let s = &self.peers[subject.index()];
+        if !s.is_alive() || s.behavior() != Behavior::Good {
+            return;
+        }
+        let subject_slot = s.slot();
+        if !self.reachable(watcher, subject) {
+            return;
+        }
+        let watcher_slot = self.peers[watcher.index()].slot();
+        self.push.register(
+            subject_slot,
+            Interest {
+                slot: watcher_slot,
+                addr: watcher,
+            },
+        );
+    }
+
+    /// Requests a refresh push of `addr`'s own entry (push mode only).
+    /// The first request in a window schedules the flush; later requests
+    /// coalesce into it.
+    fn maybe_request_refresh<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        if self.rt.maintenance != MaintenanceMode::Push || self.push.interest(slot).is_empty() {
+            return;
+        }
+        if self.push.request_refresh(slot) {
+            let window = self.cfg.protocol.push.coalesce_window;
+            ctx.schedule(now + window, Event::PushFlush { slot, addr });
+        } else {
+            self.metrics.counters_mut().incr("push_coalesced");
+        }
+    }
+
+    /// The scheduled end of a coalesce window: push one refresh carrying
+    /// the subject's latest state. Refreshes are deliberately cheaper
+    /// than invalidations — each flush re-dates only the next `fanout`
+    /// watchers and rotates the registry, so successive flushes cover
+    /// every watcher round-robin without a relay tree. A subject that
+    /// died in the window pushes nothing (its death already disseminated
+    /// an invalidation), and a run flipped out of push mode stays quiet.
+    fn on_push_flush<T: TraceSink>(
+        &mut self,
+        slot: SlotId,
+        addr: PeerAddr,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        self.push.clear_refresh(slot);
+        if self.rt.maintenance != MaintenanceMode::Push || !self.is_current(slot, addr) {
+            return;
+        }
+        let list = self.push.interest(slot);
+        let k = self.cfg.protocol.push.fanout.min(list.len());
+        if k == 0 {
+            return;
+        }
+        let watchers = list[..k].to_vec();
+        self.push.rotate(slot, k);
+        self.disseminate(
+            UpdateKind::Refresh,
+            addr,
+            watchers,
+            self.cfg.protocol.push.ttl,
+            now,
+            ctx,
+        );
+    }
+
+    /// One relay hop fires: the parked subtree disseminates from here.
+    /// Updates in flight when the mode flips to pull are dropped.
+    fn on_push_step<T: TraceSink>(
+        &mut self,
+        id: u32,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let Some(job) = self.push.take_job(id) else {
+            return;
+        };
+        if self.rt.maintenance == MaintenanceMode::Pull {
+            self.metrics
+                .counters_mut()
+                .add("push_dropped", job.share.len() as u64);
+            return;
+        }
+        self.disseminate(job.kind, job.subject, job.share, job.ttl, now, ctx);
+    }
+
+    /// One node of the CUP-style dissemination tree: deliver to the first
+    /// `fanout` watchers directly, then split the residue round-robin
+    /// among the watchers that accepted delivery — each forwards its
+    /// share one `probe_interval` later with the TTL decremented. Shares
+    /// whose relay failed (or whose TTL ran out) are lost, exactly like a
+    /// broken branch of a real dissemination tree.
+    fn disseminate<T: TraceSink>(
+        &mut self,
+        kind: UpdateKind,
+        subject: PeerAddr,
+        recipients: Vec<Interest>,
+        ttl: u32,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) {
+        let fanout = self.cfg.protocol.push.fanout;
+        let direct_n = recipients.len().min(fanout);
+        let mut relays = 0usize;
+        for &w in &recipients[..direct_n] {
+            if self.deliver_push(kind, subject, w, now, ctx) {
+                relays += 1;
+            }
+        }
+        let residue = &recipients[direct_n..];
+        if residue.is_empty() {
+            return;
+        }
+        if relays == 0 || ttl <= 1 {
+            self.metrics
+                .counters_mut()
+                .add("push_dropped", residue.len() as u64);
+            return;
+        }
+        let mut shares: Vec<Vec<Interest>> = vec![Vec::new(); relays];
+        for (i, &w) in residue.iter().enumerate() {
+            shares[i % relays].push(w);
+        }
+        let hop = self.cfg.protocol.probe_interval;
+        for share in shares {
+            if share.is_empty() {
+                continue;
+            }
+            let id = self.push.enqueue_job(PushJob {
+                kind,
+                subject,
+                ttl: ttl - 1,
+                share,
+            });
+            ctx.schedule(now + hop, Event::PushStep { id });
+        }
+    }
+
+    /// Delivers one pushed update to one watcher. Pushes are first-class
+    /// traffic: they pay the same per-second capacity admission as query
+    /// probes and count toward the receiver's load. Returns whether the
+    /// watcher accepted (and may therefore relay a share of the tree).
+    fn deliver_push<T: TraceSink>(
+        &mut self,
+        kind: UpdateKind,
+        subject: PeerAddr,
+        w: Interest,
+        now: SimTime,
+        ctx: &mut SimCtx<'_, Event, T>,
+    ) -> bool {
+        let (counter, trace_kind) = match kind {
+            UpdateKind::Invalidate => ("push_invalidations", ProbeKind::Invalidate),
+            UpdateKind::Refresh => ("push_refreshes", ProbeKind::Refresh),
+        };
+        self.metrics.counters_mut().incr(counter);
+        let trace = |ctx: &mut SimCtx<'_, Event, T>, outcome: ProbeOutcome| {
+            if ctx.tracing() {
+                ctx.emit(
+                    now,
+                    TraceRecord::Probe {
+                        query: NO_QUERY,
+                        target: w.addr.index() as u64,
+                        kind: trace_kind,
+                        outcome,
+                    },
+                );
+            }
+        };
+        // The watcher instance must still occupy its slot; `subject` may
+        // be freshly dead (invalidations), but its slot field is intact,
+        // so the partition check is well-defined either way.
+        if !self.is_current(w.slot, w.addr) || !self.reachable(subject, w.addr) {
+            trace(ctx, ProbeOutcome::Dead);
+            self.metrics.counters_mut().incr("push_dropped");
+            return false;
+        }
+        self.peers[w.addr.index()].note_probe_received();
+        if self.peers[w.addr.index()].capacity_mut().admit(now) == Admission::Refused {
+            trace(ctx, ProbeOutcome::Refused);
+            self.metrics.counters_mut().incr("push_refused");
+            return false;
+        }
+        let h = self.peers[w.addr.index()].cache();
+        match kind {
+            UpdateKind::Invalidate => {
+                self.caches.remove(h, subject);
+            }
+            UpdateKind::Refresh => {
+                self.caches.touch(h, subject, now);
+            }
+        }
+        trace(ctx, ProbeOutcome::Good);
+        true
     }
 
     // ------------------------------------------------------------------
@@ -779,11 +1082,13 @@ impl<T: TraceSink> Simulation<T> for GuessSim {
             Event::Death { slot, addr } => self.on_death(slot, addr, now, ctx),
             Event::Ping { slot, addr } => self.on_ping(slot, addr, now, ctx),
             Event::Burst { slot, addr } => self.on_burst(slot, addr, now, ctx),
+            Event::PushStep { id } => self.on_push_step(id, now, ctx),
+            Event::PushFlush { slot, addr } => self.on_push_flush(slot, addr, now, ctx),
         }
     }
 
-    fn sample(&mut self, _now: SimTime) {
-        self.sample_cache_health();
+    fn sample(&mut self, now: SimTime) {
+        self.sample_cache_health(now);
         self.sample_connectivity();
     }
 
@@ -952,6 +1257,7 @@ mod tests {
         assert_eq!(exhaustive.live_absolute, sampled.live_absolute);
         assert_eq!(exhaustive.good_entries, sampled.good_entries);
         assert_eq!(exhaustive.largest_component, sampled.largest_component);
+        assert_eq!(exhaustive.mean_staleness, sampled.mean_staleness);
     }
 
     #[test]
@@ -1175,6 +1481,97 @@ mod tests {
             "the filter should keep caches at least as clean: {:.1} vs {:.1}",
             defended.good_entries.unwrap(),
             undefended.good_entries.unwrap()
+        );
+    }
+
+    #[test]
+    fn pull_mode_never_touches_the_push_plane() {
+        let report = GuessSim::new(tiny(51)).unwrap().run();
+        for c in [
+            "push_invalidations",
+            "push_refreshes",
+            "push_coalesced",
+            "push_refused",
+            "push_dropped",
+        ] {
+            assert_eq!(report.counters.get(c), 0, "{c} must stay zero in pull mode");
+        }
+        assert!(
+            report.mean_staleness.is_some(),
+            "staleness is still sampled"
+        );
+    }
+
+    #[test]
+    fn hybrid_mode_pushes_invalidations_on_death() {
+        let mut cfg = tiny(52);
+        cfg.system.lifespan_multiplier = 0.1; // heavy churn
+        let hybrid = cfg.clone().with_maintenance_mode(MaintenanceMode::Hybrid);
+        let pull = GuessSim::new(cfg).unwrap().run();
+        let hy = GuessSim::new(hybrid).unwrap().run();
+        assert!(
+            hy.counters.get("push_invalidations") > 0,
+            "deaths of watched subjects must push invalidations"
+        );
+        assert_eq!(
+            hy.counters.get("push_refreshes"),
+            0,
+            "hybrid pushes invalidations only"
+        );
+        // Hybrid pings at the full pull rate; the pull-side volume is
+        // driven by the same churn stream, so it stays in the same
+        // ballpark rather than being stretched away.
+        assert!(hy.counters.get("pings_sent") > pull.counters.get("pings_sent") / 2);
+    }
+
+    #[test]
+    fn push_mode_stretches_pings_and_pushes_refreshes() {
+        let mut cfg = tiny(53);
+        cfg.system.lifespan_multiplier = 0.2;
+        cfg.run.duration = SimDuration::from_secs(400.0);
+        cfg.run.warmup = SimDuration::from_secs(100.0);
+        let pushed = cfg.clone().with_maintenance_mode(MaintenanceMode::Push);
+        let pull = GuessSim::new(cfg).unwrap().run();
+        let push = GuessSim::new(pushed).unwrap().run();
+        assert!(
+            push.counters.get("pings_sent") < pull.counters.get("pings_sent"),
+            "the ping stretch must cut pull volume: {} vs {}",
+            push.counters.get("pings_sent"),
+            pull.counters.get("pings_sent")
+        );
+        assert!(
+            push.counters.get("push_refreshes") > 0,
+            "subjects with watchers must push refreshes"
+        );
+        assert!(push.counters.get("push_invalidations") > 0);
+    }
+
+    #[test]
+    fn push_mode_cuts_staleness_at_lower_maintenance_volume() {
+        // The tentpole tradeoff at test scale: under churn, push-mode
+        // invalidations purge the stalest (dead) entries and refreshes
+        // re-date watched entries, while the ping stretch cuts the pull
+        // bandwidth — staleness and message volume both drop.
+        let mut cfg = tiny(54);
+        cfg.system.lifespan_multiplier = 0.2;
+        cfg.run.duration = SimDuration::from_secs(400.0);
+        cfg.run.warmup = SimDuration::from_secs(100.0);
+        let pushed = cfg.clone().with_maintenance_mode(MaintenanceMode::Push);
+        let pull = GuessSim::new(cfg).unwrap().run();
+        let push = GuessSim::new(pushed).unwrap().run();
+        let pull_msgs = pull.counters.get("pings_sent");
+        let push_msgs = push.counters.get("pings_sent")
+            + push.counters.get("push_invalidations")
+            + push.counters.get("push_refreshes");
+        assert!(
+            push_msgs <= pull_msgs,
+            "push maintenance must not cost more messages: {push_msgs} vs {pull_msgs}"
+        );
+        assert!(
+            push.mean_staleness.unwrap() < pull.mean_staleness.unwrap(),
+            "push maintenance must keep entries fresher: {:.1}s vs {:.1}s",
+            push.mean_staleness.unwrap(),
+            pull.mean_staleness.unwrap()
         );
     }
 

@@ -246,6 +246,9 @@ impl GuessSim {
                     .caches
                     .offer(prober_cache, entry, policy, &mut self.rng_policy);
                 self.trace_eviction(ctx, now, prober, outcome);
+                if !matches!(outcome, InsertOutcome::Rejected) {
+                    self.push_register(prober, entry.addr());
+                }
             }
         }
 

@@ -29,12 +29,14 @@ impl GuessSim {
         Some((phase, stride))
     }
 
-    pub(super) fn sample_cache_health(&mut self) {
+    pub(super) fn sample_cache_health(&mut self, now: SimTime) {
         let (phase, stride) = self.metrics_stride().unwrap_or((0, 1));
         let mut frac_sum = 0.0;
         let mut frac_n = 0usize;
         let mut live_sum = 0.0;
         let mut good_sum = 0.0;
+        let mut stale_sum = 0.0;
+        let mut entries_n = 0usize;
         let mut peers_n = 0usize;
         let n = self.slots.len();
         let mut i = phase;
@@ -51,12 +53,20 @@ impl GuessSim {
             let mut live = 0usize;
             let mut good_entries = 0usize;
             for e in self.caches.entries(h) {
+                entries_n += 1;
                 let t = &self.peers[e.addr().index()];
                 if t.is_alive() {
                     live += 1;
                     if t.behavior() == Behavior::Good {
                         good_entries += 1;
                     }
+                } else {
+                    // Entry staleness = how long the cached information
+                    // has been wrong: zero while the subject lives, the
+                    // time since its death afterwards. This coherence lag
+                    // is what push invalidations buy down — the quantity
+                    // the maintenance experiment trades bandwidth against.
+                    stale_sum += now.saturating_since(t.died_at()).as_secs();
                 }
             }
             if total > 0 {
@@ -75,10 +85,16 @@ impl GuessSim {
             } else {
                 0.0
             };
+            let staleness = if entries_n > 0 {
+                stale_sum / entries_n as f64
+            } else {
+                0.0
+            };
             self.metrics.record_cache_health(
                 frac,
                 live_sum / peers_n as f64,
                 good_sum / peers_n as f64,
+                staleness,
             );
         }
     }

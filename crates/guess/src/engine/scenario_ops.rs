@@ -27,6 +27,7 @@ impl GuessSim {
         for _ in 0..count {
             let slot = SlotId(self.slots.len() as u32);
             self.bad.grow_to(self.slots.len() + 1);
+            self.push.grow_to(self.slots.len() + 1);
             let newborn = self.birth_peer(slot, now);
             self.slots.push(newborn);
             // Seed the newborn's cache from a random live friend,
@@ -45,6 +46,9 @@ impl GuessSim {
                     if e.addr() != newborn {
                         let outcome = self.caches.offer(nh, e, policy, &mut self.rng_policy);
                         self.trace_eviction(ctx, now, newborn, outcome);
+                        if !matches!(outcome, InsertOutcome::Rejected) {
+                            self.push_register(newborn, e.addr());
+                        }
                     }
                 }
                 self.entry_scratch = entries;
@@ -96,11 +100,13 @@ impl GuessSim {
         probe.system.bad_peer_fraction = self.rt.bad_peer_fraction;
         probe.protocol.ping_interval = self.rt.ping_interval;
         probe.protocol.parallel_probes = self.rt.parallel_probes;
+        probe.protocol.maintenance_mode = self.rt.maintenance;
         match *param {
             Param::QueryRate(r) => probe.system.query_rate = r,
             Param::BadPeerFraction(f) => probe.system.bad_peer_fraction = f,
             Param::PingInterval(i) => probe.protocol.ping_interval = i,
             Param::ParallelProbes(k) => probe.protocol.parallel_probes = k,
+            Param::MaintenanceMode(m) => probe.protocol.maintenance_mode = m,
             _ => {
                 return Err(ScenarioError::Unsupported {
                     engine: "guess",
@@ -119,6 +125,7 @@ impl GuessSim {
         self.rt.bad_peer_fraction = probe.system.bad_peer_fraction;
         self.rt.ping_interval = probe.protocol.ping_interval;
         self.rt.parallel_probes = probe.protocol.parallel_probes;
+        self.rt.maintenance = probe.protocol.maintenance_mode;
         Ok(())
     }
 }
@@ -249,6 +256,46 @@ mod tests {
                 action: "fanout",
             }
         );
+    }
+
+    #[test]
+    fn maintenance_mode_flips_mid_run_via_the_dsl() {
+        let mut cfg = tiny(43);
+        cfg.system.lifespan_multiplier = 0.1; // churn so deaths trigger pushes
+        let scenario = Scenario::new()
+            .at(60.0)
+            .param_flip(Param::MaintenanceMode(MaintenanceMode::Push));
+        let report = GuessSim::new(cfg.clone())
+            .unwrap()
+            .run_scenario(&scenario)
+            .unwrap();
+        assert_eq!(report.counters.get("interventions"), 1);
+        assert!(
+            report.counters.get("push_invalidations") + report.counters.get("push_refreshes") > 0,
+            "push traffic must flow after the flip"
+        );
+        let baseline = GuessSim::new(cfg).unwrap().run();
+        assert_eq!(
+            baseline.counters.get("push_invalidations"),
+            0,
+            "the pull default pushes nothing"
+        );
+        assert_eq!(baseline.counters.get("push_refreshes"), 0);
+    }
+
+    #[test]
+    fn maintenance_flip_installs_and_invalid_flip_leaves_runtime_untouched() {
+        let mut sim = GuessSim::new(tiny(44)).unwrap();
+        assert_eq!(sim.rt.maintenance, MaintenanceMode::Pull);
+        sim.param_flip(&Param::MaintenanceMode(MaintenanceMode::Hybrid))
+            .unwrap();
+        assert_eq!(sim.rt.maintenance, MaintenanceMode::Hybrid);
+        // A rejected flip must not install anything: the probe config
+        // fails validation before any runtime field is written.
+        let err = sim.param_flip(&Param::QueryRate(-3.0)).unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidParam(_)));
+        assert_eq!(sim.rt.maintenance, MaintenanceMode::Hybrid);
+        assert_eq!(sim.rt.query_rate, tiny(44).system.query_rate);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! | [`engine`] | the discrete-event network simulator |
 //! | [`metrics`] | run reports: every number the figures plot |
 //! | [`graph`] | union-find connectivity of the conceptual overlay |
+//! | [`push`] | CUP-style push maintenance: interest registry + update plane |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -60,14 +61,16 @@ pub mod metrics;
 pub mod payments;
 pub mod peer;
 pub mod policy;
+pub mod push;
 pub mod reputation;
 
 pub use config::{
     AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config, ConfigError, ProtocolParams,
-    RunParams, SystemParams,
+    PushParams, RunParams, SystemParams,
 };
 pub use engine::GuessSim;
 pub use metrics::{MetricsCollector, QueryOutcome, RunReport};
 pub use payments::PaymentParams;
 pub use policy::{ReplacementPolicy, SelectionPolicy};
+pub use simkit::scenario::MaintenanceMode;
 pub use simkit::sim::{Runnable, SimReport};

@@ -711,6 +711,65 @@ mod tests {
         assert_eq!(arena.len(b), 1, "other blocks untouched");
     }
 
+    /// The PR-8 recycling invariant, asserted directly: once the startup
+    /// population has allocated its blocks, any interleaving of
+    /// join/leave churn (including temporary population dips and join
+    /// waves back up to the peak) reuses freed blocks instead of growing
+    /// the slab — `blocks()` is a high-water mark of *concurrent* peers,
+    /// not of churn history.
+    #[test]
+    fn arena_churn_never_grows_past_the_startup_high_water_mark() {
+        let mut alloc = AddrAllocator::new();
+        let mut drv = RngStream::from_seed(77, "arena-churn");
+        let mut r = rng();
+        let startup = 64usize;
+        let mut arena = CacheArena::with_peer_capacity(5, startup);
+        let mut live: Vec<CacheHandle> = (0..startup).map(|_| arena.alloc()).collect();
+        let high_water = arena.blocks();
+        assert_eq!(high_water, startup, "one block per startup peer");
+        for step in 0..5000 {
+            let now = SimTime::from_secs(step as f64);
+            match drv.below(10) {
+                // Leave: free a random live peer's block (population dips).
+                0..=3 if live.len() > 1 => {
+                    let i = drv.below(live.len());
+                    arena.free(live.swap_remove(i));
+                }
+                // Join: a newborn allocates, never beyond the peak.
+                4..=7 if live.len() < startup => {
+                    let h = arena.alloc();
+                    arena.offer(
+                        h,
+                        entry(&mut alloc, drv.below(100) as u32, step as f64),
+                        ReplacementPolicy::Random,
+                        &mut r,
+                    );
+                    live.push(h);
+                }
+                // Churn replacement: free + alloc back-to-back, the
+                // engine's death path.
+                _ => {
+                    let i = drv.below(live.len());
+                    arena.free(live[i]);
+                    live[i] = arena.alloc();
+                    assert!(arena.is_empty(live[i]), "recycled block starts empty");
+                    arena.touch(live[i], PeerAddr::from_raw(0), now);
+                }
+            }
+            assert!(
+                arena.blocks() <= high_water,
+                "arena grew past its startup high-water mark at step {step}: \
+                 {} blocks > {high_water}",
+                arena.blocks()
+            );
+        }
+        assert_eq!(
+            arena.blocks(),
+            high_water,
+            "blocks are recycled, never reclaimed mid-run"
+        );
+    }
+
     #[test]
     fn null_handle_reads_as_empty() {
         let arena = CacheArena::new(4);

@@ -62,6 +62,13 @@ pub struct RunReport {
     /// Mean post-warm-up size of the largest connected component of the
     /// live overlay — Figures 6 and 7.
     pub largest_component: Option<f64>,
+    /// Mean post-warm-up staleness of link-cache entries in good peers'
+    /// caches: seconds the entry's information has been *wrong* — zero
+    /// for entries whose subject is still alive, time since the
+    /// subject's death otherwise. The `repro maintenance` experiment
+    /// trades this coherence lag against maintenance bandwidth across
+    /// `MaintenanceMode`s.
+    pub mean_staleness: Option<f64>,
     /// Miscellaneous event counters.
     pub counters: CounterSet,
     /// Kernel events processed over the whole run (including warm-up).
@@ -127,6 +134,7 @@ pub struct MetricsCollector {
     live_fraction_samples: Summary,
     live_absolute_samples: Summary,
     good_entry_samples: Summary,
+    staleness_samples: Summary,
     lcc_samples: Summary,
     counters: CounterSet,
 }
@@ -158,16 +166,20 @@ impl MetricsCollector {
         self.loads.push(probes_received);
     }
 
-    /// Records one cache-health snapshot.
+    /// Records one cache-health snapshot. `staleness` is the snapshot's
+    /// mean per-entry coherence lag in seconds (zero for entries whose
+    /// subject is alive, time since the subject's death otherwise).
     pub fn record_cache_health(
         &mut self,
         live_fraction: f64,
         live_absolute: f64,
         good_entries: f64,
+        staleness: f64,
     ) {
         self.live_fraction_samples.record(live_fraction);
         self.live_absolute_samples.record(live_absolute);
         self.good_entry_samples.record(good_entries);
+        self.staleness_samples.record(staleness);
     }
 
     /// Records one connectivity snapshot.
@@ -206,6 +218,7 @@ impl MetricsCollector {
             live_absolute: opt(&self.live_absolute_samples),
             good_entries: opt(&self.good_entry_samples),
             largest_component: opt(&self.lcc_samples),
+            mean_staleness: opt(&self.staleness_samples),
             counters: self.counters,
             // The collector never sees the kernel; the engine fills this
             // in after `Kernel::run` returns.
@@ -274,8 +287,8 @@ mod tests {
     #[test]
     fn snapshots_average() {
         let mut c = MetricsCollector::new();
-        c.record_cache_health(0.5, 40.0, 30.0);
-        c.record_cache_health(0.7, 60.0, 50.0);
+        c.record_cache_health(0.5, 40.0, 30.0, 120.0);
+        c.record_cache_health(0.7, 60.0, 50.0, 80.0);
         c.record_lcc(900);
         c.record_lcc(950);
         let r = c.finish();
@@ -283,6 +296,7 @@ mod tests {
         assert!((r.live_absolute.unwrap() - 50.0).abs() < 1e-12);
         assert!((r.good_entries.unwrap() - 40.0).abs() < 1e-12);
         assert!((r.largest_component.unwrap() - 925.0).abs() < 1e-12);
+        assert!((r.mean_staleness.unwrap() - 100.0).abs() < 1e-12);
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub struct PeerState {
     behavior: Behavior,
     alive: bool,
     born: SimTime,
+    died: SimTime,
     /// Advertised shared-file count. Honest peers advertise the truth;
     /// malicious peers inflate it to game metadata-trusting policies.
     advertised_files: u32,
@@ -74,6 +75,7 @@ impl PeerState {
             behavior,
             alive: true,
             born,
+            died: born,
             advertised_files,
             library,
             cache,
@@ -98,6 +100,9 @@ impl PeerState {
             behavior: Behavior::Malicious,
             alive: false,
             born,
+            // A fabricated address was never live: its pointers are stale
+            // information from the moment they first circulate.
+            died: born,
             advertised_files: 0,
             library: LibraryHandle::EMPTY,
             cache: CacheHandle::NULL,
@@ -181,10 +186,21 @@ impl PeerState {
         self.probes_received += 1;
     }
 
-    /// Marks the peer as departed. GUESS peers leave silently (§3.2): no
-    /// notification is sent; others discover the death via failed probes.
-    pub fn kill(&mut self) {
+    /// Marks the peer as departed at `now`. GUESS peers leave silently
+    /// (§3.2): no notification is sent; others discover the death via
+    /// failed probes. The instant is kept so the staleness sweep can
+    /// measure how long cache entries keep pointing at the corpse.
+    pub fn kill(&mut self, now: SimTime) {
         self.alive = false;
+        self.died = now;
+    }
+
+    /// When the peer left the network. Meaningful only once
+    /// [`is_alive`](Self::is_alive) is false; dead stubs report their
+    /// creation instant.
+    #[must_use]
+    pub fn died_at(&self) -> SimTime {
+        self.died
     }
 
     /// Surrenders the peer's arena blocks at death: returns the handles
@@ -281,11 +297,12 @@ mod tests {
     }
 
     #[test]
-    fn kill_marks_dead_and_not_good() {
+    fn kill_marks_dead_and_records_the_instant() {
         let mut p = peer();
-        p.kill();
+        p.kill(SimTime::from_secs(12.5));
         assert!(!p.is_alive());
         assert!(!p.is_good());
+        assert_eq!(p.died_at(), SimTime::from_secs(12.5));
     }
 
     #[test]
@@ -293,7 +310,7 @@ mod tests {
         let mut arena = CacheArena::new(10);
         let mut p = peer_in(&mut arena);
         let original = p.cache();
-        p.kill();
+        p.kill(SimTime::ZERO);
         let (cache, library) = p.release_storage();
         assert_eq!(cache, original);
         assert!(library.is_empty());
@@ -310,6 +327,7 @@ mod tests {
         assert!(!s.is_alive());
         assert!(!s.is_good());
         assert_eq!(s.born(), SimTime::from_secs(5.0));
+        assert_eq!(s.died_at(), SimTime::from_secs(5.0));
         assert!(s.library().is_empty());
         assert!(s.cache().is_null());
     }

@@ -56,6 +56,43 @@ use crate::time::{SimDuration, SimTime};
 use crate::sim::{SimCtx, Simulation};
 use crate::trace::TraceSink;
 
+/// How an engine keeps its cached peer state fresh.
+///
+/// `Pull` is the classic poll-until-stale model (GUESS Ping/Pong);
+/// `Push` replaces most polling with CUP-style pushed invalidations and
+/// refreshes along interest edges; `Hybrid` keeps full-rate polling and
+/// adds pushed invalidations on top. Engines without a maintenance
+/// plane reject flips of this parameter as unsupported.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum MaintenanceMode {
+    /// Poll-only freshness: periodic pings discover stale state.
+    #[default]
+    Pull,
+    /// Push-dominant: subjects push invalidations and refreshes to
+    /// interested holders; polling runs at a stretched interval.
+    Push,
+    /// Full-rate polling plus pushed invalidations.
+    Hybrid,
+}
+
+impl MaintenanceMode {
+    /// Stable lowercase name, used in reports and CLI surfaces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            MaintenanceMode::Pull => "pull",
+            MaintenanceMode::Push => "push",
+            MaintenanceMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::fmt::Display for MaintenanceMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A runtime-flippable parameter, engine-agnostic.
 ///
 /// Each engine supports the subset that names one of its own knobs and
@@ -82,6 +119,8 @@ pub enum Param {
     FloodTtl(usize),
     /// Neighbor-count target the overlay repairs toward (Gnutella).
     TargetDegree(usize),
+    /// Cache maintenance mode: pull, push, or hybrid (GUESS).
+    MaintenanceMode(MaintenanceMode),
 }
 
 impl Param {
@@ -98,6 +137,7 @@ impl Param {
             Param::PullProbability(_) => "pull_probability",
             Param::FloodTtl(_) => "flood_ttl",
             Param::TargetDegree(_) => "target_degree",
+            Param::MaintenanceMode(_) => "maintenance_mode",
         }
     }
 }
@@ -382,6 +422,19 @@ mod tests {
         );
         assert_eq!(Param::Fanout(2).name(), "fanout");
         assert_eq!(Param::FloodTtl(5).name(), "flood_ttl");
+        assert_eq!(
+            Param::MaintenanceMode(MaintenanceMode::Push).name(),
+            "maintenance_mode"
+        );
+    }
+
+    #[test]
+    fn maintenance_mode_defaults_to_pull_and_names_are_stable() {
+        assert_eq!(MaintenanceMode::default(), MaintenanceMode::Pull);
+        assert_eq!(MaintenanceMode::Pull.name(), "pull");
+        assert_eq!(MaintenanceMode::Push.name(), "push");
+        assert_eq!(MaintenanceMode::Hybrid.name(), "hybrid");
+        assert_eq!(MaintenanceMode::Hybrid.to_string(), "hybrid");
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum ProbeKind {
     /// A rumor pull exchange (gossip duplicate receiver re-entering
     /// dissemination).
     Pull,
+    /// A pushed cache invalidation (maintenance plane, subject died).
+    Invalidate,
+    /// A pushed cache refresh (maintenance plane, subject re-published).
+    Refresh,
 }
 
 impl ProbeKind {
@@ -37,6 +41,8 @@ impl ProbeKind {
             ProbeKind::Flood => "flood",
             ProbeKind::Push => "push",
             ProbeKind::Pull => "pull",
+            ProbeKind::Invalidate => "invalidate",
+            ProbeKind::Refresh => "refresh",
         }
     }
 }
@@ -212,6 +218,10 @@ pub struct CountingSink {
     pub push_probes: u64,
     /// `Probe` records with [`ProbeKind::Pull`].
     pub pull_probes: u64,
+    /// `Probe` records with [`ProbeKind::Invalidate`].
+    pub invalidate_probes: u64,
+    /// `Probe` records with [`ProbeKind::Refresh`].
+    pub refresh_probes: u64,
     /// `CacheEvict` records seen.
     pub evictions: u64,
     /// `Sample` records seen.
@@ -237,6 +247,8 @@ impl CountingSink {
             + self.flood_probes
             + self.push_probes
             + self.pull_probes
+            + self.invalidate_probes
+            + self.refresh_probes
             + self.evictions
             + self.samples
     }
@@ -263,6 +275,8 @@ impl TraceSink for CountingSink {
                 ProbeKind::Flood => self.flood_probes += 1,
                 ProbeKind::Push => self.push_probes += 1,
                 ProbeKind::Pull => self.pull_probes += 1,
+                ProbeKind::Invalidate => self.invalidate_probes += 1,
+                ProbeKind::Refresh => self.refresh_probes += 1,
             },
             TraceRecord::CacheEvict { .. } => self.evictions += 1,
             TraceRecord::Sample { .. } => self.samples += 1,
@@ -377,6 +391,24 @@ mod tests {
                 outcome: ProbeOutcome::Good,
             },
         );
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: NO_QUERY,
+                target: 7,
+                kind: ProbeKind::Invalidate,
+                outcome: ProbeOutcome::Good,
+            },
+        );
+        s.record(
+            t,
+            TraceRecord::Probe {
+                query: NO_QUERY,
+                target: 8,
+                kind: ProbeKind::Refresh,
+                outcome: ProbeOutcome::Refused,
+            },
+        );
         assert_eq!(s.joins, 1);
         assert_eq!(s.deaths, 1);
         assert_eq!(s.query_starts, 1);
@@ -388,9 +420,11 @@ mod tests {
         assert_eq!(s.flood_probes, 0);
         assert_eq!(s.push_probes, 1);
         assert_eq!(s.pull_probes, 1);
+        assert_eq!(s.invalidate_probes, 1);
+        assert_eq!(s.refresh_probes, 1);
         assert_eq!(s.evictions, 1);
         assert_eq!(s.samples, 1);
-        assert_eq!(s.total(), 10);
+        assert_eq!(s.total(), 12);
     }
 
     #[test]
@@ -413,6 +447,8 @@ mod tests {
         assert_eq!(ProbeKind::Flood.name(), "flood");
         assert_eq!(ProbeKind::Push.name(), "push");
         assert_eq!(ProbeKind::Pull.name(), "pull");
+        assert_eq!(ProbeKind::Invalidate.name(), "invalidate");
+        assert_eq!(ProbeKind::Refresh.name(), "refresh");
         assert_eq!(ProbeOutcome::Good.name(), "good");
         assert_eq!(ProbeOutcome::Dead.name(), "dead");
         assert_eq!(ProbeOutcome::Refused.name(), "refused");

@@ -20,9 +20,9 @@ cargo test -q --release -p guess-bench --test determinism
 cargo test -q --release -p guess-bench --test quick_goldens -- --ignored
 
 # Scenario gates: an empty timeline is byte-identical to a plain run on
-# every engine, the six-entry catalog matches its own committed manifest
-# (tests/golden/scenarios.fnv1a.txt), and a catalog entry renders
-# identically across --jobs levels.
+# every engine, the seven-entry catalog (push-storm included) matches
+# its own committed manifest (tests/golden/scenarios.fnv1a.txt), and a
+# catalog entry renders identically across --jobs levels.
 cargo test -q --release -p guess-bench --test scenario_noop
 cargo test -q --release -p guess-bench --test scenario_goldens -- --ignored
 
@@ -33,6 +33,19 @@ cargo run --release -p guess-bench --bin repro -- \
     scenario param-flip --quick --jobs 2 --json --out "$out/scenarios"
 [ -s "$out/scenarios/param-flip.txt" ] || { echo "missing $out/scenarios/param-flip.txt" >&2; exit 1; }
 python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$out/scenarios/param-flip.json"
+
+# Maintenance-plane gate: the CUP-style experiment's quick golden is
+# pinned in quick.fnv1a.txt with the rest of the registry; here, the
+# report must additionally be byte-identical across --jobs levels, which
+# (with the manifest) pins that the default pull mode leaves every other
+# report's RNG streams untouched.
+rm -rf "$out/maint-j1" "$out/maint-j4"
+cargo run --release -p guess-bench --bin repro -- \
+    maintenance --quick --jobs 1 --out "$out/maint-j1"
+cargo run --release -p guess-bench --bin repro -- \
+    maintenance --quick --jobs 4 --out "$out/maint-j4"
+diff "$out/maint-j1/maintenance.txt" "$out/maint-j4/maintenance.txt"
+echo "maintenance gate: quick report byte-identical at --jobs 1 and 4"
 
 # Bench smoke gate: the quick workload matrix completes under a generous
 # ceiling, emits valid BENCH JSON, and no quick workload's median has
