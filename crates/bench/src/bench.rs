@@ -12,9 +12,12 @@
 //! home is the repo root (the `repro bench` default out dir).
 //! `BENCH_0.json` (pre-optimization), `BENCH_1.json` (post
 //! slab/calendar-queue pass), `BENCH_2.json` (post wavefront-flood
-//! rewrite), and `BENCH_3.json` (arena memory layout, first carrying
-//! `bytes_per_peer` and the `guess-1m` row) are committed baselines;
-//! the `BENCH_*.json` gitignore pattern keeps ad-hoc runs untracked.
+//! rewrite), `BENCH_3.json` (arena memory layout, first carrying
+//! `bytes_per_peer` and the `guess-1m` row), and `BENCH_4.json` (the
+//! lane-partitioned parallel kernel, first carrying the `cores` and
+//! `threads` columns and the `--threads` sweep's `<workload>@t<N>`
+//! rows) are committed baselines; the `BENCH_*.json` gitignore pattern
+//! keeps ad-hoc runs untracked.
 //! `scripts/verify.sh` replays the quick workloads and fails on a >2×
 //! median regression against the committed baseline — both on the
 //! aggregate matrix and per-engine via `--only <workload>`.
@@ -53,6 +56,10 @@ pub struct BenchResult {
     /// the engine's large-N memory footprint (see
     /// [`crate::alloc_meter`]).
     pub bytes_per_peer: u64,
+    /// Worker threads this row ran with. `1` is the serial kernel —
+    /// the path every earlier BENCH generation measured; `> 1` runs
+    /// the lane-partitioned parallel kernel ([`BENCH_LANES`] lanes).
+    pub threads: usize,
 }
 
 impl BenchResult {
@@ -78,15 +85,26 @@ where
     sim.run().events_processed()
 }
 
+/// Lane count used by every threaded (`--threads > 1`) bench row.
+/// Fixed independently of the thread count so a row's simulated
+/// trajectory is addressed by `(seed, lanes)` alone and thread-scaling
+/// rows differ only in wall-clock.
+pub const BENCH_LANES: usize = 8;
+
 /// One benchmarkable workload: a name plus a closure that runs the
-/// simulation once and returns the kernel event count.
+/// simulation once with a given worker-thread budget and returns the
+/// kernel event count. `threads = 1` is the serial path — the exact
+/// bytes every earlier BENCH generation measured.
 struct Workload {
     name: &'static str,
     engine: &'static str,
     scale: Scale,
     /// Simulated peers — the denominator of `bytes_per_peer`.
     peers: usize,
-    run: Box<dyn Fn() -> u64>,
+    /// Whether the engine has a lane decomposition; `false` (gnutella,
+    /// whose floods traverse one shared overlay) skips threaded rows.
+    lanes: bool,
+    run: Box<dyn Fn(usize) -> u64>,
 }
 
 /// The workload matrix. Quick rows come first so `--quick` (used by the
@@ -105,9 +123,15 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             engine: "guess",
             scale,
             peers: base_config(scale, BENCH_SEED).system.network_size,
-            run: Box::new(move || {
-                let cfg = base_config(scale, BENCH_SEED);
-                events_of(cfg.build().expect("bench config validates"))
+            lanes: true,
+            run: Box::new(move |threads| {
+                let mut cfg = base_config(scale, BENCH_SEED);
+                if threads > 1 {
+                    cfg.run.lanes = BENCH_LANES;
+                }
+                guess::run_lanes(cfg, threads)
+                    .expect("bench config validates")
+                    .events_processed
             }),
         });
         list.push(Workload {
@@ -118,7 +142,8 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             engine: "gnutella",
             scale,
             peers: gnutella::dynamic::GnutellaConfig::default().network_size,
-            run: Box::new(move || {
+            lanes: false,
+            run: Box::new(move |_threads| {
                 let cfg = gnutella::dynamic::GnutellaConfig::default()
                     .with_duration(scale.duration())
                     .with_warmup(scale.warmup())
@@ -134,12 +159,18 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             engine: "gossip",
             scale,
             peers: gossip::Config::default().network_size,
-            run: Box::new(move || {
-                let cfg = gossip::Config::default()
+            lanes: true,
+            run: Box::new(move |threads| {
+                let mut cfg = gossip::Config::default()
                     .with_seed(BENCH_SEED)
                     .with_duration(scale.duration())
                     .with_warmup(scale.warmup());
-                events_of(cfg.build().expect("bench config validates"))
+                if threads > 1 {
+                    cfg = cfg.with_lanes(BENCH_LANES);
+                }
+                gossip::run_lanes(cfg, threads)
+                    .expect("bench config validates")
+                    .events_processed
             }),
         });
     }
@@ -154,7 +185,16 @@ fn workloads(quick_only: bool) -> Vec<Workload> {
             engine: "guess",
             scale: Scale::Full,
             peers: MILLION,
-            run: Box::new(|| events_of(million_peer_config().build().expect("valid config"))),
+            lanes: true,
+            run: Box::new(|threads| {
+                let mut cfg = million_peer_config();
+                if threads > 1 {
+                    cfg.run.lanes = BENCH_LANES;
+                }
+                guess::run_lanes(cfg, threads)
+                    .expect("valid config")
+                    .events_processed
+            }),
         });
     }
     list
@@ -195,8 +235,13 @@ pub fn workload_names(quick_only: bool) -> Vec<&'static str> {
 /// Runs the workload matrix `iters` times each and returns the measured
 /// results in matrix order. A non-empty `only` restricts the run to the
 /// named workloads (matrix order is preserved; unknown names are an
-/// error so typos cannot silently skip a gate). Prints one progress
-/// line per workload as it completes (the full matrix takes minutes).
+/// error so typos cannot silently skip a gate). Each workload runs once
+/// per entry of `threads` (`[1]` is the classic serial matrix): the
+/// `1`-thread row keeps the workload's plain name, threaded rows are
+/// suffixed `@t<N>` and run the lane-partitioned kernel with
+/// [`BENCH_LANES`] lanes. Engines without a lane decomposition
+/// (gnutella) skip threaded rows with a note. Prints one progress line
+/// per row as it completes (the full matrix takes minutes).
 ///
 /// # Errors
 ///
@@ -205,8 +250,14 @@ pub fn run_workloads(
     quick_only: bool,
     iters: usize,
     only: &[String],
+    threads: &[usize],
 ) -> Result<Vec<BenchResult>, String> {
     let iters = iters.max(1);
+    let threads = if threads.is_empty() {
+        &[1][..]
+    } else {
+        threads
+    };
     let matrix = workloads(quick_only);
     for name in only {
         if !matrix.iter().any(|w| w.name == name) {
@@ -221,52 +272,76 @@ pub fn run_workloads(
         if !only.is_empty() && !only.iter().any(|n| n == w.name) {
             continue;
         }
-        let mut walls = Vec::with_capacity(iters);
-        let mut events = 0u64;
-        let mut bytes_per_peer = 0u64;
-        for i in 0..iters {
-            // Meter the first iteration only: the peak heap growth over
-            // the pre-run level is the simulation's working set (later
-            // iterations see allocator reuse and would under-read).
-            let metered_from = crate::alloc_meter::current_bytes();
-            if i == 0 {
-                crate::alloc_meter::reset_peak();
+        for &t in threads {
+            let t = t.max(1);
+            if t > 1 && !w.lanes {
+                println!(
+                    "  {:<16} skipped at {t} threads (no lane decomposition)",
+                    w.name
+                );
+                continue;
             }
-            let started = Instant::now();
-            let got = (w.run)();
-            walls.push(started.elapsed().as_secs_f64());
-            if i == 0 {
-                events = got;
-                let grown = crate::alloc_meter::peak_bytes().saturating_sub(metered_from);
-                bytes_per_peer = grown as u64 / w.peers.max(1) as u64;
+            let name = if t == 1 {
+                w.name.to_string()
             } else {
-                debug_assert_eq!(got, events, "bench workloads must be deterministic");
+                format!("{}@t{t}", w.name)
+            };
+            let mut walls = Vec::with_capacity(iters);
+            let mut events = 0u64;
+            let mut bytes_per_peer = 0u64;
+            for i in 0..iters {
+                // Meter the first iteration only: the peak heap growth
+                // over the pre-run level is the simulation's working set
+                // (later iterations see allocator reuse and would
+                // under-read).
+                let metered_from = crate::alloc_meter::current_bytes();
+                if i == 0 {
+                    crate::alloc_meter::reset_peak();
+                }
+                let started = Instant::now();
+                let got = (w.run)(t);
+                walls.push(started.elapsed().as_secs_f64());
+                if i == 0 {
+                    events = got;
+                    let grown = crate::alloc_meter::peak_bytes().saturating_sub(metered_from);
+                    bytes_per_peer = grown as u64 / w.peers.max(1) as u64;
+                } else {
+                    debug_assert_eq!(got, events, "bench workloads must be deterministic");
+                }
             }
+            walls.sort_by(f64::total_cmp);
+            let r = BenchResult {
+                name,
+                engine: w.engine,
+                scale: w.scale,
+                iters,
+                events,
+                min_secs: walls[0],
+                median_secs: median(&walls),
+                peers: w.peers,
+                bytes_per_peer,
+                threads: t,
+            };
+            println!(
+                "  {:<20} {:>10} events  min {:>8.3}s  median {:>8.3}s  {:>12.0} events/s  {:>8} B/peer",
+                r.name,
+                r.events,
+                r.min_secs,
+                r.median_secs,
+                r.events_per_sec(),
+                r.bytes_per_peer
+            );
+            results.push(r);
         }
-        walls.sort_by(f64::total_cmp);
-        let r = BenchResult {
-            name: w.name.to_string(),
-            engine: w.engine,
-            scale: w.scale,
-            iters,
-            events,
-            min_secs: walls[0],
-            median_secs: median(&walls),
-            peers: w.peers,
-            bytes_per_peer,
-        };
-        println!(
-            "  {:<16} {:>10} events  min {:>8.3}s  median {:>8.3}s  {:>12.0} events/s  {:>8} B/peer",
-            r.name,
-            r.events,
-            r.min_secs,
-            r.median_secs,
-            r.events_per_sec(),
-            r.bytes_per_peer
-        );
-        results.push(r);
     }
     Ok(results)
+}
+
+/// Logical CPUs of the host running the bench — recorded in every row
+/// so thread-scaling numbers carry their hardware context.
+#[must_use]
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 /// Assembles bench results into a structured [`Report`]; the JSON form
@@ -286,8 +361,11 @@ pub fn build_report(results: &[BenchResult]) -> Report {
             "events_per_s",
             "peers",
             "bytes_per_peer",
+            "cores",
+            "threads",
         ],
     );
+    let cores = host_cores();
     for r in results {
         t.row(vec![
             Cell::text(&r.name),
@@ -300,6 +378,8 @@ pub fn build_report(results: &[BenchResult]) -> Report {
             Cell::float(r.events_per_sec(), 0),
             Cell::size(r.peers),
             Cell::uint(r.bytes_per_peer),
+            Cell::size(cores),
+            Cell::size(r.threads),
         ]);
     }
     Report::new()
@@ -371,13 +451,16 @@ mod tests {
             median_secs: 0.8,
             peers: 1000,
             bytes_per_peer: 512,
+            threads: 1,
         };
         assert!((r.events_per_sec() - 1250.0).abs() < 1e-9);
         let report = build_report(std::slice::from_ref(&r));
         let json = report.render_json("bench", "wall-clock benchmark", "Quick");
-        assert!(json.contains(
-            "\"guess-quick\", \"guess\", \"Quick\", 3, 1000, 0.5000, 0.8000, 1250, 1000, 512"
-        ));
+        let expected = format!(
+            "\"guess-quick\", \"guess\", \"Quick\", 3, 1000, 0.5000, 0.8000, 1250, 1000, 512, {}, 1",
+            host_cores()
+        );
+        assert!(json.contains(&expected), "row missing from {json}");
     }
 
     #[test]

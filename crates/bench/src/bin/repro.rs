@@ -3,10 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! repro all [--quick] [--jobs N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
-//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
-//! repro scenario <name>|all [--quick] [--jobs N] [--metrics-threshold N] [--out <dir>] [--json]
-//! repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]
+//! repro all [--quick] [--jobs N] [--threads N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
+//! repro <experiment> [<experiment> ...] [--quick] [--jobs N] [--threads N] [--shard i/m] [--metrics-threshold N] [--out <dir>] [--json]
+//! repro scenario <name>|all [--quick] [--jobs N] [--threads N] [--metrics-threshold N] [--out <dir>] [--json]
+//! repro bench [--quick] [--iters N] [--only <workload>]... [--threads N[,N...]] [--out <dir>]
 //! repro --trace <path> [--engine guess|gossip] [--quick]
 //! repro --list
 //! ```
@@ -22,6 +22,14 @@
 //! experiments and across the sweep points inside each one. Every sweep
 //! point carries its own RNG seed, so the reports are byte-identical at
 //! any `--jobs` level; only wall-clock time changes.
+//!
+//! `--threads N` sets the worker-thread budget for the engines'
+//! lane-partitioned parallel kernel (carried on [`Ctx`] like
+//! `--metrics-threshold`). Lane-mode output is a pure function of
+//! `(seed, lanes)`, so any `N` yields the same bytes for the same
+//! config; `repro bench --threads` takes a comma-separated list and
+//! emits one `<workload>@t<N>` row per `N > 1` — the thread-scaling
+//! curve.
 //!
 //! `--shard i/m` keeps only every `m`-th selected experiment starting
 //! at index `i` — the grid split into `m` independently runnable work
@@ -64,6 +72,12 @@ fn main() {
         for w in guess_bench::bench::workload_names(false) {
             println!("  {w}");
         }
+        println!(
+            "\nbench --threads N[,N...] repeats guess/gossip workloads on the\n\
+             lane-partitioned parallel kernel ({} lanes) as <workload>@t<N> rows;\n\
+             gnutella has no lane decomposition and keeps its serial row only",
+            guess_bench::bench::BENCH_LANES
+        );
         return;
     }
     let scale = if args.iter().any(|a| a == "--quick") {
@@ -131,6 +145,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let threads = match parse_threads(&args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let shard: Option<(usize, usize)> = match args.iter().position(|a| a == "--shard") {
         Some(i) => match args.get(i + 1).map(|v| parse_shard(v)) {
             Some(Some(spec)) => Some(spec),
@@ -161,6 +182,7 @@ fn main() {
             || a == "--engine"
             || a == "--shard"
             || a == "--metrics-threshold"
+            || a == "--threads"
         {
             skip_next = true;
         } else if !a.starts_with("--") {
@@ -216,7 +238,9 @@ fn main() {
         }
     }
 
-    let ctx = Ctx::new(scale, jobs).with_metrics_threshold(metrics_threshold);
+    let ctx = Ctx::new(scale, jobs)
+        .with_metrics_threshold(metrics_threshold)
+        .with_threads(threads);
     let overall = Instant::now();
     if ctx.jobs() == 1 {
         // Serial: run and print each experiment in turn, as the original
@@ -292,11 +316,12 @@ fn main() {
 /// named workloads, so a single engine can be gated on its own.
 fn run_bench(args: &[String]) {
     let mut only: Vec<String> = Vec::new();
+    let mut threads: Vec<usize> = vec![1];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => i += 1,
-            flag @ ("--iters" | "--out" | "--only") => {
+            flag @ ("--iters" | "--out" | "--only" | "--threads") => {
                 let Some(value) = args.get(i + 1) else {
                     eprintln!("{flag} needs a value");
                     std::process::exit(2);
@@ -304,12 +329,25 @@ fn run_bench(args: &[String]) {
                 if flag == "--only" {
                     only.push(value.clone());
                 }
+                if flag == "--threads" {
+                    match parse_threads_list(value) {
+                        Some(list) => threads = list,
+                        None => {
+                            eprintln!(
+                                "--threads needs a comma-separated list of positive \
+                                 integers (e.g. --threads 1,2,4,8)"
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
                 i += 2;
             }
             other => {
                 eprintln!("unknown bench argument: {other}");
                 eprintln!(
-                    "usage: repro bench [--quick] [--iters N] [--only WORKLOAD]... [--out DIR]"
+                    "usage: repro bench [--quick] [--iters N] [--only WORKLOAD]... \
+                     [--threads N[,N...]] [--out DIR]"
                 );
                 std::process::exit(2);
             }
@@ -349,7 +387,7 @@ fn run_bench(args: &[String]) {
         );
     }
     let started = Instant::now();
-    let results = match guess_bench::bench::run_workloads(quick, iters, &only) {
+    let results = match guess_bench::bench::run_workloads(quick, iters, &only, &threads) {
         Ok(results) => results,
         Err(e) => {
             eprintln!("{e}");
@@ -416,6 +454,13 @@ fn run_scenarios(args: &[String], scale: Scale) {
             std::process::exit(2);
         }
     };
+    let threads = match parse_threads(args) {
+        Ok(t) => t,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let mut names: Vec<&String> = Vec::new();
     let mut skip_next = false;
     for a in args {
@@ -423,7 +468,7 @@ fn run_scenarios(args: &[String], scale: Scale) {
             skip_next = false;
             continue;
         }
-        if a == "--out" || a == "--jobs" || a == "--metrics-threshold" {
+        if a == "--out" || a == "--jobs" || a == "--metrics-threshold" || a == "--threads" {
             skip_next = true;
         } else if !a.starts_with("--") {
             names.push(a);
@@ -449,7 +494,9 @@ fn run_scenarios(args: &[String], scale: Scale) {
         }
         picked
     };
-    let ctx = Ctx::new(scale, jobs).with_metrics_threshold(metrics_threshold);
+    let ctx = Ctx::new(scale, jobs)
+        .with_metrics_threshold(metrics_threshold)
+        .with_threads(threads);
     let overall = Instant::now();
     for s in &selected {
         let started = Instant::now();
@@ -725,6 +772,34 @@ fn parse_metrics_threshold(args: &[String]) -> Result<Option<usize>, String> {
     }
 }
 
+/// Parses `--threads N` if present (default 1): the worker-thread
+/// budget for the engines' lane-partitioned parallel kernel, carried on
+/// [`Ctx::threads`]. Lane-mode output is a pure function of
+/// `(seed, lanes)`, so the flag changes wall-clock only, never bytes.
+fn parse_threads(args: &[String]) -> Result<usize, String> {
+    match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).map(|v| v.parse()) {
+            Some(Ok(n)) if n >= 1 => Ok(n),
+            _ => Err("--threads needs a positive integer".to_string()),
+        },
+        None => Ok(1),
+    }
+}
+
+/// Parses the bench form of `--threads`: a comma-separated list of
+/// positive thread counts, e.g. `1,2,4,8`.
+fn parse_threads_list(spec: &str) -> Option<Vec<usize>> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let n: usize = part.trim().parse().ok()?;
+        if n == 0 {
+            return None;
+        }
+        out.push(n);
+    }
+    (!out.is_empty()).then_some(out)
+}
+
 /// Parses a `--shard` spec of the form `i/m` with `0 <= i < m`.
 fn parse_shard(spec: &str) -> Option<(usize, usize)> {
     let (i, m) = spec.split_once('/')?;
@@ -735,14 +810,18 @@ fn parse_shard(spec: &str) -> Option<(usize, usize)> {
 fn print_usage() {
     println!(
         "repro — regenerate every table and figure of the ICDCS'04 GUESS paper\n\n\
-         usage:\n  repro all [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]\n  \
-         repro <experiment>... [--quick] [--jobs N] [--shard i/m] [--out <dir>] [--json]\n  \
-         repro scenario <name>|all [--quick] [--jobs N] [--out <dir>] [--json]\n  \
-         repro bench [--quick] [--iters N] [--only <workload>]... [--out <dir>]\n  \
+         usage:\n  repro all [--quick] [--jobs N] [--threads N] [--shard i/m] [--out <dir>] [--json]\n  \
+         repro <experiment>... [--quick] [--jobs N] [--threads N] [--shard i/m] [--out <dir>] [--json]\n  \
+         repro scenario <name>|all [--quick] [--jobs N] [--threads N] [--out <dir>] [--json]\n  \
+         repro bench [--quick] [--iters N] [--only <workload>]... [--threads N[,N...]] [--out <dir>]\n  \
          repro --trace <path> [--engine guess|gossip] [--quick]\n  repro --list\n\n\
          --quick   shrunk grids/durations (shape check, ~1-2 min)\n\
          --jobs N  at most N simulations in flight (default: all cores);\n          \
          reports are byte-identical at any N\n\
+         --threads N  worker threads for the lane-partitioned parallel\n          \
+         kernel; lane-mode output depends only on (seed, lanes), so any\n          \
+         N yields the same bytes. bench takes a list (--threads 1,2,4,8)\n          \
+         and adds one <workload>@t<N> row per N > 1\n\
          --shard i/m  run every m-th selected experiment starting at i;\n          \
          per-shard outputs merge byte-identically to the unsharded run\n\
          --metrics-threshold N  populations above N stride-sample their\n          \

@@ -18,7 +18,7 @@ const QUICK_CEILING: Duration = Duration::from_secs(120);
 #[ignore = "release-mode perf smoke; invoked by scripts/verify.sh"]
 fn quick_bench_completes_with_throughput() {
     let started = Instant::now();
-    let results = run_workloads(true, 1, &[]).expect("empty filter is always valid");
+    let results = run_workloads(true, 1, &[], &[1]).expect("empty filter is always valid");
     let elapsed = started.elapsed();
     assert_eq!(results.len(), 3, "one quick workload per engine");
     for r in &results {
@@ -46,7 +46,7 @@ fn quick_bench_completes_with_throughput() {
 #[ignore = "release-mode perf smoke; invoked by scripts/verify.sh"]
 fn only_filter_restricts_the_matrix() {
     let only = vec!["gnutella-quick".to_string()];
-    let results = run_workloads(true, 1, &only).expect("gnutella-quick is a known workload");
+    let results = run_workloads(true, 1, &only, &[1]).expect("gnutella-quick is a known workload");
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].name, "gnutella-quick");
     assert!(results[0].events > 0);
@@ -55,7 +55,7 @@ fn only_filter_restricts_the_matrix() {
 #[test]
 fn only_filter_rejects_unknown_names() {
     let only = vec!["warp-drive".to_string()];
-    let err = run_workloads(true, 1, &only).unwrap_err();
+    let err = run_workloads(true, 1, &only, &[1]).unwrap_err();
     assert!(err.contains("unknown workload 'warp-drive'"), "{err}");
     assert!(
         err.contains("gnutella-quick"),

@@ -1,0 +1,93 @@
+//! Parallel-kernel identity gates.
+//!
+//! Two contracts protect the goldens and the thread-scaling bench:
+//!
+//! 1. `lanes = 1` routes every engine's `run_lanes` to the ordinary
+//!    serial run — byte-identical reports, so the 30 quick goldens and
+//!    7 scenario goldens are unchanged by construction.
+//! 2. With `lanes > 1`, the report is a pure function of
+//!    `(seed, lanes)`: any worker-thread count produces the same
+//!    bytes. The quick-scale variant of this check runs in release
+//!    via `scripts/verify.sh` (ignored here — debug-mode quick runs
+//!    take minutes).
+
+use guess::Runnable;
+use guess_bench::scale::{base_config, Scale};
+
+/// Seeds for the lanes=1 property check — arbitrary but fixed.
+const SEEDS: [u64; 3] = [0x11, 0x22, 0x33];
+
+#[test]
+fn guess_lanes_one_is_byte_identical_to_serial() {
+    for seed in SEEDS {
+        let mut cfg = guess::config::Config::small_test(seed);
+        cfg.run.duration = simkit::time::SimDuration::from_secs(200.0);
+        cfg.run.warmup = simkit::time::SimDuration::from_secs(50.0);
+        let serial = cfg.clone().build().expect("valid config").run();
+        let laned = guess::run_lanes(cfg, 4).expect("valid config");
+        assert_eq!(serial, laned, "guess seed {seed}");
+    }
+}
+
+#[test]
+fn gossip_lanes_one_is_byte_identical_to_serial() {
+    for seed in SEEDS {
+        let cfg = gossip::Config::small_test(seed);
+        let serial = cfg.clone().build().expect("valid config").run();
+        let laned = gossip::run_lanes(cfg, 4).expect("valid config");
+        assert_eq!(serial, laned, "gossip seed {seed}");
+    }
+}
+
+#[test]
+fn gnutella_run_lanes_is_the_serial_engine() {
+    for seed in SEEDS {
+        let cfg = gnutella::GnutellaConfig::default()
+            .with_network_size(150)
+            .with_duration(simkit::time::SimDuration::from_secs(200.0))
+            .with_warmup(simkit::time::SimDuration::from_secs(50.0))
+            .with_seed(seed);
+        let serial = cfg.clone().build().expect("valid config").run();
+        let laned = gnutella::run_lanes(cfg, 4).expect("valid config");
+        assert_eq!(serial, laned, "gnutella seed {seed}");
+    }
+}
+
+#[test]
+fn small_scale_lane_runs_are_thread_count_invariant() {
+    let mut gcfg = guess::config::Config::small_test(7);
+    gcfg.run.duration = simkit::time::SimDuration::from_secs(200.0);
+    gcfg.run.warmup = simkit::time::SimDuration::from_secs(50.0);
+    gcfg.run.lanes = 4;
+    let g1 = guess::run_lanes(gcfg.clone(), 1).expect("valid config");
+    let g4 = guess::run_lanes(gcfg, 4).expect("valid config");
+    assert_eq!(g1, g4, "guess lane run must not depend on threads");
+
+    let scfg = gossip::Config::small_test(7).with_lanes(4);
+    let s1 = gossip::run_lanes(scfg.clone(), 1).expect("valid config");
+    let s4 = gossip::run_lanes(scfg, 4).expect("valid config");
+    assert_eq!(s1, s4, "gossip lane run must not depend on threads");
+}
+
+/// The quick-scale cross-thread gate over the bench configs (the same
+/// configs the golden registry and BENCH rows run): `--threads 1` and
+/// `--threads 4` must produce byte-identical reports at the bench lane
+/// count. Release-only (run by `scripts/verify.sh`).
+#[test]
+#[ignore = "quick-scale; release-run by scripts/verify.sh"]
+fn quick_scale_lane_runs_are_thread_count_invariant() {
+    let mut gcfg = base_config(Scale::Quick, 0xBE7C);
+    gcfg.run.lanes = guess_bench::bench::BENCH_LANES;
+    let g1 = guess::run_lanes(gcfg.clone(), 1).expect("valid config");
+    let g4 = guess::run_lanes(gcfg, 4).expect("valid config");
+    assert_eq!(g1, g4, "guess quick lane run must not depend on threads");
+
+    let scfg = gossip::Config::default()
+        .with_seed(0xBE7C)
+        .with_duration(Scale::Quick.duration())
+        .with_warmup(Scale::Quick.warmup())
+        .with_lanes(guess_bench::bench::BENCH_LANES);
+    let s1 = gossip::run_lanes(scfg.clone(), 1).expect("valid config");
+    let s4 = gossip::run_lanes(scfg, 4).expect("valid config");
+    assert_eq!(s1, s4, "gossip quick lane run must not depend on threads");
+}

@@ -39,7 +39,7 @@ pub mod population;
 pub mod topology;
 pub mod wavefront;
 
-pub use dynamic::{GnutellaConfig, GnutellaReport, GnutellaSim};
+pub use dynamic::{run_lanes, GnutellaConfig, GnutellaReport, GnutellaSim};
 pub use fixed::FixedExtentCurve;
 pub use flood::{flood, FloodOutcome};
 pub use fragmentation::{attack, AttackOutcome, AttackStrategy};

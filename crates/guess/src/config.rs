@@ -286,6 +286,13 @@ pub struct RunParams {
     /// Number of slots each sampled snapshot visits once the threshold
     /// is exceeded (clamped to the population size).
     pub metrics_sample_size: usize,
+    /// Lane count for the conservative parallel kernel
+    /// ([`crate::engine::run_lanes`]). `1` (the default) is the serial
+    /// path — byte-identical to every committed golden. With `n > 1`
+    /// the population is split into `n` seed-addressed lanes whose
+    /// output is a pure function of `(seed, lanes)`, independent of how
+    /// many worker threads execute them.
+    pub lanes: usize,
 }
 
 impl Default for RunParams {
@@ -299,6 +306,7 @@ impl Default for RunParams {
             simulate_queries: true,
             metrics_sample_threshold: 50_000,
             metrics_sample_size: 10_000,
+            lanes: 1,
         }
     }
 }
@@ -354,6 +362,8 @@ pub enum ConfigError {
     /// Push-plane parameters inconsistent: zero fan-out/TTL/interest
     /// cap, or a ping stretch below 1.
     BadPushParams,
+    /// `lanes` was zero, or left fewer than two peers per lane.
+    BadLanes,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -386,6 +396,7 @@ impl std::fmt::Display for ConfigError {
             ConfigError::BadPushParams => {
                 "push maintenance needs positive fan-out, ttl and interest cap, ping stretch >= 1"
             }
+            ConfigError::BadLanes => "lanes must be positive and leave at least 2 peers per lane",
         };
         f.write_str(s)
     }
@@ -435,6 +446,11 @@ impl Config {
         }
         if self.run.metrics_sample_size == 0 {
             return Err(ConfigError::ZeroMetricsSample);
+        }
+        if self.run.lanes == 0
+            || (self.run.lanes > 1 && self.system.network_size / self.run.lanes < 2)
+        {
+            return Err(ConfigError::BadLanes);
         }
         if !(0.0..1.0).contains(&self.system.selfish_fraction)
             || self.system.selfish_parallelism == 0
@@ -649,6 +665,14 @@ impl Config {
     pub fn with_metrics_sampling(mut self, threshold: usize, size: usize) -> Self {
         self.run.metrics_sample_threshold = threshold;
         self.run.metrics_sample_size = size;
+        self
+    }
+
+    /// Sets the lane count for the conservative parallel kernel; `1`
+    /// keeps the serial path (see [`RunParams::lanes`]).
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.run.lanes = lanes;
         self
     }
 

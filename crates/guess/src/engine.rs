@@ -24,7 +24,7 @@ use simkit::trace::{ProbeKind, ProbeOutcome, TraceRecord, TraceSink, NO_QUERY};
 use workload::content::{Catalog, LibraryArena, LibraryHandle};
 use workload::files::FileCountModel;
 use workload::lifetime::LifetimeModel;
-use workload::query::{QueryModel, QueryWorkload};
+use workload::query::{QueryModel, QueryTarget, QueryWorkload};
 
 use crate::addr::{AddrAllocator, PeerAddr, SlotId};
 use crate::bad_registry::BadRegistry;
@@ -39,9 +39,12 @@ use crate::peer::{Behavior, PeerState};
 use crate::policy::{select_top_k, ProbeQueue, SelectionPolicy};
 use crate::push::{Interest, PushJob, PushPlane, UpdateKind};
 
+mod lanes;
 mod query_exec;
 mod sampling;
 mod scenario_ops;
+
+pub use lanes::run_lanes;
 
 /// Number of distinct fabricated dead addresses each malicious peer cycles
 /// through in its poisoned pongs.
@@ -117,6 +120,34 @@ pub enum Event {
         slot: SlotId,
         addr: PeerAddr,
     },
+    /// Lane mode only: a query from another lane spills over and probes
+    /// one random peer of this lane for `target`. `pending` names the
+    /// parked query in the origin lane's slab. Never scheduled on the
+    /// serial path, so serial runs are byte-identical.
+    RemoteProbe {
+        src_lane: u32,
+        pending: u32,
+        target: QueryTarget,
+    },
+    /// Lane mode only: the answer to a [`Event::RemoteProbe`], routed
+    /// back to the origin lane.
+    RemotePong {
+        pending: u32,
+        outcome: RemoteOutcome,
+    },
+}
+
+/// What a cross-lane spill probe found at its randomly chosen victim.
+/// Lane-resident peers are always alive (deaths rebirth in place), so
+/// there is no `Dead` arm — the serial probe loop's fourth outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteOutcome {
+    /// The victim's capacity meter dropped the probe.
+    Refused,
+    /// Answered, but the library does not hold the wanted item.
+    NoHit,
+    /// Answered with a result.
+    Hit,
 }
 
 /// A complete GUESS network simulation.
@@ -164,6 +195,10 @@ pub struct GuessSim {
     /// other streams (and reports) are byte-identical with sampling
     /// configured or not.
     rng_metrics: RngStream,
+    /// Drawn from only by the lane runner (spill-lane selection and
+    /// remote victim picks). Serial runs never touch it, so creating the
+    /// stream cannot perturb golden outputs.
+    rng_remote: RngStream,
     metrics: MetricsCollector,
     next_query: u64,
     /// Per-address "last query that considered this address" stamps —
@@ -216,6 +251,7 @@ impl GuessSim {
             rng_policy: RngStream::from_seed(seed, "policy"),
             rng_intro: RngStream::from_seed(seed, "intro"),
             rng_metrics: RngStream::from_seed(seed, "metrics"),
+            rng_remote: RngStream::from_seed(seed, "remote"),
             metrics: MetricsCollector::new(),
             next_query: 0,
             // Pre-sized for the initial population; grows with churn.
@@ -1084,6 +1120,11 @@ impl<T: TraceSink> Simulation<T> for GuessSim {
             Event::Burst { slot, addr } => self.on_burst(slot, addr, now, ctx),
             Event::PushStep { id } => self.on_push_step(id, now, ctx),
             Event::PushFlush { slot, addr } => self.on_push_flush(slot, addr, now, ctx),
+            Event::RemoteProbe { .. } | Event::RemotePong { .. } => {
+                // Intercepted by the lane runner before delegation; a
+                // serial kernel never schedules them.
+                debug_assert!(false, "remote events reached the serial handler");
+            }
         }
     }
 

@@ -68,7 +68,7 @@ pub use config::{
     AdaptiveParallelism, AdaptivePing, BadPongBehavior, Config, ConfigError, ProtocolParams,
     PushParams, RunParams, SystemParams,
 };
-pub use engine::GuessSim;
+pub use engine::{run_lanes, GuessSim};
 pub use metrics::{MetricsCollector, QueryOutcome, RunReport};
 pub use payments::PaymentParams;
 pub use policy::{ReplacementPolicy, SelectionPolicy};

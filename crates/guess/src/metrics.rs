@@ -198,6 +198,31 @@ impl MetricsCollector {
         self.queries
     }
 
+    /// Absorbs another collector's accumulated state — how the lane
+    /// runner ([`crate::engine::run_lanes`]) folds per-lane collectors
+    /// into one report, in lane-index order. Welford summaries merge
+    /// exactly ([`Summary::merge`]); load vectors concatenate (the
+    /// final sort lives in [`MetricsCollector::finish`]); counters add.
+    pub fn absorb(&mut self, other: MetricsCollector) {
+        self.queries += other.queries;
+        self.unsatisfied += other.unsatisfied;
+        self.good.merge(&other.good);
+        self.dead.merge(&other.dead);
+        self.refused.merge(&other.refused);
+        self.total.merge(&other.total);
+        self.response.merge(&other.response);
+        self.response_hist.merge(&other.response_hist);
+        self.loads.extend_from_slice(&other.loads);
+        self.live_fraction_samples
+            .merge(&other.live_fraction_samples);
+        self.live_absolute_samples
+            .merge(&other.live_absolute_samples);
+        self.good_entry_samples.merge(&other.good_entry_samples);
+        self.staleness_samples.merge(&other.staleness_samples);
+        self.lcc_samples.merge(&other.lcc_samples);
+        self.counters.merge(&other.counters);
+    }
+
     /// Finalizes into a report.
     #[must_use]
     pub fn finish(mut self) -> RunReport {
@@ -322,6 +347,45 @@ mod tests {
             "p95 sits below the single straggler"
         );
         assert!(r.response_time.max().unwrap() > 99.0);
+    }
+
+    #[test]
+    fn absorb_equals_sequential_recording() {
+        let mut all = MetricsCollector::new();
+        let mut left = MetricsCollector::new();
+        let mut right = MetricsCollector::new();
+        for (c, sink) in [(5u32, true), (9, false), (2, true), (7, false)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(g, s))| ((g, s), i % 2))
+        {
+            let o = outcome(c.0, 1, 0, c.1);
+            all.record_query(o);
+            if sink == 0 { &mut left } else { &mut right }.record_query(o);
+        }
+        all.record_load(10);
+        all.record_load(3);
+        left.record_load(3);
+        right.record_load(10);
+        all.record_cache_health(0.5, 40.0, 30.0, 10.0);
+        right.record_cache_health(0.5, 40.0, 30.0, 10.0);
+        all.record_lcc(90);
+        left.record_lcc(90);
+        all.counters_mut().add("pings", 4);
+        left.counters_mut().add("pings", 1);
+        right.counters_mut().add("pings", 3);
+
+        left.absorb(right);
+        let (merged, direct) = (left.finish(), all.finish());
+        assert_eq!(merged.queries, direct.queries);
+        assert_eq!(merged.unsatisfied, direct.unsatisfied);
+        assert!((merged.probes_per_query() - direct.probes_per_query()).abs() < 1e-12);
+        assert!((merged.mean_response_secs() - direct.mean_response_secs()).abs() < 1e-12);
+        assert_eq!(merged.response_p95, direct.response_p95);
+        assert_eq!(merged.loads, direct.loads);
+        assert_eq!(merged.live_fraction, direct.live_fraction);
+        assert_eq!(merged.largest_component, direct.largest_component);
+        assert_eq!(merged.counters.get("pings"), 4);
     }
 
     #[test]

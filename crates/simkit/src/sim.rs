@@ -189,9 +189,10 @@ impl<L: Lifetimes> ChurnDriver<L> {
 /// tick the kernel drives itself, and scenario control events. A
 /// control event carries the generation stamp of its compiled timeline
 /// entry ([`Scenario::compile`]); plain [`Kernel::run`] never schedules
-/// one.
+/// one. Crate-visible so the lane-partitioned kernel
+/// ([`crate::lanes`]) can drive per-lane queues of the same alphabet.
 #[derive(Debug, Clone, Copy)]
-enum KernelEvent<E> {
+pub(crate) enum KernelEvent<E> {
     User(E),
     Sample,
     Control(u32),
@@ -245,7 +246,22 @@ pub struct SimCtx<'a, E, T: TraceSink> {
     sink: &'a mut T,
 }
 
-impl<E, T: TraceSink> SimCtx<'_, E, T> {
+impl<'a, E, T: TraceSink> SimCtx<'a, E, T> {
+    /// Assembles a context over a caller-owned queue — how the
+    /// lane-partitioned kernel ([`crate::lanes`]) hands each lane the
+    /// same engine-facing surface the serial kernel builds internally.
+    pub(crate) fn from_parts(
+        queue: &'a mut EventQueue<KernelEvent<E>>,
+        warmup_end: SimTime,
+        sink: &'a mut T,
+    ) -> Self {
+        SimCtx {
+            queue,
+            warmup_end,
+            sink,
+        }
+    }
+
     /// Schedules an engine event at absolute time `at`.
     ///
     /// # Panics

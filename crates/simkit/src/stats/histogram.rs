@@ -111,6 +111,17 @@ impl Histogram {
         out
     }
 
+    /// Absorbs another histogram's observations. Quantiles afterwards
+    /// equal those of recording both sample streams into one histogram
+    /// (order is irrelevant: queries sort first).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// Consumes the histogram and returns the raw samples in sorted order.
     #[must_use]
     pub fn into_sorted_samples(mut self) -> Vec<f64> {
@@ -173,6 +184,27 @@ mod tests {
         h.record(1.0);
         h.record(2.0);
         assert_eq!(h.into_sorted_samples(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_recording() {
+        let mut all = Histogram::new();
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for x in 0..50 {
+            all.record(f64::from(x));
+            left.record(f64::from(x));
+        }
+        for x in 50..100 {
+            all.record(f64::from(x));
+            right.record(f64::from(x));
+        }
+        left.merge(&right);
+        left.merge(&Histogram::new());
+        assert_eq!(left.count(), all.count());
+        for p in [0.0, 25.0, 50.0, 95.0, 100.0] {
+            assert_eq!(left.percentile(p), all.percentile(p));
+        }
     }
 
     #[test]

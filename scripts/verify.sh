@@ -47,6 +47,32 @@ cargo run --release -p guess-bench --bin repro -- \
 diff "$out/maint-j1/maintenance.txt" "$out/maint-j4/maintenance.txt"
 echo "maintenance gate: quick report byte-identical at --jobs 1 and 4"
 
+# Parallel-kernel gates. The lanes=1 serial-identity properties run in
+# the plain workspace suite above; here the quick-scale contract gets
+# its release run: with lanes > 1 the report must be byte-identical at
+# --threads 1 and 4 on the bench configs (output is a pure function of
+# (seed, lanes), never of the worker count).
+cargo test -q --release -p guess-bench --test thread_identity -- --ignored
+
+# Threaded bench smoke: --threads through the CLI produces both the
+# serial row and the lane-mode @tN row, with the threads column wired.
+rm -rf "$out/bench-threads"
+cargo run --release -p guess-bench --bin repro -- \
+    bench --quick --iters 1 --only guess-quick --threads 1,4 --out "$out/bench-threads"
+python3 - "$out/bench-threads/BENCH_0.json" <<'EOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+table = next(b for b in doc["blocks"] if b.get("type") == "table")
+cols = table["columns"]
+for needed in ("workload", "threads", "cores"):
+    assert needed in cols, f"{needed} column missing: {cols}"
+w, t = cols.index("workload"), cols.index("threads")
+rows = {row[w]: int(row[t]) for row in table["rows"]}
+assert rows == {"guess-quick": 1, "guess-quick@t4": 4}, f"unexpected rows: {rows}"
+print("bench gate: --threads 1,4 emitted serial and @t4 rows")
+EOF
+
 # Bench smoke gate: the quick workload matrix completes under a generous
 # ceiling, emits valid BENCH JSON, and no quick workload's median has
 # regressed by more than 2x against the committed baseline (BENCH_2 —
